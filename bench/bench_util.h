@@ -1,0 +1,69 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Cycle counts come from the VM's deterministic cost model, so every table
+// is exactly reproducible; google-benchmark wall times of the same runs are
+// registered alongside for the usual bench tooling. Simulated time uses a
+// 3.4 GHz clock (the paper's i7-6700).
+#ifndef CONFLLVM_BENCH_BENCH_UTIL_H_
+#define CONFLLVM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/driver/confcc.h"
+
+namespace confllvm::bench {
+
+inline constexpr double kClockHz = 3.4e9;
+
+struct RunResult {
+  bool ok = false;
+  uint64_t cycles = 0;
+  uint64_t ret = 0;
+  uint64_t check_instrs = 0;
+};
+
+// Compiles `src` under `preset`, runs setup (may be null), then calls `fn`.
+inline RunResult RunOnce(const std::string& src, BuildPreset preset,
+                         const std::string& fn, const std::vector<uint64_t>& args,
+                         const std::function<void(Session*)>& setup = nullptr) {
+  DiagEngine diags;
+  auto s = MakeSession(src, preset, &diags);
+  RunResult out;
+  if (s == nullptr) {
+    fprintf(stderr, "compile failed under %s:\n%s", PresetName(preset),
+            diags.ToString().c_str());
+    return out;
+  }
+  if (setup) {
+    setup(s.get());
+  }
+  auto r = s->vm->Call(fn, args);
+  out.ok = r.ok;
+  out.cycles = r.cycles;
+  out.ret = r.ret;
+  out.check_instrs = s->vm->stats().check_instrs;
+  if (!r.ok) {
+    fprintf(stderr, "%s: %s fault: %s\n", PresetName(preset), fn.c_str(),
+            r.fault_msg.c_str());
+  }
+  return out;
+}
+
+inline double Pct(uint64_t cycles, uint64_t base) {
+  return base == 0 ? 0.0 : 100.0 * static_cast<double>(cycles) / base;
+}
+
+inline void PrintHeader(const char* title, const std::vector<std::string>& cols) {
+  printf("\n== %s ==\n%-14s", title, "");
+  for (const auto& c : cols) {
+    printf("%12s", c.c_str());
+  }
+  printf("\n");
+}
+
+}  // namespace confllvm::bench
+
+#endif  // CONFLLVM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,49 @@
+// MiniC workload sources shared by benches, examples and tests.
+//
+// kSpecKernels: stand-ins for the SPEC CPU 2006 C benchmarks of Figure 5.
+// SPEC itself is licensed and its inputs are gigabytes; each kernel below
+// reproduces the *instruction mix* that drives the paper's per-benchmark
+// overheads (pointer chasing for mcf, DP recurrences for hmmer, dense SAD
+// loops for h264ref, FP stencils for lbm, ...). Like the paper's runs, they
+// use no private annotations: everything is public, yet every access is
+// checked, CFI is enforced, and stacks switch on T calls — exactly what
+// §7.1 measures.
+//
+// kNginx / kLdap / kPrivado / kMerkle: the §7.2-§7.5 applications.
+#ifndef CONFLLVM_BENCH_WORKLOADS_H_
+#define CONFLLVM_BENCH_WORKLOADS_H_
+
+namespace confllvm::workloads {
+
+struct SpecKernel {
+  const char* name;
+  const char* source;   // defines `int main()` returning a checksum
+  long expected;        // expected checksum (same across configs)
+};
+
+extern const SpecKernel kSpecKernels[];
+extern const int kNumSpecKernels;
+
+// §7.2 web server. Exports:
+//   int server_init();                 // load config
+//   int server_run(int nreq);          // handle nreq queued requests, -> count served
+extern const char* kNginx;
+
+// §7.3 directory server. Exports:
+//   int ldap_populate(int nentries);
+//   int ldap_run(int nqueries, int want_hits);  // -> hits
+extern const char* kLdap;
+
+// §7.4 Privado-style NN classifier (branchless on private data). Exports:
+//   int nn_init();
+//   int nn_classify();   // classifies the staged image, declassifies result
+extern const char* kPrivado;
+
+// §7.5 Merkle-tree integrity library + client. Exports:
+//   int merkle_build(int nblocks);
+//   int merkle_read_all(int tid, int nblocks);  // verify-read every block
+extern const char* kMerkle;
+
+}  // namespace confllvm::workloads
+
+#endif  // CONFLLVM_BENCH_WORKLOADS_H_

@@ -1,0 +1,350 @@
+// Application workloads for §7.2-§7.5 (see workloads.h).
+#include "bench/workloads.h"
+
+namespace confllvm::workloads {
+
+// ---- §7.2 mini-NGINX -------------------------------------------------------
+// Serves files over a simulated connection. Served file content is private
+// (the paper's confidentiality concern: file bytes must not reach the log);
+// it leaves U only through the trusted encrypt() (the SSL send path). The
+// access log is the public sink.
+const char* kNginx = R"(
+int recv(int fd, char *buf, int n);
+int send(int fd, char *buf, int n);
+int log_write(char *buf, int n);
+int read_file_private(char *name, private char *buf, int n);
+int file_size(char *name);
+int encrypt(private char *pt, char *ct, int n);
+int get_time();
+
+char g_req[512];
+char g_fname[128];
+private char g_content[65536];
+private char g_chain[65536];
+char g_resp[65536];
+char g_log[128];
+private int g_checksum;
+
+int u_strlen(char *s) {
+  int n = 0;
+  while (s[n] != 0) { n = n + 1; }
+  return n;
+}
+
+// Word-wise copy through U (nginx buffer chains); all checked accesses.
+int chain_copy(private char *dst, private char *src, int n) {
+  private int *d8 = (private int*)dst;
+  private int *s8 = (private int*)src;
+  int w = n / 8;
+  for (int i = 0; i < w; i = i + 1) { d8[i] = s8[i]; }
+  for (int i = w * 8; i < n; i = i + 1) { dst[i] = src[i]; }
+  return n;
+}
+
+int parse_request(int n) {
+  // "GET <name>\n"
+  if (n < 5) { return 0; }
+  if (g_req[0] != 'G') { return 0; }
+  int i = 4;
+  int j = 0;
+  while (i < n && g_req[i] != '\n' && g_req[i] != 0 && j < 120) {
+    g_fname[j] = g_req[i];
+    i = i + 1;
+    j = j + 1;
+  }
+  g_fname[j] = 0;
+  return j;
+}
+
+int append_int(char *buf, int pos, int v) {
+  if (v == 0) { buf[pos] = '0'; return pos + 1; }
+  char tmp[24];
+  int k = 0;
+  while (v > 0) { tmp[k] = (char)('0' + v % 10); v = v / 10; k = k + 1; }
+  while (k > 0) { k = k - 1; buf[pos] = tmp[k]; pos = pos + 1; }
+  return pos;
+}
+
+int build_log(int t, int len) {
+  int p = 0;
+  g_log[p] = 't'; p = p + 1;
+  g_log[p] = '='; p = p + 1;
+  p = append_int(g_log, p, t);
+  g_log[p] = ' '; p = p + 1;
+  int fl = u_strlen(g_fname);
+  for (int i = 0; i < fl; i = i + 1) { g_log[p] = g_fname[i]; p = p + 1; }
+  g_log[p] = ' '; p = p + 1;
+  p = append_int(g_log, p, len);
+  g_log[p] = '\n'; p = p + 1;
+  return p;
+}
+
+int serve_one() {
+  int n = recv(0, g_req, 512);
+  if (n <= 0) { return 0; }
+  int fl = parse_request(n);
+  if (fl == 0) { return 0; }
+  int fsz = file_size(g_fname);
+  if (fsz < 0) {
+    g_resp[0] = '4'; g_resp[1] = '0'; g_resp[2] = '4';
+    send(0, g_resp, 3);
+    return 1;
+  }
+  if (fsz > 65536) { fsz = 65536; }
+  read_file_private(g_fname, g_content, fsz);
+  chain_copy(g_chain, g_content, fsz);
+  // Request-processing work over the private payload (checksum; no
+  // branching on private data).
+  private int sum = 0;
+  private int *words = (private int*)g_chain;
+  int nw = fsz / 8;
+  for (int i = 0; i < nw; i = i + 1) { sum = sum + words[i]; }
+  g_checksum = sum;
+  int m = encrypt(g_chain, g_resp, fsz);
+  send(0, g_resp, m);
+  int t = get_time();
+  int ll = build_log(t, fsz);
+  log_write(g_log, ll);
+  return 1;
+}
+
+int server_init() { return 0; }
+
+int server_run(int nreq) {
+  int served = 0;
+  for (int i = 0; i < nreq; i = i + 1) { served = served + serve_one(); }
+  return served;
+}
+
+int main() { return server_run(4); }
+)";
+
+// ---- §7.3 mini-OpenLDAP ----------------------------------------------------
+// Hash-indexed in-memory directory; root/user passwords are decrypted into a
+// private buffer via T (the paper's change) and never touch public sinks.
+const char* kLdap = R"(
+int recv(int fd, char *buf, int n);
+int send(int fd, char *buf, int n);
+void decrypt(char *ct, private char *pt, int n);
+int rand_pub();
+
+struct entry { int key; int val; int next; };
+struct entry g_entries[16384];
+int g_buckets[1024];
+int g_count;
+private char g_rootpw[64];
+char g_resp[64];
+
+int ldap_bind(char *creds, int n) {
+  decrypt(creds, g_rootpw, n);
+  return 1;
+}
+
+int ldap_populate(int n) {
+  for (int b = 0; b < 1024; b = b + 1) { g_buckets[b] = -1; }
+  g_count = 0;
+  char creds[32];
+  for (int i = 0; i < 32; i = i + 1) { creds[i] = (char)(i * 3 + 1); }
+  ldap_bind(creds, 32);
+  for (int i = 0; i < n; i = i + 1) {
+    int key = rand_pub() % 1000000;
+    int b = key % 1024;
+    g_entries[g_count].key = key;
+    g_entries[g_count].val = i;
+    g_entries[g_count].next = g_buckets[b];
+    g_buckets[b] = g_count;
+    g_count = g_count + 1;
+  }
+  return g_count;
+}
+
+int ldap_lookup(int key) {
+  int e = g_buckets[key % 1024];
+  int steps = 0;
+  while (e >= 0) {
+    steps = steps + 1;
+    if (g_entries[e].key == key) { return g_entries[e].val; }
+    e = g_entries[e].next;
+  }
+  // Miss path: referral/alias scan over the bucket table, like the paper's
+  // observation that misses do more (memory-bound) work in U than hits.
+  int h = key;
+  for (int i = 0; i < 256; i = i + 1) {
+    h = (h + g_buckets[(h + i * 7) & 1023] + i) & 1048575;
+  }
+  return -1 - (h & 1);
+}
+
+int ldap_run(int nq, int want_hits) {
+  int hits = 0;
+  for (int q = 0; q < nq; q = q + 1) {
+    int key = rand_pub() % 1000000;
+    if (want_hits == 1) {
+      key = g_entries[rand_pub() % g_count].key;
+    }
+    int v = ldap_lookup(key);
+    if (v >= 0) { hits = hits + 1; }
+    g_resp[0] = (char)(v % 64 + 32);
+    send(1, g_resp, 1);
+  }
+  return hits;
+}
+
+int main() {
+  ldap_populate(1000);
+  return ldap_run(200, 1);
+}
+)";
+
+// ---- §7.4 Privado-style NN classifier --------------------------------------
+// Everything the model touches is private; the forward pass is branchless on
+// private data (Privado's data-obliviousness); the result leaves only via
+// the send_result declassifier.
+const char* kPrivado = R"(
+void send_result(private char *buf, int n);
+int rand_pub();
+
+private float g_w_in[8192];   // 256 x 32
+private float g_w_h[8192];    // 8 hidden layers of 32 x 32
+private float g_w_out[320];   // 32 x 10
+private float g_img[256];
+private float g_act_a[256];
+private float g_act_b[256];
+private char g_result[4];
+
+int nn_init() {
+  for (int i = 0; i < 8192; i = i + 1) {
+    g_w_in[i] = (float)(i % 13 - 6) * 0.05;
+    g_w_h[i] = (float)(i % 11 - 5) * 0.04;
+  }
+  for (int i = 0; i < 320; i = i + 1) { g_w_out[i] = (float)(i % 7 - 3) * 0.06; }
+  return 0;
+}
+
+int nn_stage_image(int seed) {
+  for (int i = 0; i < 256; i = i + 1) {
+    g_img[i] = (float)((seed * 31 + i * 17) % 256) * 0.0039;
+  }
+  return 0;
+}
+
+int nn_classify() {
+  // Input layer: 256 -> 32. ReLU is branchless: v * (v > 0).
+  for (int o = 0; o < 32; o = o + 1) {
+    private float s = 0.0;
+    for (int i = 0; i < 256; i = i + 1) { s = s + g_img[i] * g_w_in[o * 256 + i]; }
+    private float m = (private float)(s > 0.0);
+    g_act_a[o] = s * m;
+  }
+  // 8 hidden layers: 32 -> 32 (the paper's eleven-layer network).
+  for (int layer = 0; layer < 8; layer = layer + 1) {
+    for (int o = 0; o < 32; o = o + 1) {
+      private float s = 0.0;
+      for (int i = 0; i < 32; i = i + 1) {
+        s = s + g_act_a[i] * g_w_h[layer * 1024 + o * 32 + i];
+      }
+      private float m = (private float)(s > 0.0);
+      g_act_b[o] = s * m;
+    }
+    for (int i = 0; i < 32; i = i + 1) { g_act_a[i] = g_act_b[i]; }
+  }
+  // Output layer + branchless argmax over the 10 classes.
+  private float best = -1000000.0;
+  private float besti = 0.0;
+  for (int c = 0; c < 10; c = c + 1) {
+    private float s = 0.0;
+    for (int i = 0; i < 32; i = i + 1) { s = s + g_act_a[i] * g_w_out[c * 32 + i]; }
+    private float gt = (private float)(s > best);
+    best = best * (1.0 - gt) + s * gt;
+    besti = besti * (1.0 - gt) + (float)c * gt;
+  }
+  private int cls = (private int)besti;
+  g_result[0] = (private char)cls;
+  send_result(g_result, 1);
+  return 0;
+}
+
+int main() {
+  nn_init();
+  nn_stage_image(7);
+  nn_classify();
+  return 0;
+}
+)";
+
+// ---- §7.5 Merkle-tree integrity library ------------------------------------
+// File data is private; the hash tree is *public* and its integrity is what
+// ConfLLVM protects (private data cannot clobber it; hashes enter it only
+// through T's declassifying hash function).
+const char* kMerkle = R"(
+void hash_block(private char *data, int n, char *out16);
+void hash_pub(char *data, int n, char *out16);
+
+private char g_file[262144];
+char g_tree[131072];
+int g_nblocks;
+
+int merkle_init_file(int nblocks) {
+  private int *w = (private int*)g_file;
+  int n = nblocks * 64 / 8;
+  for (int i = 0; i < n; i = i + 1) { w[i] = i * 2654435761 + 12345; }
+  g_nblocks = nblocks;
+  return nblocks;
+}
+
+int merkle_build(int nblocks) {
+  merkle_init_file(nblocks);
+  // Leaves: tree[nblocks + i], root at tree[1] (heap layout).
+  for (int i = 0; i < nblocks; i = i + 1) {
+    hash_block(g_file + i * 64, 64, g_tree + (nblocks + i) * 16);
+  }
+  for (int i = nblocks - 1; i > 0; i = i - 1) {
+    hash_pub(g_tree + 2 * i * 16, 32, g_tree + i * 16);
+  }
+  return nblocks;
+}
+
+// Verify-read one block: copy through U, re-hash, compare with the leaf and
+// the path to the root (hash compares are public).
+int merkle_read_block(int b) {
+  private char scratch[64];
+  private int *d = (private int*)scratch;
+  private int *s = (private int*)(g_file + b * 64);
+  for (int i = 0; i < 8; i = i + 1) { d[i] = s[i]; }
+  char h[16];
+  hash_block(scratch, 64, h);
+  char *leaf = g_tree + (g_nblocks + b) * 16;
+  for (int i = 0; i < 16; i = i + 1) {
+    if (h[i] != leaf[i]) { return 0; }
+  }
+  // Walk to the root verifying parents.
+  int node = (g_nblocks + b) / 2;
+  char ph[16];
+  while (node >= 1) {
+    hash_pub(g_tree + 2 * node * 16, 32, ph);
+    char *p = g_tree + node * 16;
+    int ok = 1;
+    for (int i = 0; i < 16; i = i + 1) {
+      if (ph[i] != p[i]) { ok = 0; }
+    }
+    if (ok == 0) { return 0; }
+    node = node / 2;
+  }
+  return 1;
+}
+
+int merkle_read_all(int tid, int nblocks) {
+  int good = 0;
+  for (int b = 0; b < nblocks; b = b + 1) {
+    good = good + merkle_read_block((b + tid * 17) % nblocks);
+  }
+  return good;
+}
+
+int main() {
+  merkle_build(64);
+  return merkle_read_all(0, 64);
+}
+)";
+
+}  // namespace confllvm::workloads

@@ -1,0 +1,375 @@
+// SPEC-CPU-2006-like MiniC kernels (see workloads.h).
+#include "bench/workloads.h"
+
+namespace confllvm::workloads {
+
+namespace {
+
+// 401.bzip2 — byte-level RLE + move-to-front transform over a buffer.
+const char* kBzip2 = R"(
+char g_buf[16384];
+char g_out[20480];
+char g_mtf[256];
+int compress_rle(int n) {
+  int o = 0;
+  int i = 0;
+  while (i < n) {
+    char c = g_buf[i];
+    int run = 1;
+    while (i + run < n && g_buf[i + run] == c && run < 255) { run = run + 1; }
+    g_out[o] = c;
+    g_out[o + 1] = (char)run;
+    o = o + 2;
+    i = i + run;
+  }
+  return o;
+}
+int mtf(int n) {
+  for (int i = 0; i < 256; i = i + 1) { g_mtf[i] = (char)i; }
+  int sum = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    char c = g_out[i];
+    int j = 0;
+    while (g_mtf[j] != c) { j = j + 1; }
+    sum = sum + j;
+    while (j > 0) { g_mtf[j] = g_mtf[j - 1]; j = j - 1; }
+    g_mtf[0] = c;
+  }
+  return sum;
+}
+int main() {
+  int x = 12345;
+  for (int i = 0; i < 16384; i = i + 1) {
+    x = (x * 1103515245 + 12345) % 2147483648;
+    g_buf[i] = (char)((x >> 8) % 7);
+  }
+  int o = compress_rle(16384);
+  return mtf(o) % 100000;
+})";
+
+// 403.gcc — expression-tree constant folding over an arena of nodes.
+const char* kGcc = R"(
+struct node { int op; int val; int lhs; int rhs; };
+struct node g_arena[4096];
+int g_next = 0;
+int mknode(int op, int val, int l, int r) {
+  int i = g_next;
+  g_arena[i].op = op;
+  g_arena[i].val = val;
+  g_arena[i].lhs = l;
+  g_arena[i].rhs = r;
+  g_next = g_next + 1;
+  return i;
+}
+int fold(int i) {
+  int op = g_arena[i].op;
+  if (op == 0) { return g_arena[i].val; }
+  int a = fold(g_arena[i].lhs);
+  int b = fold(g_arena[i].rhs);
+  if (op == 1) { return a + b; }
+  if (op == 2) { return a - b; }
+  if (op == 3) { return a * b % 65537; }
+  if (b == 0) { return a; }
+  return a / b;
+}
+int build(int depth, int seed) {
+  if (depth == 0) { return mknode(0, seed % 97, 0, 0); }
+  int l = build(depth - 1, seed * 3 + 1);
+  int r = build(depth - 1, seed * 5 + 2);
+  return mknode(1 + seed % 4, 0, l, r);
+}
+int main() {
+  int sum = 0;
+  for (int rep = 0; rep < 40; rep = rep + 1) {
+    g_next = 0;
+    int root = build(9, rep + 7);
+    sum = (sum + fold(root)) % 1000000;
+  }
+  return sum;
+})";
+
+// 429.mcf — pointer-chasing over a linked network (cache-unfriendly walks).
+const char* kMcf = R"(
+struct arc { int cost; int flow; struct arc *next; };
+struct arc g_arcs[8192];
+struct arc *g_heads[64];
+int main() {
+  for (int h = 0; h < 64; h = h + 1) { g_heads[h] = NULL; }
+  int x = 7;
+  for (int i = 0; i < 8192; i = i + 1) {
+    x = (x * 40503 + 11) % 65536;
+    int h = x % 64;
+    g_arcs[i].cost = x % 1000;
+    g_arcs[i].flow = 0;
+    g_arcs[i].next = g_heads[h];
+    g_heads[h] = &g_arcs[i];
+  }
+  int total = 0;
+  for (int round = 0; round < 30; round = round + 1) {
+    for (int h = 0; h < 64; h = h + 1) {
+      struct arc *a = g_heads[h];
+      int best = 1000000;
+      while (a != NULL) {
+        if (a->cost + a->flow < best) { best = a->cost + a->flow; }
+        a->flow = a->flow + 1;
+        a = a->next;
+      }
+      total = (total + best) % 1000000;
+    }
+  }
+  return total;
+})";
+
+// 445.gobmk — board-influence sweeps (branchy 2D integer code).
+const char* kGobmk = R"(
+int g_board[361];
+int g_infl[361];
+int main() {
+  for (int i = 0; i < 361; i = i + 1) { g_board[i] = (i * 7 + 3) % 3; }
+  int score = 0;
+  for (int pass = 0; pass < 120; pass = pass + 1) {
+    for (int y = 1; y < 18; y = y + 1) {
+      for (int x = 1; x < 18; x = x + 1) {
+        int p = y * 19 + x;
+        int v = 0;
+        if (g_board[p] == 1) { v = v + 4; }
+        if (g_board[p] == 2) { v = v - 4; }
+        if (g_board[p - 1] == 1) { v = v + 1; }
+        if (g_board[p + 1] == 1) { v = v + 1; }
+        if (g_board[p - 19] == 2) { v = v - 1; }
+        if (g_board[p + 19] == 2) { v = v - 1; }
+        g_infl[p] = v;
+      }
+    }
+    for (int i = 0; i < 361; i = i + 1) { score = (score + g_infl[i]) % 65536; }
+    g_board[(pass * 53) % 361] = pass % 3;
+  }
+  return score;
+})";
+
+// 456.hmmer — Viterbi-style dynamic programming over integer score arrays.
+const char* kHmmer = R"(
+int g_match[4096];
+int g_insert[4096];
+int g_delete[4096];
+int max2(int a, int b) { if (a > b) { return a; } return b; }
+int main() {
+  int m = 128;
+  int score = 0;
+  for (int seq = 0; seq < 24; seq = seq + 1) {
+    for (int j = 0; j < m; j = j + 1) {
+      g_match[j] = (seq * j) % 17 - 8;
+      g_insert[j] = -2;
+      g_delete[j] = -3;
+    }
+    for (int i = 1; i < 32; i = i + 1) {
+      int prev_m = g_match[0];
+      for (int j = 1; j < m; j = j + 1) {
+        int mm = max2(prev_m + g_match[j], g_insert[j - 1] + 1);
+        int dd = max2(g_delete[j - 1] - 1, mm - 4);
+        int ii = max2(g_insert[j] - 1, mm - 3);
+        prev_m = g_match[j];
+        g_match[j] = mm % 32768;
+        g_delete[j] = dd % 32768;
+        g_insert[j] = ii % 32768;
+      }
+    }
+    score = (score + g_match[m - 1]) % 1000000;
+    if (score < 0) { score = -score; }
+  }
+  return score;
+})";
+
+// 458.sjeng — alpha-beta game-tree search (recursion + branches).
+const char* kSjeng = R"(
+int g_hist[64];
+int eval(int pos, int depth) { return (pos * 2654435 + depth * 40503) % 201 - 100; }
+int search(int pos, int depth, int alpha, int beta) {
+  if (depth == 0) { return eval(pos, depth); }
+  int best = -10000;
+  for (int mv = 0; mv < 6; mv = mv + 1) {
+    int child = (pos * 31 + mv * 17 + depth) % 65536;
+    int v = -search(child, depth - 1, -beta, -alpha);
+    if (v > best) { best = v; }
+    if (best > alpha) { alpha = best; }
+    if (alpha >= beta) {
+      g_hist[mv * 8 % 64] = g_hist[mv * 8 % 64] + 1;
+      break;
+    }
+  }
+  return best;
+}
+int main() {
+  int total = 0;
+  for (int root = 0; root < 12; root = root + 1) {
+    total = (total + search(root * 997, 6, -10000, 10000)) % 100000;
+  }
+  if (total < 0) { total = -total; }
+  return total;
+})";
+
+// 462.libquantum — quantum register simulation via bit manipulation sweeps.
+const char* kLibquantum = R"(
+int g_state[16384];
+int main() {
+  for (int i = 0; i < 16384; i = i + 1) { g_state[i] = i; }
+  int acc = 0;
+  for (int gate = 0; gate < 40; gate = gate + 1) {
+    int target = gate % 12;
+    int mask = 1 << target;
+    for (int i = 0; i < 16384; i = i + 1) {
+      int s = g_state[i];
+      s = s ^ mask;
+      s = (s << 1) | ((s >> 13) & 1);
+      g_state[i] = s & 16383;
+    }
+    acc = (acc + g_state[(gate * 379) % 16384]) % 1000000;
+  }
+  return acc;
+})";
+
+// 464.h264ref — sum-of-absolute-differences motion estimation loops.
+const char* kH264 = R"(
+char g_frame0[9216];
+char g_frame1[9216];
+int sad16(int x0, int y0, int x1, int y1) {
+  int s = 0;
+  for (int dy = 0; dy < 16; dy = dy + 1) {
+    for (int dx = 0; dx < 16; dx = dx + 1) {
+      int a = (int)g_frame0[(y0 + dy) * 96 + x0 + dx];
+      int b = (int)g_frame1[(y1 + dy) * 96 + x1 + dx];
+      int d = a - b;
+      if (d < 0) { d = -d; }
+      s = s + d;
+    }
+  }
+  return s;
+}
+int main() {
+  int x = 99;
+  for (int i = 0; i < 9216; i = i + 1) {
+    x = (x * 1103515245 + 12345) % 2147483648;
+    g_frame0[i] = (char)(x % 256);
+    g_frame1[i] = (char)((x >> 7) % 256);
+  }
+  int best_total = 0;
+  for (int mb = 0; mb < 16; mb = mb + 1) {
+    int bx = (mb % 4) * 16;
+    int by = (mb / 4) * 16;
+    int best = 1000000;
+    for (int my = 0; my < 4; my = my + 1) {
+      for (int mx = 0; mx < 4; mx = mx + 1) {
+        int s = sad16(bx, by, mx * 16, my * 16);
+        if (s < best) { best = s; }
+      }
+    }
+    best_total = (best_total + best) % 1000000;
+  }
+  return best_total;
+})";
+
+// 433.milc — small-matrix FP algebra over a 4D lattice slice.
+const char* kMilc = R"(
+float g_a[1536];
+float g_b[1536];
+float g_c[1536];
+int main() {
+  for (int i = 0; i < 1536; i = i + 1) {
+    g_a[i] = (float)(i % 17) * 0.25 + 0.125;
+    g_b[i] = (float)(i % 13) * 0.5 - 1.0;
+  }
+  for (int iter = 0; iter < 60; iter = iter + 1) {
+    for (int m = 0; m < 170; m = m + 1) {
+      int base = m * 9;
+      for (int r = 0; r < 3; r = r + 1) {
+        for (int c = 0; c < 3; c = c + 1) {
+          float s = 0.0;
+          for (int k = 0; k < 3; k = k + 1) {
+            s = s + g_a[base + r * 3 + k] * g_b[base + k * 3 + c];
+          }
+          g_c[base + r * 3 + c] = s * 0.999;
+        }
+      }
+    }
+    float t = g_c[iter % 1530];
+    g_a[iter % 1536] = t;
+  }
+  float total = 0.0;
+  for (int i = 0; i < 1536; i = i + 1) { total = total + g_c[i]; }
+  int q = (int)(total * 0.001);
+  if (q < 0) { q = -q; }
+  return q % 100000;
+})";
+
+// 470.lbm — lattice-Boltzmann FP stencil sweeps.
+const char* kLbm = R"(
+float g_cur[4096];
+float g_next[4096];
+int main() {
+  for (int i = 0; i < 4096; i = i + 1) { g_cur[i] = (float)(i % 31) * 0.03125; }
+  for (int step = 0; step < 50; step = step + 1) {
+    for (int y = 1; y < 63; y = y + 1) {
+      for (int x = 1; x < 63; x = x + 1) {
+        int p = y * 64 + x;
+        float v = g_cur[p] * 0.6 + (g_cur[p - 1] + g_cur[p + 1] + g_cur[p - 64]
+                 + g_cur[p + 64]) * 0.1;
+        g_next[p] = v * 0.99998;
+      }
+    }
+    for (int y = 1; y < 63; y = y + 1) {
+      for (int x = 1; x < 63; x = x + 1) {
+        int p = y * 64 + x;
+        g_cur[p] = g_next[p];
+      }
+    }
+  }
+  float total = 0.0;
+  for (int i = 0; i < 4096; i = i + 1) { total = total + g_cur[i]; }
+  return (int)total % 100000;
+})";
+
+// 482.sphinx3 — Gaussian mixture scoring (FP dot products + exp-free score).
+const char* kSphinx = R"(
+float g_mean[2048];
+float g_var[2048];
+float g_feat[32];
+int main() {
+  for (int i = 0; i < 2048; i = i + 1) {
+    g_mean[i] = (float)(i % 23) * 0.125 - 1.0;
+    g_var[i] = 0.5 + (float)(i % 7) * 0.25;
+  }
+  int best_total = 0;
+  for (int frame = 0; frame < 120; frame = frame + 1) {
+    for (int d = 0; d < 32; d = d + 1) {
+      g_feat[d] = (float)((frame * 31 + d * 7) % 19) * 0.125;
+    }
+    float best = 1000000.0;
+    int besti = 0;
+    for (int g = 0; g < 64; g = g + 1) {
+      float score = 0.0;
+      for (int d = 0; d < 32; d = d + 1) {
+        float diff = g_feat[d] - g_mean[g * 32 + d];
+        score = score + diff * diff / g_var[g * 32 + d];
+      }
+      int better = 0;
+      if (score < best) { better = 1; }
+      if (better == 1) { best = score; besti = g; }
+    }
+    best_total = (best_total + besti) % 100000;
+  }
+  return best_total;
+})";
+
+}  // namespace
+
+const SpecKernel kSpecKernels[] = {
+    {"bzip2", kBzip2, -1},     {"gcc", kGcc, -1},
+    {"mcf", kMcf, -1},         {"gobmk", kGobmk, -1},
+    {"hmmer", kHmmer, -1},     {"sjeng", kSjeng, -1},
+    {"libquantum", kLibquantum, -1}, {"h264ref", kH264, -1},
+    {"milc", kMilc, -1},       {"lbm", kLbm, -1},
+    {"sphinx3", kSphinx, -1},
+};
+const int kNumSpecKernels = 11;
+
+}  // namespace confllvm::workloads

@@ -1,0 +1,188 @@
+// The three vulnerability-injection experiments of §7.6, run live:
+//   1. Mongoose-style stale-stack disclosure across requests,
+//   2. Minizip-style cast-hidden password leak,
+//   3. printf-style format-string over-read.
+// Each exploit is attempted against the Base build (it succeeds) and the
+// full ConfLLVM builds (it is stopped).
+//
+// Build & run:  ./build/examples/attack_demo
+#include <cstdio>
+#include <functional>
+
+#include "src/driver/confcc.h"
+
+using namespace confllvm;
+
+namespace {
+
+// (1) A server with a buffer-bounds bug: the response length is client
+// controlled, so a "public file" response can ship stale stack bytes from a
+// previous request that handled a private file. ConfLLVM stops it because
+// the private file content lived on the *private* stack (paper §7.6).
+const char* kMongoose = R"(
+int send(int fd, char *buf, int n);
+int read_file_private(char *name, private char *buf, int n);
+
+int handle_private(char *fname) {
+  char hdr[128];                   // request-parsing scratch
+  private char fbuf[64];           // private file content on the stack
+  hdr[0] = 'h';
+  read_file_private(fname, fbuf, 64);
+  return 0;
+}
+
+int handle_public(int out_size) {
+  char resp[16];
+  char scratch[512];                // parsing scratch below the response
+  scratch[0] = 's';
+  for (int i = 0; i < 16; i = i + 1) { resp[i] = 'p'; }
+  // BUG: out_size is attacker controlled; sends stale stack past resp[16],
+  // sweeping across this frame — where the previous request's private file
+  // bytes still sit when there is only one stack.
+  send(0, resp, out_size);
+  return 0;
+}
+)";
+
+// (2) Minizip-style: the password is annotated private, but pointer casts
+// hide the flow from the static analysis (paper: "impossible to detect the
+// leak statically. But, then, the dynamic checks ... prevent the leak").
+const char* kMinizip = R"(
+int log_write(char *buf, int n);
+void read_passwd(char *uname, private char *pass, int n);
+
+int compress_and_log(char *uname) {
+  private char password[32];
+  read_passwd(uname, password, 32);
+  // Cast chain strips the annotation: statically this is a public char*.
+  int addr = (int)(private char*)password;
+  char *laundered = (char*)addr;
+  log_write(laundered, 32);   // leak attempt to the public log
+  return 0;
+}
+)";
+
+// (3) Format-string: the formatter trusts the directive count in fmt, not
+// the argument count, and reads past the argument array into the frame —
+// where, without ConfLLVM, the private key material sits.
+const char* kFormat = R"(
+int send(int fd, char *buf, int n);
+void read_passwd(char *uname, private char *pass, int n);
+
+int count_directives(char *fmt) {
+  int n = 0;
+  int i = 0;
+  while (fmt[i] != 0) {
+    if (fmt[i] == '%') { n = n + 1; }
+    i = i + 1;
+  }
+  return n;
+}
+
+// mini_sprintf(out, fmt, args, nargs): BUG — reads args[0..directives)
+// ignoring nargs (the vararg over-read of the paper's printf experiment).
+int mini_sprintf(char *out, char *fmt, int *args, int nargs) {
+  int directives = count_directives(fmt);
+  int o = 0;
+  for (int a = 0; a < directives; a = a + 1) {
+    int v = args[a];                  // over-reads past nargs!
+    for (int b = 0; b < 8; b = b + 1) {
+      out[o] = (char)((v >> (b * 8)) & 255);
+      o = o + 1;
+    }
+  }
+  return o;
+}
+
+int handle(char *fmt) {
+  int fmt_args[2];                    // frame order: args first ...
+  private int secret[4];              // ... the private key right after
+  char uname[8];
+  uname[0] = 'u'; uname[1] = 0;
+  read_passwd(uname, (private char*)secret, 32);
+  fmt_args[0] = 1;
+  fmt_args[1] = 2;
+  char out[128];
+  int n = mini_sprintf(out, fmt, fmt_args, 2);
+  send(0, out, n);
+  return n;
+}
+)";
+
+// Writes a NUL-terminated string into U's public heap area (simulating
+// attacker-supplied input already residing in U memory) and returns its
+// address.
+uint64_t StageString(Session* s, const std::string& str) {
+  const uint64_t addr = s->compiled->prog->map.pub_heap + 0x10000;
+  s->vm->memory().WriteBytes(addr, str.c_str(), str.size() + 1);
+  return addr;
+}
+
+void RunAttempt(const char* source, BuildPreset preset,
+                const std::function<void(Session*)>& setup,
+                const std::function<bool(Session*)>& drive, const char* secret) {
+  DiagEngine diags;
+  auto s = MakeSession(source, preset, &diags);
+  if (s == nullptr) {
+    printf("  %-10s compile-time rejection:\n%s", PresetName(preset),
+           diags.ToString().c_str());
+    return;
+  }
+  setup(s.get());
+  const bool completed = drive(s.get());
+  const bool leaked = s->tlib->PublicOutputContains(secret);
+  printf("  %-10s %-34s -> %s\n", PresetName(preset),
+         completed ? "exploit ran to completion" : "exploit stopped by a fault",
+         leaked ? "SECRET LEAKED" : "no leak");
+}
+
+}  // namespace
+
+int main() {
+  const std::string kSecret = "TOPSECRETPASSWORD";
+
+  printf("=== §7.6 vulnerability injection ===\n");
+
+  printf("\n[1] Mongoose-style stale-stack disclosure (overlong response):\n");
+  for (BuildPreset p : {BuildPreset::kBase, BuildPreset::kOurMpx, BuildPreset::kOurSeg}) {
+    RunAttempt(
+        kMongoose, p,
+        [&](Session* s) { s->tlib->AddFile("private.txt", kSecret + kSecret); },
+        [&](Session* s) {
+          auto r1 = s->vm->Call("handle_private", {StageString(s, "private.txt")});
+          if (!r1.ok) {
+            return false;
+          }
+          auto r2 = s->vm->Call("handle_public", {512});  // exploit request
+          return r2.ok;
+        },
+        kSecret.c_str());
+  }
+
+  printf("\n[2] Minizip-style cast-hidden password leak:\n");
+  for (BuildPreset p : {BuildPreset::kBase, BuildPreset::kOurMpx, BuildPreset::kOurSeg}) {
+    RunAttempt(
+        kMinizip, p,
+        [&](Session* s) { s->tlib->SetPassword("zipuser", kSecret); },
+        [&](Session* s) {
+          auto r = s->vm->Call("compress_and_log", {StageString(s, "zipuser")});
+          return r.ok;
+        },
+        kSecret.c_str());
+  }
+
+  printf("\n[3] Format-string over-read (extra %%d directives):\n");
+  for (BuildPreset p : {BuildPreset::kBase, BuildPreset::kOurMpx, BuildPreset::kOurSeg}) {
+    RunAttempt(
+        kFormat, p,
+        [&](Session* s) { s->tlib->SetPassword("u", kSecret); },
+        [&](Session* s) {
+          auto r = s->vm->Call("handle", {StageString(s, "%d%d%d%d%d%d")});
+          return r.ok;
+        },
+        kSecret.c_str());
+  }
+  printf("\nExpected: every exploit leaks under Base and is stopped (fault or\n"
+         "no-leak) under OurMPX/OurSeg, as in the paper.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Runs the §7.2 mini-NGINX under full ConfLLVM: serves requests, shows the
+// public access log, and demonstrates that served (private) file content
+// leaves U only as ciphertext.
+//
+// Build & run:  ./build/examples/webserver
+#include <cstdio>
+
+#include "bench/workloads.h"
+#include "src/driver/confcc.h"
+#include "src/verifier/verifier.h"
+
+using namespace confllvm;
+
+int main() {
+  printf("=== mini-NGINX under ConfLLVM (OurMPX) ===\n");
+  DiagEngine diags;
+  auto s = MakeSession(workloads::kNginx, BuildPreset::kOurMpx, &diags);
+  if (s == nullptr) {
+    printf("compile failed:\n%s", diags.ToString().c_str());
+    return 1;
+  }
+  VerifyResult v = Verify(*s->compiled->prog);
+  printf("ConfVerify: %s (%zu procedures)\n", v.ok ? "ok" : "REJECTED", v.procedures);
+
+  s->tlib->AddFile("index.html", "<html>public landing page</html>");
+  s->tlib->AddFile("salaries.csv", "alice,250000\nbob,180000\n");
+  s->tlib->PushRx(0, "GET index.html\n");
+  s->tlib->PushRx(0, "GET salaries.csv\n");
+  s->tlib->PushRx(0, "GET missing.txt\n");
+
+  auto r = s->vm->Call("server_run", {3});
+  printf("served %llu requests in %.3f simulated ms (%llu instructions)\n",
+         static_cast<unsigned long long>(r.ret), r.cycles / 3.4e9 * 1e3,
+         static_cast<unsigned long long>(r.instrs));
+
+  printf("\n-- public access log --\n%s", s->tlib->log().c_str());
+  printf("-- confidentiality --\n");
+  printf("plaintext salary data on the wire? %s\n",
+         s->tlib->PublicOutputContains("alice,250000") ? "LEAKED" : "no (encrypted)");
+  printf("response bytes sent: %zu\n", s->tlib->SentBytes(0).size());
+  return r.ok && v.ok ? 0 : 1;
+}

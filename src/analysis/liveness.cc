@@ -1,0 +1,144 @@
+#include "src/analysis/liveness.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/ir/ir_util.h"
+
+namespace confllvm {
+
+namespace {
+
+// Successor block ids of a block's terminator (empty for kRet).
+std::vector<uint32_t> Succs(const BasicBlock& bb) {
+  std::vector<uint32_t> out;
+  if (bb.instrs.empty()) {
+    return out;
+  }
+  const Instr& t = bb.instrs.back();
+  if (t.op == IrOp::kJmp) {
+    out.push_back(t.bb_t);
+  } else if (t.op == IrOp::kBr) {
+    out.push_back(t.bb_t);
+    out.push_back(t.bb_f);
+  }
+  return out;
+}
+
+}  // namespace
+
+LivenessInfo ComputeLiveness(const IrFunction& f) {
+  LivenessInfo info;
+  const size_t nblocks = f.blocks.size();
+  const size_t nregs = f.vregs.size();
+
+  info.block_first.resize(nblocks);
+  uint32_t counter = 0;
+  for (size_t b = 0; b < nblocks; ++b) {
+    info.block_first[b] = counter;
+    counter += static_cast<uint32_t>(f.blocks[b].instrs.size());
+  }
+  info.num_instrs = counter;
+
+  // Per-block gen (upward-exposed uses) and kill (defs).
+  std::vector<std::set<uint32_t>> gen(nblocks);
+  std::vector<std::set<uint32_t>> kill(nblocks);
+  for (size_t b = 0; b < nblocks; ++b) {
+    for (const Instr& in : f.blocks[b].instrs) {
+      ForEachUse(in, [&](uint32_t v) {
+        if (kill[b].count(v) == 0) {
+          gen[b].insert(v);
+        }
+      });
+      if (in.HasDst()) {
+        kill[b].insert(in.dst);
+      }
+    }
+  }
+
+  std::vector<std::set<uint32_t>> live_in(nblocks);
+  std::vector<std::set<uint32_t>> live_out(nblocks);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t bi = nblocks; bi-- > 0;) {
+      std::set<uint32_t> out;
+      for (uint32_t s : Succs(f.blocks[bi])) {
+        out.insert(live_in[s].begin(), live_in[s].end());
+      }
+      std::set<uint32_t> in = out;
+      for (uint32_t v : kill[bi]) {
+        in.erase(v);
+      }
+      in.insert(gen[bi].begin(), gen[bi].end());
+      if (in != live_in[bi] || out != live_out[bi]) {
+        live_in[bi] = std::move(in);
+        live_out[bi] = std::move(out);
+        changed = true;
+      }
+    }
+  }
+
+  info.intervals.resize(nregs);
+  for (size_t v = 0; v < nregs; ++v) {
+    info.intervals[v].vreg = static_cast<uint32_t>(v);
+  }
+  auto extend = [&](uint32_t v, uint32_t point) {
+    LiveInterval& iv = info.intervals[v];
+    iv.used = true;
+    iv.start = std::min(iv.start, point);
+    iv.end = std::max(iv.end, point);
+  };
+
+  // Parameters are defined at function entry.
+  for (uint32_t pv : f.param_vregs) {
+    extend(pv, 0);
+  }
+
+  for (size_t b = 0; b < nblocks; ++b) {
+    const uint32_t first = info.block_first[b];
+    const uint32_t last =
+        first + static_cast<uint32_t>(f.blocks[b].instrs.size()) - 1;
+    if (f.blocks[b].instrs.empty()) {
+      continue;
+    }
+    for (uint32_t v : live_in[b]) {
+      extend(v, 2 * first);
+    }
+    for (uint32_t v : live_out[b]) {
+      extend(v, 2 * last + 1);
+    }
+    uint32_t k = first;
+    for (const Instr& in : f.blocks[b].instrs) {
+      ForEachUse(in, [&](uint32_t v) { extend(v, 2 * k); });
+      if (in.HasDst()) {
+        extend(in.dst, 2 * k + 1);
+      }
+      if (in.IsCall()) {
+        info.call_points.push_back(k);
+      }
+      ++k;
+    }
+  }
+
+  // A value crosses a call if it is live into the call (defined strictly
+  // before the call's def point — defs land on odd points, so start <= 2k
+  // covers arguments and live-through values) and still live after it.
+  for (uint32_t call_k : info.call_points) {
+    for (LiveInterval& iv : info.intervals) {
+      if (iv.used && iv.start <= 2 * call_k && iv.end > 2 * call_k + 1) {
+        iv.crosses_call = true;
+      }
+    }
+  }
+
+  info.live_in.resize(nblocks);
+  info.live_out.resize(nblocks);
+  for (size_t b = 0; b < nblocks; ++b) {
+    info.live_in[b].assign(live_in[b].begin(), live_in[b].end());
+    info.live_out[b].assign(live_out[b].begin(), live_out[b].end());
+  }
+  return info;
+}
+
+}  // namespace confllvm

@@ -1,0 +1,51 @@
+// Liveness analysis over IR virtual registers.
+//
+// Produces per-vreg live intervals on a linear numbering of the function's
+// instructions (two points per instruction: uses at 2k, defs at 2k+1), plus
+// a flag for intervals that are live across a call — the taint-aware
+// register allocator refuses callee-saved registers for private values that
+// cross calls (paper §4: the caller saves/clears private callee-saved
+// registers; we keep such values in caller-saved registers or spill them to
+// the private stack).
+#ifndef CONFLLVM_SRC_ANALYSIS_LIVENESS_H_
+#define CONFLLVM_SRC_ANALYSIS_LIVENESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace confllvm {
+
+struct LiveInterval {
+  uint32_t vreg = 0;
+  uint32_t start = UINT32_MAX;  // first live point (inclusive)
+  uint32_t end = 0;             // last live point (inclusive)
+  bool crosses_call = false;
+  bool used = false;
+
+  bool Overlaps(const LiveInterval& o) const {
+    return used && o.used && start <= o.end && o.start <= end;
+  }
+};
+
+struct LivenessInfo {
+  // Global instruction numbers: number k for the k-th instruction in block
+  // layout order. block_first[b] is the number of block b's first
+  // instruction.
+  std::vector<uint32_t> block_first;
+  std::vector<LiveInterval> intervals;  // indexed by vreg
+  std::vector<uint32_t> call_points;    // instruction numbers of calls
+  uint32_t num_instrs = 0;
+
+  // Per-block live-in/out vreg id lists (sorted), for tests and the
+  // verifier-style taint reconstruction.
+  std::vector<std::vector<uint32_t>> live_in;
+  std::vector<std::vector<uint32_t>> live_out;
+};
+
+LivenessInfo ComputeLiveness(const IrFunction& f);
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_ANALYSIS_LIVENESS_H_

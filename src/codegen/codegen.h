@@ -1,0 +1,57 @@
+// IR -> vISA code generation with ConfLLVM instrumentation.
+//
+// Implements the paper's §3-§5 machinery:
+//  * dual lock-step stacks: one rsp, a unified frame-offset numbering; a
+//    private slot lives at [rsp+OFFSET+off] (MPX) or gs:[esp+off] (seg)
+//    exactly as in Figure 4;
+//  * MPX region checks (bndcl/bndcu against bnd0/bnd1) with the three §5.1
+//    optimizations: register-form checks with guard-band displacement
+//    elision, per-block check coalescing, and chkstk-based elision of all
+//    checks on stack accesses;
+//  * segmentation scheme: fs/gs-prefixed operands using 32-bit sub-registers;
+//  * taint-aware CFI (§4): MCall magic word before every procedure, MRet
+//    magic word at every return site, rets replaced by the pop/check/jmp
+//    sequence, indirect calls preceded by a target-magic check.
+#ifndef CONFLLVM_SRC_CODEGEN_CODEGEN_H_
+#define CONFLLVM_SRC_CODEGEN_CODEGEN_H_
+
+#include "src/ir/ir.h"
+#include "src/isa/binary.h"
+#include "src/support/diag.h"
+
+namespace confllvm {
+
+struct CodegenOptions {
+  Scheme scheme = Scheme::kNone;
+  bool cfi = false;
+  // Dual stacks for private/public data. false = the OurMPX-Sep ablation:
+  // all slots in one frame; the loader widens both bounds registers so the
+  // instrumentation still executes (perf ablation only, not secure).
+  bool separate_stacks = true;
+  // ConfLLVM ABI even without checks/CFI (OurBare/Our1Mem): taint-aware
+  // register allocation, chkstk, reduced optimizations happened upstream.
+  bool confllvm_abi = false;
+  // §5.1 MPX optimizations (ablation toggles).
+  bool mpx_coalesce = true;
+  bool mpx_guard_disp_opt = true;
+  bool mpx_elide_stack_checks = true;
+  bool emit_chkstk = true;
+
+  bool ConfMode() const { return confllvm_abi || scheme != Scheme::kNone || cfi; }
+};
+
+// Per-function emission statistics (used by ablation benches and tests).
+struct CodegenStats {
+  uint64_t bnd_checks_emitted = 0;
+  uint64_t bnd_checks_coalesced = 0;
+  uint64_t bnd_checks_elided_stack = 0;
+  uint64_t magic_words = 0;
+  uint64_t private_spills = 0;
+};
+
+Binary GenerateCode(const IrModule& mod, const CodegenOptions& opts, DiagEngine* diags,
+                    CodegenStats* stats = nullptr);
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_CODEGEN_CODEGEN_H_

@@ -1,0 +1,154 @@
+#include "src/codegen/regalloc.h"
+
+#include <algorithm>
+
+#include "src/isa/isa.h"
+
+namespace confllvm {
+
+namespace {
+
+constexpr uint8_t kIntCallerSaved[] = {5, 6, 7, 8, 9};
+constexpr uint8_t kIntCalleeSaved[] = {10, 11, 12};
+// f6 and f7 are codegen scratch (two-spilled-operand staging).
+constexpr uint8_t kFloatRegs[] = {0, 1, 2, 3, 4, 5};
+
+struct Active {
+  uint32_t vreg;
+  uint32_t end;
+  uint8_t reg;
+  bool is_float;
+};
+
+}  // namespace
+
+AllocResult AllocateRegisters(const IrFunction& f, const LivenessInfo& live,
+                              bool confllvm_mode) {
+  AllocResult out;
+  out.loc.resize(f.vregs.size());
+
+  std::vector<uint32_t> order;
+  for (uint32_t v = 0; v < f.vregs.size(); ++v) {
+    if (live.intervals[v].used) {
+      order.push_back(v);
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return live.intervals[a].start < live.intervals[b].start;
+  });
+
+  // Free pools.
+  std::vector<uint8_t> free_caller(std::begin(kIntCallerSaved), std::end(kIntCallerSaved));
+  std::vector<uint8_t> free_callee(std::begin(kIntCalleeSaved), std::end(kIntCalleeSaved));
+  std::vector<uint8_t> free_float(std::begin(kFloatRegs), std::end(kFloatRegs));
+  std::vector<Active> active;
+
+  auto release = [&](const Active& a) {
+    if (a.is_float) {
+      free_float.push_back(a.reg);
+    } else if (IsCalleeSaved(a.reg)) {
+      free_callee.push_back(a.reg);
+    } else {
+      free_caller.push_back(a.reg);
+    }
+  };
+
+  auto spill = [&](uint32_t v) {
+    out.loc[v].kind = VRegAssignment::Kind::kSpill;
+    out.loc[v].spill = out.num_spills++;
+    out.spill_region.push_back(f.vregs[v].taint);
+    if (f.vregs[v].taint == Qual::kPrivate) {
+      ++out.num_spilled_private;
+    }
+  };
+
+  for (uint32_t v : order) {
+    const LiveInterval& iv = live.intervals[v];
+    // Expire finished intervals.
+    for (size_t i = 0; i < active.size();) {
+      if (active[i].end < iv.start) {
+        release(active[i]);
+        active[i] = active.back();
+        active.pop_back();
+      } else {
+        ++i;
+      }
+    }
+
+    const bool is_float = f.vregs[v].cls == RegClass::kFloat;
+    const bool is_private = f.vregs[v].taint == Qual::kPrivate;
+
+    uint8_t reg = 0xff;
+    if (is_float) {
+      if (!iv.crosses_call && !free_float.empty()) {
+        reg = free_float.back();
+        free_float.pop_back();
+      }
+    } else if (iv.crosses_call) {
+      // Must survive a call: callee-saved only — and never for private
+      // values in ConfLLVM mode (they spill to the private stack instead).
+      if (!(confllvm_mode && is_private) && !free_callee.empty()) {
+        reg = free_callee.back();
+        free_callee.pop_back();
+      }
+    } else {
+      if (!free_caller.empty()) {
+        reg = free_caller.back();
+        free_caller.pop_back();
+      } else if (!(confllvm_mode && is_private) && !free_callee.empty()) {
+        reg = free_callee.back();
+        free_callee.pop_back();
+      }
+    }
+
+    if (reg == 0xff && !is_float) {
+      // Classic linear-scan eviction: steal from the active interval with
+      // the furthest end, if it outlives the current one and its register
+      // is admissible for the current interval.
+      Active* victim = nullptr;
+      for (Active& a : active) {
+        if (a.is_float) {
+          continue;
+        }
+        const bool callee = IsCalleeSaved(a.reg);
+        if (iv.crosses_call && !callee) {
+          continue;
+        }
+        if (confllvm_mode && is_private && callee) {
+          continue;
+        }
+        if (victim == nullptr || a.end > victim->end) {
+          victim = &a;
+        }
+      }
+      if (victim != nullptr && victim->end > iv.end) {
+        spill(victim->vreg);
+        out.loc[victim->vreg].kind = VRegAssignment::Kind::kSpill;
+        out.loc[victim->vreg].spill = out.num_spills - 1;
+        reg = victim->reg;
+        victim->vreg = v;
+        victim->end = iv.end;
+        out.loc[v].kind = VRegAssignment::Kind::kReg;
+        out.loc[v].reg = reg;
+        continue;
+      }
+    }
+    if (reg == 0xff) {
+      spill(v);
+      continue;
+    }
+    out.loc[v].kind = VRegAssignment::Kind::kReg;
+    out.loc[v].reg = reg;
+    active.push_back({v, iv.end, reg, is_float});
+    if (!is_float && IsCalleeSaved(reg)) {
+      if (std::find(out.used_callee_saved.begin(), out.used_callee_saved.end(), reg) ==
+          out.used_callee_saved.end()) {
+        out.used_callee_saved.push_back(reg);
+      }
+    }
+  }
+  std::sort(out.used_callee_saved.begin(), out.used_callee_saved.end());
+  return out;
+}
+
+}  // namespace confllvm

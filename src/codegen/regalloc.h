@@ -1,0 +1,47 @@
+// Taint-aware linear-scan register allocation (paper §5.1).
+//
+// Physical register pools (see isa.h ABI):
+//   int caller-saved allocatable: r5..r9
+//   int callee-saved allocatable: r10..r12
+//   float allocatable:            f0..f5 (f6/f7 are codegen scratch)
+// r0..r4 are ABI registers (return + 4 args) and are never allocated;
+// r13/r14 are reserved for instrumentation and spill scratch.
+//
+// Taint-awareness (ConfLLVM mode):
+//  * private values never occupy callee-saved registers — the paper forces
+//    callee-saved taints to public, having the caller save/clear them; we
+//    achieve the same invariant by allocation policy.
+//  * values live across a call must survive in callee-saved registers or be
+//    spilled; private values that cross a call therefore always spill, and
+//    the spill slot is on the *private* stack.
+#ifndef CONFLLVM_SRC_CODEGEN_REGALLOC_H_
+#define CONFLLVM_SRC_CODEGEN_REGALLOC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/analysis/liveness.h"
+#include "src/ir/ir.h"
+
+namespace confllvm {
+
+struct VRegAssignment {
+  enum class Kind : uint8_t { kNone, kReg, kSpill } kind = Kind::kNone;
+  uint8_t reg = 0;          // physical int register, or float register id
+  uint32_t spill = 0;       // spill slot ordinal (see AllocResult regions)
+};
+
+struct AllocResult {
+  std::vector<VRegAssignment> loc;       // by vreg
+  std::vector<uint8_t> used_callee_saved;  // int regs to save in prologue
+  uint32_t num_spills = 0;
+  std::vector<Qual> spill_region;        // by spill ordinal
+  uint32_t num_spilled_private = 0;      // statistics
+};
+
+AllocResult AllocateRegisters(const IrFunction& f, const LivenessInfo& live,
+                              bool confllvm_mode);
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_CODEGEN_REGALLOC_H_

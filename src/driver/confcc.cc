@@ -1,0 +1,125 @@
+#include "src/driver/confcc.h"
+
+#include "src/ir/irgen.h"
+#include "src/lang/parser.h"
+
+namespace confllvm {
+
+const char* PresetName(BuildPreset p) {
+  switch (p) {
+    case BuildPreset::kBase: return "Base";
+    case BuildPreset::kBaseOA: return "BaseOA";
+    case BuildPreset::kOur1Mem: return "Our1Mem";
+    case BuildPreset::kOurBare: return "OurBare";
+    case BuildPreset::kOurCFI: return "OurCFI";
+    case BuildPreset::kOurMpx: return "OurMPX";
+    case BuildPreset::kOurMpxSep: return "OurMPX-Sep";
+    case BuildPreset::kOurSeg: return "OurSeg";
+  }
+  return "?";
+}
+
+BuildConfig BuildConfig::For(BuildPreset preset) {
+  BuildConfig c;
+  c.preset = preset;
+  switch (preset) {
+    case BuildPreset::kBase:
+      c.opt_level = OptLevel::kFull;
+      c.codegen = {};  // scheme none, no cfi, no chkstk
+      c.codegen.emit_chkstk = false;
+      c.codegen.separate_stacks = false;
+      c.load.separate_t_memory = false;
+      c.alloc_policy = AllocPolicy::kSystem;
+      break;
+    case BuildPreset::kBaseOA:
+      c = For(BuildPreset::kBase);
+      c.preset = preset;
+      c.alloc_policy = AllocPolicy::kCustom;
+      break;
+    case BuildPreset::kOur1Mem:
+      c.opt_level = OptLevel::kReduced;
+      c.codegen.confllvm_abi = true;
+      c.codegen.separate_stacks = false;
+      c.load.separate_t_memory = false;
+      break;
+    case BuildPreset::kOurBare:
+      c = For(BuildPreset::kOur1Mem);
+      c.preset = preset;
+      c.load.separate_t_memory = true;
+      break;
+    case BuildPreset::kOurCFI:
+      c = For(BuildPreset::kOurBare);
+      c.preset = preset;
+      c.codegen.cfi = true;
+      break;
+    case BuildPreset::kOurMpx:
+      c = For(BuildPreset::kOurCFI);
+      c.preset = preset;
+      c.codegen.scheme = Scheme::kMpx;
+      c.codegen.separate_stacks = true;
+      break;
+    case BuildPreset::kOurMpxSep:
+      c = For(BuildPreset::kOurMpx);
+      c.preset = preset;
+      c.codegen.separate_stacks = false;
+      c.load.unified_bounds = true;
+      break;
+    case BuildPreset::kOurSeg:
+      c = For(BuildPreset::kOurCFI);
+      c.preset = preset;
+      c.codegen.scheme = Scheme::kSeg;
+      c.codegen.separate_stacks = true;
+      break;
+  }
+  return c;
+}
+
+std::unique_ptr<CompiledProgram> Compile(const std::string& source,
+                                         const BuildConfig& config, DiagEngine* diags) {
+  auto ast = Parse(source, diags);
+  if (diags->HasErrors()) {
+    return nullptr;
+  }
+  auto typed = RunSema(std::move(ast), config.sema, diags);
+  if (typed == nullptr) {
+    return nullptr;
+  }
+  auto ir = GenerateIr(*typed, diags);
+  if (ir == nullptr) {
+    return nullptr;
+  }
+  OptimizeModule(ir.get(), config.opt_level);
+
+  auto out = std::make_unique<CompiledProgram>();
+  out->config = config;
+  out->qual_vars = typed->num_qual_vars;
+  out->qual_constraints = typed->num_constraints;
+  Binary bin = GenerateCode(*ir, config.codegen, diags, &out->codegen_stats);
+  if (diags->HasErrors()) {
+    return nullptr;
+  }
+  out->prog = LoadBinary(std::move(bin), config.load, diags);
+  if (out->prog == nullptr) {
+    return nullptr;
+  }
+  return out;
+}
+
+std::unique_ptr<Session> MakeSession(const std::string& source, BuildPreset preset,
+                                     DiagEngine* diags, VmOptions vm_opts) {
+  const BuildConfig config = BuildConfig::For(preset);
+  auto compiled = Compile(source, config, diags);
+  if (compiled == nullptr) {
+    return nullptr;
+  }
+  auto session = std::make_unique<Session>();
+  session->compiled = std::move(compiled);
+  TrustedOptions topts;
+  topts.alloc_policy = config.alloc_policy;
+  session->tlib = std::make_unique<TrustedLib>(topts);
+  session->vm = std::make_unique<Vm>(session->compiled->prog.get(), session->tlib.get(),
+                                     vm_opts);
+  return session;
+}
+
+}  // namespace confllvm

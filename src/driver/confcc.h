@@ -1,0 +1,80 @@
+// confcc: the end-to-end compiler driver and the library's primary public
+// API. Runs parse -> sema (qualifier inference) -> IR -> optimizations ->
+// codegen (instrumentation) -> load (link + magic patch), under one of the
+// paper's evaluation configurations (§7.1).
+//
+// Typical use:
+//   DiagEngine diags;
+//   auto cp = Compile(source, BuildConfig::For(BuildPreset::kOurMpx), &diags);
+//   TrustedLib tlib;
+//   Vm vm(cp->prog.get(), &tlib);
+//   auto r = vm.Call("main", {});
+#ifndef CONFLLVM_SRC_DRIVER_CONFCC_H_
+#define CONFLLVM_SRC_DRIVER_CONFCC_H_
+
+#include <memory>
+#include <string>
+
+#include "src/codegen/codegen.h"
+#include "src/ir/ir.h"
+#include "src/opt/passes.h"
+#include "src/runtime/loader.h"
+#include "src/runtime/trusted.h"
+#include "src/sema/sema.h"
+#include "src/vm/program.h"
+
+namespace confllvm {
+
+// The six SPEC configurations of §7.1 plus the two NGINX-only ablations of
+// §7.2 (Our1Mem, OurMPX-Sep).
+enum class BuildPreset : uint8_t {
+  kBase,      // vanilla compiler, O2
+  kBaseOA,    // vanilla compiler + ConfLLVM's allocator
+  kOur1Mem,   // ConfLLVM pipeline, no instrumentation, shared T/U memory
+  kOurBare,   // + separate T memory and stack switching
+  kOurCFI,    // + taint-aware CFI
+  kOurMpx,    // full ConfLLVM, MPX bounds
+  kOurMpxSep, // full MPX instrumentation, single U stack (perf ablation)
+  kOurSeg,    // full ConfLLVM, segmentation bounds
+};
+
+const char* PresetName(BuildPreset p);
+
+struct BuildConfig {
+  BuildPreset preset = BuildPreset::kOurMpx;
+  SemaOptions sema;
+  OptLevel opt_level = OptLevel::kReduced;
+  CodegenOptions codegen;
+  LoadOptions load;
+  AllocPolicy alloc_policy = AllocPolicy::kCustom;
+
+  static BuildConfig For(BuildPreset preset);
+};
+
+struct CompiledProgram {
+  std::unique_ptr<LoadedProgram> prog;
+  BuildConfig config;
+  CodegenStats codegen_stats;
+  size_t qual_vars = 0;
+  size_t qual_constraints = 0;
+};
+
+// Compiles MiniC source under `config`. Returns nullptr with diagnostics in
+// `diags` on any front-end/type/qualifier error.
+std::unique_ptr<CompiledProgram> Compile(const std::string& source,
+                                         const BuildConfig& config, DiagEngine* diags);
+
+// Convenience: compile + construct a trusted lib matching the config's
+// allocator policy. (The Vm is constructed by the caller so tests can pass
+// custom VmOptions.)
+struct Session {
+  std::unique_ptr<CompiledProgram> compiled;
+  std::unique_ptr<TrustedLib> tlib;
+  std::unique_ptr<Vm> vm;
+};
+std::unique_ptr<Session> MakeSession(const std::string& source, BuildPreset preset,
+                                     DiagEngine* diags, VmOptions vm_opts = {});
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_DRIVER_CONFCC_H_

@@ -1,0 +1,419 @@
+#include "src/formal/model.h"
+
+#include "src/support/rng.h"
+#include "src/support/strings.h"
+
+namespace confllvm::formal {
+
+namespace {
+
+int64_t Eval(const Program& p, const Config& c, int e) {
+  const Exp& x = p.exps[e];
+  switch (x.kind) {
+    case Exp::Kind::kConst:
+      return x.n;
+    case Exp::Kind::kReg:
+      return c.regs[x.reg];
+    case Exp::Kind::kAdd:
+      return Eval(p, c, x.lhs) + Eval(p, c, x.rhs);
+    case Exp::Kind::kXor:
+      return Eval(p, c, x.lhs) ^ Eval(p, c, x.rhs);
+  }
+  return 0;
+}
+
+// The auxiliary judgment Γ ⊢ e : ℓ.
+Lab LabelOf(const Program& p, const Lab gamma[kNumRegs], int e) {
+  const Exp& x = p.exps[e];
+  switch (x.kind) {
+    case Exp::Kind::kConst:
+      return Lab::kL;
+    case Exp::Kind::kReg:
+      return gamma[x.reg];
+    case Exp::Kind::kAdd:
+    case Exp::Kind::kXor:
+      return Join(LabelOf(p, gamma, x.lhs), LabelOf(p, gamma, x.rhs));
+  }
+  return Lab::kH;
+}
+
+std::vector<int> Succs(const Program& p, int pc) {
+  const Cmd& c = p.nodes[pc].cmd;
+  switch (c.kind) {
+    case Cmd::Kind::kGoto:
+      return {c.target};
+    case Cmd::Kind::kIf:
+      return {c.target, c.f_target};
+    case Cmd::Kind::kCallU:
+      return {c.target};
+    case Cmd::Kind::kRet:
+    case Cmd::Kind::kHalt:
+      return {};
+    default:
+      return pc + 1 < static_cast<int>(p.nodes.size()) ? std::vector<int>{pc + 1}
+                                                       : std::vector<int>{};
+  }
+}
+
+// Theorem 1's end-to-end guarantee: "no information from the private part of
+// the initial memory can leak into the public part of the final memory" —
+// compare µ_L only (registers may legitimately hold H data at termination).
+bool FinalLowMemEqual(const Program& p, const Config& a, const Config& b) {
+  (void)p;
+  auto value = [](const std::map<int64_t, int64_t>& m, int64_t k) {
+    auto it = m.find(k);
+    return it == m.end() ? 0 : it->second;
+  };
+  for (const auto& [k, v] : a.mem_l) {
+    if (value(b.mem_l, k) != v) {
+      return false;
+    }
+  }
+  for (const auto& [k, v] : b.mem_l) {
+    if (value(a.mem_l, k) != v) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool TypeCheck(const Program& p, std::string* error) {
+  for (size_t pc = 0; pc < p.nodes.size(); ++pc) {
+    const Node& n = p.nodes[pc];
+    const Cmd& c = n.cmd;
+    auto fail = [&](const std::string& why) {
+      *error = StrFormat("pc %zu: %s", pc, why.c_str());
+      return false;
+    };
+    switch (c.kind) {
+      case Cmd::Kind::kLdr:
+        for (int r = 0; r < kNumRegs; ++r) {
+          const Lab expect = r == c.reg ? c.region : n.gamma_in[r];
+          if (!Le(expect, n.gamma_out[r])) {
+            return fail("ldr: Γ' must cover Γ[reg -> region label]");
+          }
+        }
+        if (LabelOf(p, n.gamma_in, c.exp) != Lab::kL) {
+          return fail("ldr: address must be public in this model");
+        }
+        break;
+      case Cmd::Kind::kStr:
+        if (!Le(n.gamma_in[c.reg], c.region)) {
+          return fail("str: source label must flow to the region label");
+        }
+        for (int r = 0; r < kNumRegs; ++r) {
+          if (!Le(n.gamma_in[r], n.gamma_out[r])) {
+            return fail("str: Γ' must cover Γ");
+          }
+        }
+        if (LabelOf(p, n.gamma_in, c.exp) != Lab::kL) {
+          return fail("str: address must be public in this model");
+        }
+        break;
+      case Cmd::Kind::kMov: {
+        const Lab le = LabelOf(p, n.gamma_in, c.exp);
+        for (int r = 0; r < kNumRegs; ++r) {
+          const Lab expect = r == c.reg ? le : n.gamma_in[r];
+          if (!Le(expect, n.gamma_out[r])) {
+            return fail("mov: Γ' must cover Γ[reg -> ℓe]");
+          }
+        }
+        break;
+      }
+      case Cmd::Kind::kGoto:
+        if (c.target < 0 || c.target >= static_cast<int>(p.nodes.size())) {
+          return fail("goto: target outside the CFG");
+        }
+        break;
+      case Cmd::Kind::kIf:
+        if (LabelOf(p, n.gamma_in, c.exp) != Lab::kL) {
+          return fail("ifthenelse: condition must be public");
+        }
+        if (c.target >= static_cast<int>(p.nodes.size()) ||
+            c.f_target >= static_cast<int>(p.nodes.size())) {
+          return fail("ifthenelse: target outside the CFG");
+        }
+        break;
+      case Cmd::Kind::kCallU:
+        if (c.target < 0 || c.target >= static_cast<int>(p.nodes.size())) {
+          return fail("call: entry outside the CFG");
+        }
+        break;
+      case Cmd::Kind::kRet:
+      case Cmd::Kind::kHalt:
+        break;
+    }
+    for (int s : Succs(p, static_cast<int>(pc))) {
+      for (int r = 0; r < kNumRegs; ++r) {
+        if (!Le(n.gamma_out[r], p.nodes[s].gamma_in[r])) {
+          return fail(StrFormat("edge to %d: Γ' not ⊑ successor Γ", s));
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void Step(const Program& p, Config* c) {
+  if (c->Done()) {
+    return;
+  }
+  if (c->pc < 0 || c->pc >= static_cast<int>(p.nodes.size())) {
+    c->stuck = true;  // the adversarial configuration  of Figure 9
+    return;
+  }
+  const Cmd& cmd = p.nodes[c->pc].cmd;
+  switch (cmd.kind) {
+    case Cmd::Kind::kLdr: {
+      const int64_t a = Eval(p, *c, cmd.exp);
+      auto& mem = cmd.region == Lab::kH ? c->mem_h : c->mem_l;
+      c->regs[cmd.reg] = mem[a];
+      c->pc += 1;
+      return;
+    }
+    case Cmd::Kind::kStr: {
+      const int64_t a = Eval(p, *c, cmd.exp);
+      auto& mem = cmd.region == Lab::kH ? c->mem_h : c->mem_l;
+      mem[a] = c->regs[cmd.reg];
+      c->pc += 1;
+      return;
+    }
+    case Cmd::Kind::kMov:
+      c->regs[cmd.reg] = Eval(p, *c, cmd.exp);
+      c->pc += 1;
+      return;
+    case Cmd::Kind::kGoto:
+      c->pc = cmd.target;
+      return;
+    case Cmd::Kind::kIf:
+      c->pc = Eval(p, *c, cmd.exp) != 0 ? cmd.target : cmd.f_target;
+      return;
+    case Cmd::Kind::kCallU:
+      c->stack_l.push_back(c->pc + 1);
+      c->pc = cmd.target;
+      return;
+    case Cmd::Kind::kRet:
+      if (c->stack_l.empty()) {
+        c->halted = true;
+        return;
+      }
+      c->pc = static_cast<int>(c->stack_l.back());
+      c->stack_l.pop_back();
+      return;
+    case Cmd::Kind::kHalt:
+      c->halted = true;
+      return;
+  }
+}
+
+bool LowEquivalent(const Program& p, const Config& a, const Config& b) {
+  if (a.pc != b.pc || a.stack_l != b.stack_l || a.halted != b.halted) {
+    return false;
+  }
+  auto mem_eq = [](const std::map<int64_t, int64_t>& x,
+                   const std::map<int64_t, int64_t>& y) {
+    for (const auto& [k, v] : x) {
+      auto it = y.find(k);
+      if ((it == y.end() ? 0 : it->second) != v) {
+        return false;
+      }
+    }
+    for (const auto& [k, v] : y) {
+      auto it = x.find(k);
+      if ((it == x.end() ? 0 : it->second) != v) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!mem_eq(a.mem_l, b.mem_l)) {
+    return false;
+  }
+  if (a.pc >= 0 && a.pc < static_cast<int>(p.nodes.size())) {
+    const Node& n = p.nodes[a.pc];
+    for (int r = 0; r < kNumRegs; ++r) {
+      if (n.gamma_in[r] == Lab::kL && a.regs[r] != b.regs[r]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool CheckNoninterference(const Program& p, Config a, Config b, int max_steps,
+                          std::string* error) {
+  for (int step = 0; step < max_steps; ++step) {
+    if (a.Done() && b.Done()) {
+      return FinalLowMemEqual(p, a, b) ||
+             (*error = StrFormat("step %d: final public memory diverged", step),
+              false);
+    }
+    Step(p, &a);
+    Step(p, &b);
+    if (a.stuck != b.stuck || a.halted != b.halted) {
+      *error = StrFormat("step %d: termination behaviour diverged", step);
+      return false;
+    }
+    if (!a.Done() && !LowEquivalent(p, a, b)) {
+      *error = StrFormat("step %d: configurations diverged on public state", step);
+      return false;
+    }
+  }
+  return true;  // termination-insensitive: exhausting the budget is fine
+}
+
+GeneratedCase GenerateWellTypedCase(uint64_t seed) {
+  Rng rng(seed);
+  GeneratedCase out;
+  Program& p = out.program;
+
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    p.exps.clear();
+    p.nodes.clear();
+    Lab labels[kNumRegs] = {Lab::kL, Lab::kL, Lab::kH, Lab::kH};
+    const int len = static_cast<int>(rng.Range(6, 18));
+    for (int i = 0; i < len; ++i) {
+      Node n;
+      for (int r = 0; r < kNumRegs; ++r) {
+        n.gamma_in[r] = labels[r];
+      }
+      Cmd& c = n.cmd;
+      const int choice = static_cast<int>(rng.Below(10));
+      const int reg = static_cast<int>(rng.Below(kNumRegs));
+      if (choice < 3) {
+        c.kind = Cmd::Kind::kMov;
+        c.reg = reg;
+        if (rng.Chance(0.5)) {
+          Exp e;
+          e.kind = Exp::Kind::kConst;
+          e.n = rng.Range(0, 7);
+          c.exp = p.AddExp(e);
+        } else {
+          Exp l;
+          l.kind = Exp::Kind::kReg;
+          l.reg = static_cast<int>(rng.Below(kNumRegs));
+          Exp r2;
+          r2.kind = Exp::Kind::kReg;
+          r2.reg = static_cast<int>(rng.Below(kNumRegs));
+          Exp bin;
+          bin.kind = rng.Chance(0.5) ? Exp::Kind::kAdd : Exp::Kind::kXor;
+          bin.lhs = p.AddExp(l);
+          bin.rhs = p.AddExp(r2);
+          c.exp = p.AddExp(bin);
+        }
+        labels[reg] = LabelOf(p, n.gamma_in, c.exp);
+      } else if (choice < 5) {
+        c.kind = Cmd::Kind::kLdr;
+        c.reg = reg;
+        c.region = rng.Chance(0.5) ? Lab::kH : Lab::kL;
+        Exp a;
+        a.kind = Exp::Kind::kConst;
+        a.n = rng.Range(0, 7);
+        c.exp = p.AddExp(a);
+        labels[reg] = c.region;
+      } else if (choice < 7) {
+        c.kind = Cmd::Kind::kStr;
+        c.reg = reg;
+        // H region always accepts; L region only for (currently) L regs —
+        // the forward merge may raise labels, rejected by TypeCheck then.
+        c.region = labels[reg] == Lab::kL && rng.Chance(0.5) ? Lab::kL : Lab::kH;
+        Exp a;
+        a.kind = Exp::Kind::kConst;
+        a.n = rng.Range(0, 7);
+        c.exp = p.AddExp(a);
+      } else if (choice < 8 && i + 2 < len) {
+        int pub = -1;
+        for (int r = 0; r < kNumRegs; ++r) {
+          if (labels[r] == Lab::kL) {
+            pub = r;
+          }
+        }
+        if (pub >= 0) {
+          c.kind = Cmd::Kind::kIf;
+          Exp e;
+          e.kind = Exp::Kind::kReg;
+          e.reg = pub;
+          c.exp = p.AddExp(e);
+          c.target = i + 1;
+          c.f_target = static_cast<int>(rng.Range(i + 1, len));  // halt is at index len
+        } else {
+          c.kind = Cmd::Kind::kMov;
+          c.reg = reg;
+          Exp e;
+          e.kind = Exp::Kind::kConst;
+          e.n = 1;
+          c.exp = p.AddExp(e);
+          labels[reg] = Lab::kL;
+        }
+      } else {
+        c.kind = Cmd::Kind::kGoto;
+        c.target = static_cast<int>(rng.Range(i + 1, len));
+      }
+      for (int r = 0; r < kNumRegs; ++r) {
+        n.gamma_out[r] = labels[r];
+      }
+      p.nodes.push_back(n);
+    }
+    Node halt;
+    halt.cmd.kind = Cmd::Kind::kHalt;
+    for (int r = 0; r < kNumRegs; ++r) {
+      halt.gamma_in[r] = Lab::kH;
+      halt.gamma_out[r] = Lab::kH;
+    }
+    p.nodes.push_back(halt);
+
+    // Fixpoint: raise each node's Γ to the join over predecessors' Γ', then
+    // re-derive Γ' from the command's transfer.
+    for (size_t iter = 0; iter < p.nodes.size(); ++iter) {
+      for (size_t pc = 0; pc < p.nodes.size(); ++pc) {
+        for (int s : Succs(p, static_cast<int>(pc))) {
+          for (int r = 0; r < kNumRegs; ++r) {
+            p.nodes[s].gamma_in[r] =
+                Join(p.nodes[s].gamma_in[r], p.nodes[pc].gamma_out[r]);
+          }
+        }
+      }
+      for (Node& n : p.nodes) {
+        for (int r = 0; r < kNumRegs; ++r) {
+          n.gamma_out[r] = n.gamma_in[r];
+        }
+        if (n.cmd.kind == Cmd::Kind::kLdr) {
+          n.gamma_out[n.cmd.reg] = n.cmd.region;
+        } else if (n.cmd.kind == Cmd::Kind::kMov) {
+          n.gamma_out[n.cmd.reg] = LabelOf(p, n.gamma_in, n.cmd.exp);
+        }
+      }
+    }
+
+    std::string err;
+    if (TypeCheck(p, &err)) {
+      break;
+    }
+    p = Program{};
+  }
+
+  Config& a = out.c0;
+  Config& b = out.c1;
+  for (int k = 0; k < 8; ++k) {
+    const int64_t pub = rng.Range(0, 100);
+    a.mem_l[k] = pub;
+    b.mem_l[k] = pub;
+    a.mem_h[k] = rng.Range(0, 100);
+    b.mem_h[k] = rng.Range(0, 100);
+  }
+  for (int r = 0; r < kNumRegs; ++r) {
+    if (!p.nodes.empty() && p.nodes[0].gamma_in[r] == Lab::kL) {
+      const int64_t v = rng.Range(0, 50);
+      a.regs[r] = v;
+      b.regs[r] = v;
+    } else {
+      a.regs[r] = rng.Range(0, 50);
+      b.regs[r] = rng.Range(0, 50);
+    }
+  }
+  return out;
+}
+
+}  // namespace confllvm::formal

@@ -1,0 +1,118 @@
+// Executable formal model of the verifier (paper Appendix A).
+//
+// Implements the abstract machine of Table 1 / Figure 9 — commands ldr, str,
+// goto, ifthenelse, call_U, ret, assert over a configuration
+// ⟨µ_L, µ_H, ρ, [σ_H : σ_L], pc⟩ — and the flow-sensitive type system of
+// Figure 10. TypeCheck() is the formal counterpart of ConfVerify's second
+// stage; Theorem 1 (termination-insensitive noninterference) is validated by
+// property tests: for well-typed programs, lock-step execution of two
+// low-equivalent configurations preserves low equivalence.
+#ifndef CONFLLVM_SRC_FORMAL_MODEL_H_
+#define CONFLLVM_SRC_FORMAL_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace confllvm::formal {
+
+inline constexpr int kNumRegs = 4;
+
+enum class Lab : uint8_t { kL = 0, kH = 1 };  // security labels
+
+inline Lab Join(Lab a, Lab b) { return a == Lab::kH || b == Lab::kH ? Lab::kH : a; }
+inline bool Le(Lab a, Lab b) { return a == Lab::kL || b == Lab::kH; }
+
+// Expressions: constants, registers, and total binary operators.
+struct Exp {
+  enum class Kind : uint8_t { kConst, kReg, kAdd, kXor } kind = Kind::kConst;
+  int64_t n = 0;   // kConst
+  int reg = 0;     // kReg
+  int lhs = -1;    // expression pool indices
+  int rhs = -1;
+};
+
+// Commands (Table 1). The `region` of ldr/str records which memory domain
+// the (implied) assert guards — the executable form of
+// assert(e ∈ Dom(µ_ℓ)) preceding the access in Figure 10.
+struct Cmd {
+  enum class Kind : uint8_t {
+    kLdr,     // reg := µ_region[e]
+    kStr,     // µ_region[e] := reg
+    kMov,     // reg := e   (expression assignment; ldr from a constant cell)
+    kGoto,    // pc := target (direct)
+    kIf,      // if e != 0 then t_target else f_target
+    kCallU,   // call function entry (pushes pc+1 on σ_L)
+    kRet,     // return to top of σ_L
+    kHalt,
+  } kind = Kind::kHalt;
+  int reg = 0;
+  int exp = -1;         // expression pool index
+  Lab region = Lab::kL;  // kLdr/kStr
+  int target = 0;        // kGoto/kIf true branch / kCallU entry
+  int f_target = 0;      // kIf false branch
+};
+
+// A node of the CFG: command plus the taint environments before/after
+// (Γ, Γ' in the paper).
+struct Node {
+  Cmd cmd;
+  Lab gamma_in[kNumRegs] = {Lab::kL, Lab::kL, Lab::kL, Lab::kL};
+  Lab gamma_out[kNumRegs] = {Lab::kL, Lab::kL, Lab::kL, Lab::kL};
+};
+
+struct Program {
+  std::vector<Exp> exps;
+  std::vector<Node> nodes;  // node index == pc
+
+  int AddExp(Exp e) {
+    exps.push_back(e);
+    return static_cast<int>(exps.size() - 1);
+  }
+};
+
+// Machine configuration ⟨µ, ρ, [σ_H : σ_L], pc⟩.
+struct Config {
+  std::map<int64_t, int64_t> mem_l;
+  std::map<int64_t, int64_t> mem_h;
+  int64_t regs[kNumRegs] = {};
+  std::vector<int64_t> stack_l;  // return addresses (public stack)
+  int pc = 0;
+  bool halted = false;
+  bool stuck = false;  // reached ⊥ /
+
+  bool Done() const { return halted || stuck; }
+};
+
+// Checks the Figure-10 rules at every node plus edge consistency
+// (∀ v' ∈ succ(v): Γ'(v) ⊑ Γ(v')). Returns false with a message on the
+// first violation.
+bool TypeCheck(const Program& p, std::string* error);
+
+// One step of the Figure-9 operational semantics.
+void Step(const Program& p, Config* c);
+
+// Low equivalence (§A): same pc, same σ_L, same µ_L, and equal registers
+// wherever Γ(pc) labels them L.
+bool LowEquivalent(const Program& p, const Config& a, const Config& b);
+
+// Runs the two-run noninterference experiment: steps both configurations in
+// lock-step for at most `max_steps`, checking low equivalence after every
+// step. Returns false (with a step count) on the first violation.
+bool CheckNoninterference(const Program& p, Config a, Config b, int max_steps,
+                          std::string* error);
+
+// Deterministically generates a random well-typed program (rejection
+// sampling over a structured generator) plus a pair of low-equivalent
+// initial configurations differing only in µ_H and H-labelled registers.
+struct GeneratedCase {
+  Program program;
+  Config c0;
+  Config c1;
+};
+GeneratedCase GenerateWellTypedCase(uint64_t seed);
+
+}  // namespace confllvm::formal
+
+#endif  // CONFLLVM_SRC_FORMAL_MODEL_H_

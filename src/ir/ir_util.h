@@ -1,0 +1,141 @@
+// Small IR traversal helpers shared by opt / analysis / codegen.
+#ifndef CONFLLVM_SRC_IR_IR_UTIL_H_
+#define CONFLLVM_SRC_IR_IR_UTIL_H_
+
+#include "src/ir/ir.h"
+
+namespace confllvm {
+
+// Invokes fn(vreg) for every vreg the instruction reads.
+template <typename F>
+void ForEachUse(const Instr& in, F&& fn) {
+  switch (in.op) {
+    case IrOp::kConstInt:
+    case IrOp::kConstFloat:
+    case IrOp::kAddrGlobal:
+    case IrOp::kAddrSlot:
+    case IrOp::kAddrFunc:
+    case IrOp::kJmp:
+      break;
+    case IrOp::kMov:
+    case IrOp::kNeg:
+    case IrOp::kNot:
+    case IrOp::kIntToFloat:
+    case IrOp::kFloatToInt:
+    case IrOp::kBr:
+      if (in.a != kNoReg) {
+        fn(in.a);
+      }
+      break;
+    case IrOp::kBin:
+    case IrOp::kCmp:
+      fn(in.a);
+      fn(in.b);
+      break;
+    case IrOp::kLoad:
+      if (!in.mem_is_slot && in.a != kNoReg) {
+        fn(in.a);
+      }
+      break;
+    case IrOp::kStore:
+      if (!in.mem_is_slot && in.a != kNoReg) {
+        fn(in.a);
+      }
+      fn(in.b);
+      break;
+    case IrOp::kCall:
+    case IrOp::kCallExt:
+    case IrOp::kICall:
+      if (in.op == IrOp::kICall) {
+        fn(in.a);
+      }
+      for (uint32_t arg : in.args) {
+        fn(arg);
+      }
+      break;
+    case IrOp::kRet:
+      if (in.a != kNoReg) {
+        fn(in.a);
+      }
+      break;
+  }
+}
+
+// Rewrites every used vreg through fn(old) -> new.
+template <typename F>
+void RewriteUses(Instr* in, F&& fn) {
+  switch (in->op) {
+    case IrOp::kMov:
+    case IrOp::kNeg:
+    case IrOp::kNot:
+    case IrOp::kIntToFloat:
+    case IrOp::kFloatToInt:
+    case IrOp::kBr:
+      if (in->a != kNoReg) {
+        in->a = fn(in->a);
+      }
+      break;
+    case IrOp::kBin:
+    case IrOp::kCmp:
+      in->a = fn(in->a);
+      in->b = fn(in->b);
+      break;
+    case IrOp::kLoad:
+      if (!in->mem_is_slot && in->a != kNoReg) {
+        in->a = fn(in->a);
+      }
+      break;
+    case IrOp::kStore:
+      if (!in->mem_is_slot && in->a != kNoReg) {
+        in->a = fn(in->a);
+      }
+      in->b = fn(in->b);
+      break;
+    case IrOp::kCall:
+    case IrOp::kCallExt:
+    case IrOp::kICall:
+      if (in->op == IrOp::kICall) {
+        in->a = fn(in->a);
+      }
+      for (uint32_t& arg : in->args) {
+        arg = fn(arg);
+      }
+      break;
+    case IrOp::kRet:
+      if (in->a != kNoReg) {
+        in->a = fn(in->a);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+// True if removing the instruction cannot change observable behaviour when
+// its destination is unused. Loads are pure for this purpose: a removed load
+// also removes its region check, which only ever *weakens* to the benefit of
+// well-typed programs (the verifier re-checks what is actually emitted).
+inline bool IsRemovableIfUnused(const Instr& in) {
+  switch (in.op) {
+    case IrOp::kConstInt:
+    case IrOp::kConstFloat:
+    case IrOp::kMov:
+    case IrOp::kBin:
+    case IrOp::kNeg:
+    case IrOp::kNot:
+    case IrOp::kCmp:
+    case IrOp::kLoad:
+    case IrOp::kAddrGlobal:
+    case IrOp::kAddrSlot:
+    case IrOp::kAddrFunc:
+    case IrOp::kIntToFloat:
+    case IrOp::kFloatToInt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_IR_IR_UTIL_H_

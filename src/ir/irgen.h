@@ -1,0 +1,20 @@
+// AST -> IR lowering.
+#ifndef CONFLLVM_SRC_IR_IRGEN_H_
+#define CONFLLVM_SRC_IR_IRGEN_H_
+
+#include <memory>
+
+#include "src/ir/ir.h"
+#include "src/sema/sema.h"
+
+namespace confllvm {
+
+// Lowers a type-checked program to IR. All qualifiers in `tp` are concrete;
+// the generated IR carries a taint on every vreg and a region on every
+// memory access. Returns nullptr and reports to `diags` on internal limits
+// (e.g. unsupported constructs).
+std::unique_ptr<IrModule> GenerateIr(const TypedProgram& tp, DiagEngine* diags);
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_IR_IRGEN_H_

@@ -1,0 +1,31 @@
+#include "src/isa/binary.h"
+
+#include <sstream>
+
+#include "src/support/strings.h"
+
+namespace confllvm {
+
+std::string Disassemble(const Binary& bin) {
+  std::ostringstream os;
+  size_t idx = 0;
+  while (idx < bin.code.size()) {
+    for (const BinFunction& f : bin.functions) {
+      if (f.entry_word == idx) {
+        os << f.name << ":\n";
+      }
+    }
+    uint32_t consumed = 1;
+    auto in = Decode(bin.code, idx, &consumed);
+    os << StrFormat("%5zu: ", idx);
+    if (in.has_value()) {
+      os << ToString(*in) << "\n";
+    } else {
+      os << ".quad " << Hex(bin.code[idx]) << "\n";
+    }
+    idx += consumed;
+  }
+  return os.str();
+}
+
+}  // namespace confllvm

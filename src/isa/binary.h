@@ -1,0 +1,108 @@
+// Binary: the object format produced by codegen and consumed by the loader,
+// the VM, and ConfVerify.
+//
+// Mirrors the paper's U dll (§6): encoded code words, function/global/import
+// tables, unresolved global-address references (patched by the loader), and
+// magic-word sites (patched post-link once the random 59-bit prefixes are
+// chosen).
+#ifndef CONFLLVM_SRC_ISA_BINARY_H_
+#define CONFLLVM_SRC_ISA_BINARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/isa/isa.h"
+
+namespace confllvm {
+
+enum class Scheme : uint8_t { kNone = 0, kMpx = 1, kSeg = 2 };
+
+inline const char* SchemeName(Scheme s) {
+  switch (s) {
+    case Scheme::kNone: return "none";
+    case Scheme::kMpx: return "mpx";
+    case Scheme::kSeg: return "seg";
+  }
+  return "?";
+}
+
+struct BinFunction {
+  std::string name;
+  uint32_t entry_word = 0;  // word index of the first instruction
+  uint8_t taint_bits = 0;   // MCall taint bits (4 args + ret)
+  uint32_t num_params = 0;
+};
+
+struct BinGlobal {
+  std::string name;
+  uint64_t size = 0;
+  uint64_t align = 8;
+  bool is_private = false;
+  std::vector<uint8_t> init;
+  std::vector<std::pair<uint64_t, uint32_t>> relocs;  // (offset, global idx)
+};
+
+struct BinImport {
+  std::string name;
+  uint8_t taint_bits = 0;
+  uint32_t num_params = 0;
+  bool returns_value = false;
+  struct Param {
+    bool is_pointer = false;
+    bool pointee_private = false;
+  };
+  std::vector<Param> params;
+};
+
+// A code word the post-link pass must overwrite with a magic value.
+struct MagicSite {
+  uint32_t word = 0;     // index into Binary::code
+  bool is_ret = false;   // MRet vs MCall
+  uint8_t taints = 0;    // 5 taint bits (MRet: bit 0 + 4 zero bits)
+  bool inverted = false; // site holds the bitwise NOT (check immediates)
+};
+
+// A movimm64 payload word holding the absolute address of a global, to be
+// patched at load time (paper §6: post-processing patches global refs).
+struct GlobalRef {
+  uint32_t word = 0;       // payload word index
+  uint32_t global_idx = 0;
+  int64_t addend = 0;
+};
+
+struct Binary {
+  std::vector<uint64_t> code;
+  std::vector<BinFunction> functions;
+  std::vector<BinGlobal> globals;
+  std::vector<BinImport> imports;
+  std::vector<MagicSite> magic_sites;
+  std::vector<GlobalRef> global_refs;
+
+  // Instrumentation configuration this binary was compiled with; the loader
+  // sets up regions/bounds accordingly and ConfVerify checks against it.
+  Scheme scheme = Scheme::kNone;
+  bool cfi = false;
+  bool separate_stacks = true;
+
+  // Chosen by the post-link pass (0 until then).
+  uint64_t magic_call_prefix = 0;
+  uint64_t magic_ret_prefix = 0;
+
+  int FunctionIndex(const std::string& name) const {
+    for (size_t i = 0; i < functions.size(); ++i) {
+      if (functions[i].name == name) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+};
+
+// Disassembles the full code image (one line per word; data words are shown
+// as raw hex).
+std::string Disassemble(const Binary& bin);
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_ISA_BINARY_H_

@@ -1,0 +1,301 @@
+#include "src/isa/isa.h"
+
+#include <sstream>
+
+#include "src/support/strings.h"
+
+namespace confllvm {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kInvalid: return "<data>";
+    case Op::kMovImm: return "movimm";
+    case Op::kMovImm64: return "movimm64";
+    case Op::kMov: return "mov";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kRem: return "rem";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kAddImm: return "addimm";
+    case Op::kNeg: return "neg";
+    case Op::kNot: return "not";
+    case Op::kCmp: return "cmp";
+    case Op::kLoad: return "load";
+    case Op::kStore: return "store";
+    case Op::kLea: return "lea";
+    case Op::kPush: return "push";
+    case Op::kPop: return "pop";
+    case Op::kJmp: return "jmp";
+    case Op::kJnz: return "jnz";
+    case Op::kJz: return "jz";
+    case Op::kCall: return "call";
+    case Op::kICall: return "icall";
+    case Op::kRet: return "ret";
+    case Op::kJmpReg: return "jmpreg";
+    case Op::kLoadCode: return "loadcode";
+    case Op::kBndclR: return "bndcl.r";
+    case Op::kBndcuR: return "bndcu.r";
+    case Op::kBndclM: return "bndcl.m";
+    case Op::kBndcuM: return "bndcu.m";
+    case Op::kChkstk: return "chkstk";
+    case Op::kTrap: return "trap";
+    case Op::kCallExt: return "callext";
+    case Op::kHalt: return "halt";
+    case Op::kFAdd: return "fadd";
+    case Op::kFSub: return "fsub";
+    case Op::kFMul: return "fmul";
+    case Op::kFDiv: return "fdiv";
+    case Op::kFNeg: return "fneg";
+    case Op::kFCmp: return "fcmp";
+    case Op::kCvtIF: return "cvtif";
+    case Op::kCvtFI: return "cvtfi";
+    case Op::kFLoad: return "fload";
+    case Op::kFStore: return "fstore";
+    case Op::kFMov: return "fmov";
+    case Op::kNop: return "nop";
+    case Op::kMovIF: return "movif";
+  }
+  return "?";
+}
+
+namespace {
+constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Op::kMovIF);
+}  // namespace
+
+void Encode(const MInstr& in, std::vector<uint64_t>* out) {
+  const bool mem = UsesMem(in.op);
+  const uint8_t f1 = mem ? in.mem.base : in.rs1;
+  const uint8_t f2 = mem ? in.mem.index : in.rs2;
+  const int32_t imm = mem ? in.mem.disp : in.imm;
+  uint64_t w = 0;
+  w |= static_cast<uint64_t>(in.op) << 56;
+  w |= static_cast<uint64_t>(in.rd & 0x1f) << 51;
+  w |= static_cast<uint64_t>(f1 & 0x1f) << 46;
+  w |= static_cast<uint64_t>(f2 & 0x1f) << 41;
+  w |= static_cast<uint64_t>(in.cc) << 38;
+  w |= static_cast<uint64_t>(in.size1 ? 1 : 0) << 37;
+  w |= static_cast<uint64_t>(in.mem.seg) << 35;
+  w |= static_cast<uint64_t>(in.bnd & 1) << 34;
+  w |= static_cast<uint64_t>(in.mem.scale_log2 & 3) << 32;
+  w |= static_cast<uint64_t>(static_cast<uint32_t>(imm));
+  out->push_back(w);
+  if (in.op == Op::kMovImm64) {
+    out->push_back(static_cast<uint64_t>(in.imm64));
+  }
+}
+
+bool UsesMem(Op op) {
+  switch (op) {
+    case Op::kLoad:
+    case Op::kStore:
+    case Op::kLea:
+    case Op::kBndclM:
+    case Op::kBndcuM:
+    case Op::kFLoad:
+    case Op::kFStore:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::optional<MInstr> Decode(const std::vector<uint64_t>& words, size_t idx,
+                             uint32_t* consumed) {
+  if (idx >= words.size()) {
+    return std::nullopt;
+  }
+  const uint64_t w = words[idx];
+  const uint8_t opcode = static_cast<uint8_t>(w >> 56);
+  if (opcode == 0 || opcode > kMaxOpcode) {
+    return std::nullopt;  // data / magic word
+  }
+  MInstr in;
+  in.op = static_cast<Op>(opcode);
+  in.rd = static_cast<uint8_t>((w >> 51) & 0x1f);
+  const uint8_t f1 = static_cast<uint8_t>((w >> 46) & 0x1f);
+  const uint8_t f2 = static_cast<uint8_t>((w >> 41) & 0x1f);
+  in.cc = static_cast<Cond>((w >> 38) & 0x7);
+  in.size1 = ((w >> 37) & 1) != 0;
+  in.mem.seg = static_cast<Seg>((w >> 35) & 0x3);
+  in.bnd = static_cast<uint8_t>((w >> 34) & 1);
+  in.mem.scale_log2 = static_cast<uint8_t>((w >> 32) & 0x3);
+  const int32_t imm = static_cast<int32_t>(static_cast<uint32_t>(w & 0xffffffffull));
+  if (UsesMem(in.op)) {
+    in.mem.base = f1;
+    in.mem.index = f2;
+    in.mem.disp = imm;
+  } else {
+    in.rs1 = f1;
+    in.rs2 = f2;
+    in.imm = imm;
+  }
+  *consumed = 1;
+  if (in.op == Op::kMovImm64) {
+    if (idx + 1 >= words.size()) {
+      return std::nullopt;
+    }
+    in.imm64 = static_cast<int64_t>(words[idx + 1]);
+    *consumed = 2;
+  }
+  return in;
+}
+
+namespace {
+
+std::string RegName(uint8_t r) {
+  if (r == kNoMReg) {
+    return "_";
+  }
+  if (r == kRegSp) {
+    return "rsp";
+  }
+  if (r >= kFRegBase) {
+    return StrFormat("f%d", r - kFRegBase);
+  }
+  return StrFormat("r%d", r);
+}
+
+std::string MemName(const MInstr& in) {
+  std::ostringstream os;
+  os << "[";
+  if (in.mem.seg == Seg::kFs) {
+    os << "fs:";
+  } else if (in.mem.seg == Seg::kGs) {
+    os << "gs:";
+  }
+  bool first = true;
+  if (in.mem.base != kNoMReg) {
+    os << RegName(in.mem.base);
+    first = false;
+  }
+  if (in.mem.index != kNoMReg) {
+    if (!first) {
+      os << "+";
+    }
+    os << RegName(in.mem.index) << "*" << (1 << in.mem.scale_log2);
+    first = false;
+  }
+  if (in.mem.disp != 0 || first) {
+    if (!first && in.mem.disp >= 0) {
+      os << "+";
+    }
+    os << in.mem.disp;
+  }
+  os << "]";
+  if (in.size1) {
+    os << ".b";
+  }
+  return os.str();
+}
+
+const char* CondName(Cond c) {
+  switch (c) {
+    case Cond::kEq: return "eq";
+    case Cond::kNe: return "ne";
+    case Cond::kLt: return "lt";
+    case Cond::kLe: return "le";
+    case Cond::kGt: return "gt";
+    case Cond::kGe: return "ge";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ToString(const MInstr& in) {
+  std::ostringstream os;
+  os << OpName(in.op);
+  switch (in.op) {
+    case Op::kMovImm:
+      os << " " << RegName(in.rd) << ", " << in.imm;
+      break;
+    case Op::kMovImm64:
+      os << " " << RegName(in.rd) << ", " << Hex(static_cast<uint64_t>(in.imm64));
+      break;
+    case Op::kMov:
+    case Op::kNeg:
+    case Op::kNot:
+    case Op::kFMov:
+    case Op::kFNeg:
+    case Op::kCvtIF:
+    case Op::kCvtFI:
+    case Op::kMovIF:
+    case Op::kLoadCode:
+      os << " " << RegName(in.rd) << ", " << RegName(in.rs1);
+      break;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kRem:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kFAdd:
+    case Op::kFSub:
+    case Op::kFMul:
+    case Op::kFDiv:
+      os << " " << RegName(in.rd) << ", " << RegName(in.rs1) << ", " << RegName(in.rs2);
+      break;
+    case Op::kAddImm:
+      os << " " << RegName(in.rd) << ", " << RegName(in.rs1) << ", " << in.imm;
+      break;
+    case Op::kCmp:
+    case Op::kFCmp:
+      os << "." << CondName(in.cc) << " " << RegName(in.rd) << ", " << RegName(in.rs1)
+         << ", " << RegName(in.rs2);
+      break;
+    case Op::kLoad:
+    case Op::kFLoad:
+    case Op::kLea:
+      os << " " << RegName(in.rd) << ", " << MemName(in);
+      break;
+    case Op::kStore:
+    case Op::kFStore:
+      os << " " << MemName(in) << ", " << RegName(in.rd);
+      break;
+    case Op::kPush:
+    case Op::kPop:
+    case Op::kICall:
+    case Op::kJmpReg:
+      os << " " << RegName(in.op == Op::kPush || in.op == Op::kICall ||
+                                   in.op == Op::kJmpReg
+                               ? (in.op == Op::kPush ? in.rd : in.rs1)
+                               : in.rd);
+      break;
+    case Op::kJmp:
+    case Op::kCall:
+      os << " @" << in.imm;
+      break;
+    case Op::kJnz:
+    case Op::kJz:
+      os << " " << RegName(in.rd) << ", @" << in.imm;
+      break;
+    case Op::kBndclR:
+    case Op::kBndcuR:
+      os << " " << RegName(in.rs1) << ", bnd" << static_cast<int>(in.bnd);
+      break;
+    case Op::kBndclM:
+    case Op::kBndcuM:
+      os << " " << MemName(in) << ", bnd" << static_cast<int>(in.bnd);
+      break;
+    case Op::kChkstk:
+    case Op::kTrap:
+    case Op::kCallExt:
+      os << " " << in.imm;
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace confllvm

@@ -1,0 +1,69 @@
+// Address-space layout constants (paper §3, Figure 3).
+//
+// Both partitioning schemes place U's public and private data in disjoint
+// contiguous regions with their own stack/heap/globals, surrounded by
+// unmapped guard zones, plus a separate region for T. Concrete bases are
+// compile-time constants here so codegen can bake the public/private stack
+// OFFSET into instructions; the loader maps regions at exactly these
+// addresses.
+#ifndef CONFLLVM_SRC_ISA_LAYOUT_H_
+#define CONFLLVM_SRC_ISA_LAYOUT_H_
+
+#include <cstdint>
+
+namespace confllvm {
+
+inline constexpr uint64_t KiB = 1024;
+inline constexpr uint64_t MiB = 1024 * KiB;
+inline constexpr uint64_t GiB = 1024 * MiB;
+
+// Code lives in its own space, far away from any data region and never
+// mapped writable or reachable through either scheme's operands.
+inline constexpr uint64_t kCodeBase = 0x7000'0000'0000ull;
+
+// ---- Segmentation scheme (Figure 3a) ----
+// 4 GiB usable per segment, 4 GiB aligned. Segment-prefixed operands can
+// reach at most base + 4 GiB + 4 GiB*8 + 2 GiB ≈ 38 GiB past the segment
+// base (32-bit base + scaled 32-bit index + disp32), rounded up to 40 GiB
+// of guard; 2 GiB of guard sits below the public segment for negative
+// displacements.
+inline constexpr uint64_t kSegPublicBase = 4 * GiB;        // fs
+inline constexpr uint64_t kSegPrivateBase = 44 * GiB;      // gs = fs + 40 GiB
+inline constexpr uint64_t kSegUsable = 4 * GiB;
+inline constexpr uint64_t kSegPrivateStackOffset = kSegPrivateBase - kSegPublicBase;
+inline constexpr uint64_t kSegTrustedBase = 128 * GiB;     // T's region
+
+// ---- MPX scheme (Figure 3b) ----
+// Public and private partitions are contiguous; the two stacks stay in
+// lock-step at constant OFFSET (< 2^31, paper §3). 1 MiB guard bands flank
+// each partition so MPX checks may drop displacements smaller than 2^20
+// (paper §5.1).
+inline constexpr uint64_t kMpxPartitionSize = 256 * MiB;
+inline constexpr uint64_t kMpxGuard = 1 * MiB;
+inline constexpr uint64_t kMpxPublicBase = 4 * GiB + kMpxGuard;
+inline constexpr uint64_t kMpxPublicEnd = kMpxPublicBase + kMpxPartitionSize;
+inline constexpr uint64_t kMpxPrivateBase = kMpxPublicEnd + 2 * kMpxGuard;
+inline constexpr uint64_t kMpxPrivateEnd = kMpxPrivateBase + kMpxPartitionSize;
+inline constexpr uint64_t kMpxStackOffset = kMpxPrivateBase - kMpxPublicBase;
+inline constexpr uint64_t kMpxTrustedBase = 128 * GiB;
+inline constexpr uint64_t kMpxGuardDispLimit = 1ull << 20;
+
+static_assert(kMpxStackOffset < (1ull << 31), "OFFSET must fit the paper's bound");
+
+// ---- Region-internal layout (both schemes) ----
+// [globals][heap ...............][thread stacks, 1 MiB each, top-down]
+inline constexpr uint64_t kRegionGlobalsSize = 16 * MiB;
+inline constexpr uint64_t kThreadStackSize = 1 * MiB;     // paper §3, 1 MiB aligned
+inline constexpr uint64_t kMaxThreads = 16;
+inline constexpr uint64_t kStackAreaSize = kThreadStackSize * kMaxThreads;
+inline constexpr uint64_t kTlsSize = 4 * KiB;             // at each stack's base
+
+inline constexpr uint64_t kTrustedRegionSize = 1 * GiB;
+
+inline uint64_t CodeAddr(uint64_t word_index) { return kCodeBase + word_index * 8; }
+inline uint64_t CodeIndex(uint64_t addr) { return (addr - kCodeBase) / 8; }
+inline bool IsCodeAddr(uint64_t addr) { return addr >= kCodeBase; }
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_ISA_LAYOUT_H_

@@ -1,0 +1,371 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "src/support/strings.h"
+
+namespace confllvm {
+
+const char* TokName(Tok t) {
+  switch (t) {
+    case Tok::kEof: return "<eof>";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kFloatLit: return "float literal";
+    case Tok::kCharLit: return "char literal";
+    case Tok::kStringLit: return "string literal";
+    case Tok::kKwInt: return "int";
+    case Tok::kKwChar: return "char";
+    case Tok::kKwFloat: return "float";
+    case Tok::kKwVoid: return "void";
+    case Tok::kKwStruct: return "struct";
+    case Tok::kKwPrivate: return "private";
+    case Tok::kKwIf: return "if";
+    case Tok::kKwElse: return "else";
+    case Tok::kKwWhile: return "while";
+    case Tok::kKwFor: return "for";
+    case Tok::kKwReturn: return "return";
+    case Tok::kKwBreak: return "break";
+    case Tok::kKwContinue: return "continue";
+    case Tok::kKwSizeof: return "sizeof";
+    case Tok::kKwNull: return "NULL";
+    case Tok::kLParen: return "(";
+    case Tok::kRParen: return ")";
+    case Tok::kLBrace: return "{";
+    case Tok::kRBrace: return "}";
+    case Tok::kLBracket: return "[";
+    case Tok::kRBracket: return "]";
+    case Tok::kComma: return ",";
+    case Tok::kSemi: return ";";
+    case Tok::kAssign: return "=";
+    case Tok::kPlus: return "+";
+    case Tok::kMinus: return "-";
+    case Tok::kStar: return "*";
+    case Tok::kSlash: return "/";
+    case Tok::kPercent: return "%";
+    case Tok::kAmp: return "&";
+    case Tok::kPipe: return "|";
+    case Tok::kCaret: return "^";
+    case Tok::kTilde: return "~";
+    case Tok::kBang: return "!";
+    case Tok::kShl: return "<<";
+    case Tok::kShr: return ">>";
+    case Tok::kEq: return "==";
+    case Tok::kNe: return "!=";
+    case Tok::kLt: return "<";
+    case Tok::kGt: return ">";
+    case Tok::kLe: return "<=";
+    case Tok::kGe: return ">=";
+    case Tok::kAndAnd: return "&&";
+    case Tok::kOrOr: return "||";
+    case Tok::kDot: return ".";
+    case Tok::kArrow: return "->";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, Tok>& Keywords() {
+  static const auto* kMap = new std::unordered_map<std::string, Tok>{
+      {"int", Tok::kKwInt},         {"char", Tok::kKwChar},
+      {"float", Tok::kKwFloat},     {"void", Tok::kKwVoid},
+      {"struct", Tok::kKwStruct},   {"private", Tok::kKwPrivate},
+      {"if", Tok::kKwIf},           {"else", Tok::kKwElse},
+      {"while", Tok::kKwWhile},     {"for", Tok::kKwFor},
+      {"return", Tok::kKwReturn},   {"break", Tok::kKwBreak},
+      {"continue", Tok::kKwContinue}, {"sizeof", Tok::kKwSizeof},
+      {"NULL", Tok::kKwNull},
+  };
+  return *kMap;
+}
+
+class LexerImpl {
+ public:
+  LexerImpl(const std::string& src, DiagEngine* diags) : src_(src), diags_(diags) {}
+
+  std::vector<Token> Run() {
+    std::vector<Token> out;
+    for (;;) {
+      SkipWhitespaceAndComments();
+      Token t = Next();
+      const bool done = t.kind == Tok::kEof;
+      out.push_back(std::move(t));
+      if (done) {
+        break;
+      }
+    }
+    return out;
+  }
+
+ private:
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = Peek();
+    ++pos_;
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  SourceLoc Loc() const { return SourceLoc{line_, col_}; }
+
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        Advance();
+      } else if (c == '/' && Peek(1) == '/') {
+        while (Peek() != '\n' && Peek() != '\0') {
+          Advance();
+        }
+      } else if (c == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (!(Peek() == '*' && Peek(1) == '/')) {
+          if (Peek() == '\0') {
+            diags_->Error(Loc(), "unterminated block comment");
+            return;
+          }
+          Advance();
+        }
+        Advance();
+        Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  // Decodes one (possibly escaped) character of a char/string literal body.
+  int DecodeEscape() {
+    char c = Advance();
+    if (c != '\\') {
+      return static_cast<unsigned char>(c);
+    }
+    char e = Advance();
+    switch (e) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      case '\\': return '\\';
+      case '\'': return '\'';
+      case '"': return '"';
+      case 'x': {
+        int v = 0;
+        for (int i = 0; i < 2 && isxdigit(static_cast<unsigned char>(Peek())); ++i) {
+          char h = Advance();
+          v = v * 16 + (isdigit(static_cast<unsigned char>(h)) ? h - '0'
+                                                               : (tolower(h) - 'a' + 10));
+        }
+        return v;
+      }
+      default:
+        diags_->Error(Loc(), StrFormat("unknown escape '\\%c'", e));
+        return e;
+    }
+  }
+
+  Token Next() {
+    Token t;
+    t.loc = Loc();
+    char c = Peek();
+    if (c == '\0') {
+      t.kind = Tok::kEof;
+      return t;
+    }
+    if (isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_') {
+        ident += Advance();
+      }
+      auto it = Keywords().find(ident);
+      if (it != Keywords().end()) {
+        t.kind = it->second;
+      } else {
+        t.kind = Tok::kIdent;
+      }
+      t.text = std::move(ident);
+      return t;
+    }
+    if (isdigit(static_cast<unsigned char>(c))) {
+      return LexNumber(t);
+    }
+    if (c == '\'') {
+      Advance();
+      t.kind = Tok::kCharLit;
+      t.int_value = DecodeEscape();
+      if (Peek() != '\'') {
+        diags_->Error(t.loc, "unterminated char literal");
+      } else {
+        Advance();
+      }
+      return t;
+    }
+    if (c == '"') {
+      Advance();
+      t.kind = Tok::kStringLit;
+      while (Peek() != '"') {
+        if (Peek() == '\0') {
+          diags_->Error(t.loc, "unterminated string literal");
+          return t;
+        }
+        t.string_value += static_cast<char>(DecodeEscape());
+      }
+      Advance();
+      return t;
+    }
+    // Operators.
+    Advance();
+    switch (c) {
+      case '(': t.kind = Tok::kLParen; return t;
+      case ')': t.kind = Tok::kRParen; return t;
+      case '{': t.kind = Tok::kLBrace; return t;
+      case '}': t.kind = Tok::kRBrace; return t;
+      case '[': t.kind = Tok::kLBracket; return t;
+      case ']': t.kind = Tok::kRBracket; return t;
+      case ',': t.kind = Tok::kComma; return t;
+      case ';': t.kind = Tok::kSemi; return t;
+      case '+': t.kind = Tok::kPlus; return t;
+      case '-':
+        if (Peek() == '>') {
+          Advance();
+          t.kind = Tok::kArrow;
+        } else {
+          t.kind = Tok::kMinus;
+        }
+        return t;
+      case '*': t.kind = Tok::kStar; return t;
+      case '/': t.kind = Tok::kSlash; return t;
+      case '%': t.kind = Tok::kPercent; return t;
+      case '~': t.kind = Tok::kTilde; return t;
+      case '^': t.kind = Tok::kCaret; return t;
+      case '.': t.kind = Tok::kDot; return t;
+      case '&':
+        if (Peek() == '&') {
+          Advance();
+          t.kind = Tok::kAndAnd;
+        } else {
+          t.kind = Tok::kAmp;
+        }
+        return t;
+      case '|':
+        if (Peek() == '|') {
+          Advance();
+          t.kind = Tok::kOrOr;
+        } else {
+          t.kind = Tok::kPipe;
+        }
+        return t;
+      case '!':
+        if (Peek() == '=') {
+          Advance();
+          t.kind = Tok::kNe;
+        } else {
+          t.kind = Tok::kBang;
+        }
+        return t;
+      case '=':
+        if (Peek() == '=') {
+          Advance();
+          t.kind = Tok::kEq;
+        } else {
+          t.kind = Tok::kAssign;
+        }
+        return t;
+      case '<':
+        if (Peek() == '<') {
+          Advance();
+          t.kind = Tok::kShl;
+        } else if (Peek() == '=') {
+          Advance();
+          t.kind = Tok::kLe;
+        } else {
+          t.kind = Tok::kLt;
+        }
+        return t;
+      case '>':
+        if (Peek() == '>') {
+          Advance();
+          t.kind = Tok::kShr;
+        } else if (Peek() == '=') {
+          Advance();
+          t.kind = Tok::kGe;
+        } else {
+          t.kind = Tok::kGt;
+        }
+        return t;
+      default:
+        diags_->Error(t.loc, StrFormat("unexpected character '%c'", c));
+        t.kind = Tok::kEof;
+        return t;
+    }
+  }
+
+  Token LexNumber(Token t) {
+    std::string num;
+    bool is_float = false;
+    if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+      num += Advance();
+      num += Advance();
+      while (isxdigit(static_cast<unsigned char>(Peek()))) {
+        num += Advance();
+      }
+      t.kind = Tok::kIntLit;
+      t.int_value = static_cast<int64_t>(strtoull(num.c_str(), nullptr, 16));
+      t.text = std::move(num);
+      return t;
+    }
+    while (isdigit(static_cast<unsigned char>(Peek()))) {
+      num += Advance();
+    }
+    if (Peek() == '.' && isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_float = true;
+      num += Advance();
+      while (isdigit(static_cast<unsigned char>(Peek()))) {
+        num += Advance();
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      is_float = true;
+      num += Advance();
+      if (Peek() == '-' || Peek() == '+') {
+        num += Advance();
+      }
+      while (isdigit(static_cast<unsigned char>(Peek()))) {
+        num += Advance();
+      }
+    }
+    if (is_float) {
+      t.kind = Tok::kFloatLit;
+      t.float_value = strtod(num.c_str(), nullptr);
+    } else {
+      t.kind = Tok::kIntLit;
+      t.int_value = static_cast<int64_t>(strtoull(num.c_str(), nullptr, 10));
+    }
+    t.text = std::move(num);
+    return t;
+  }
+
+  const std::string& src_;
+  DiagEngine* diags_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& source, DiagEngine* diags) {
+  return LexerImpl(source, diags).Run();
+}
+
+}  // namespace confllvm

@@ -1,0 +1,19 @@
+// MiniC lexer.
+#ifndef CONFLLVM_SRC_LANG_LEXER_H_
+#define CONFLLVM_SRC_LANG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lang/token.h"
+#include "src/support/diag.h"
+
+namespace confllvm {
+
+// Tokenizes `source`. Lexical errors are reported to `diags`; the returned
+// stream is always terminated by a kEof token.
+std::vector<Token> Lex(const std::string& source, DiagEngine* diags);
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_LANG_LEXER_H_

@@ -1,0 +1,649 @@
+#include "src/lang/parser.h"
+
+#include <cassert>
+
+#include "src/lang/lexer.h"
+#include "src/support/strings.h"
+
+namespace confllvm {
+
+namespace {
+
+bool IsTypeStart(Tok t) {
+  switch (t) {
+    case Tok::kKwInt:
+    case Tok::kKwChar:
+    case Tok::kKwFloat:
+    case Tok::kKwVoid:
+    case Tok::kKwStruct:
+    case Tok::kKwPrivate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+class ParserImpl {
+ public:
+  ParserImpl(std::vector<Token> tokens, DiagEngine* diags)
+      : tokens_(std::move(tokens)), diags_(diags) {}
+
+  std::unique_ptr<Program> Run() {
+    auto program = std::make_unique<Program>();
+    while (Peek().kind != Tok::kEof && !fatal_) {
+      if (Peek().kind == Tok::kKwStruct && Peek(1).kind == Tok::kIdent &&
+          Peek(2).kind == Tok::kLBrace) {
+        ParseStructDef(program.get());
+      } else {
+        ParseGlobalOrFunction(program.get());
+      }
+    }
+    return program;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() {
+    const Token& t = Peek();
+    if (pos_ + 1 < tokens_.size()) {
+      ++pos_;
+    }
+    return t;
+  }
+  bool Match(Tok t) {
+    if (Peek().kind == t) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool Expect(Tok t, const char* context) {
+    if (Match(t)) {
+      return true;
+    }
+    diags_->Error(Peek().loc, StrFormat("expected '%s' %s, found '%s'", TokName(t), context,
+                                        TokName(Peek().kind)));
+    fatal_ = true;
+    return false;
+  }
+
+  // ---- Types ----
+
+  // Parses [private] base; does not consume declarator pointers.
+  std::unique_ptr<TypeSyntax> ParseTypeBase() {
+    auto ts = std::make_unique<TypeSyntax>();
+    ts->loc = Peek().loc;
+    if (Match(Tok::kKwPrivate)) {
+      ts->base_private = true;
+    }
+    switch (Peek().kind) {
+      case Tok::kKwInt:
+        Advance();
+        ts->base = TypeSyntax::Base::kInt;
+        break;
+      case Tok::kKwChar:
+        Advance();
+        ts->base = TypeSyntax::Base::kChar;
+        break;
+      case Tok::kKwFloat:
+        Advance();
+        ts->base = TypeSyntax::Base::kFloat;
+        break;
+      case Tok::kKwVoid:
+        Advance();
+        ts->base = TypeSyntax::Base::kVoid;
+        break;
+      case Tok::kKwStruct:
+        Advance();
+        ts->base = TypeSyntax::Base::kStruct;
+        if (Peek().kind == Tok::kIdent) {
+          ts->struct_name = Advance().text;
+        } else {
+          diags_->Error(Peek().loc, "expected struct name");
+          fatal_ = true;
+        }
+        break;
+      default:
+        diags_->Error(Peek().loc,
+                      StrFormat("expected type, found '%s'", TokName(Peek().kind)));
+        fatal_ = true;
+        break;
+    }
+    return ts;
+  }
+
+  // Parses trailing `* [private]` pointer levels onto `ts`.
+  void ParsePointers(TypeSyntax* ts) {
+    while (Match(Tok::kStar)) {
+      TypeSyntax::PtrLevel lvl;
+      if (Match(Tok::kKwPrivate)) {
+        lvl.is_private = true;
+      }
+      ts->pointers.push_back(lvl);
+    }
+  }
+
+  // Parses a full abstract type (for casts / sizeof / fnptr params):
+  // base pointers. Function pointer abstract types use `ret (*)(params)`.
+  std::unique_ptr<TypeSyntax> ParseAbstractType() {
+    auto ts = ParseTypeBase();
+    ParsePointers(ts.get());
+    if (Peek().kind == Tok::kLParen && Peek(1).kind == Tok::kStar &&
+        Peek(2).kind == Tok::kRParen) {
+      // ret (*)(params)
+      Advance();
+      Advance();
+      Advance();
+      return ParseFnPtrSuffix(std::move(ts), /*name=*/nullptr);
+    }
+    return ts;
+  }
+
+  // Having parsed `ret_type ( * [name] )`, consumes `(params)` and builds the
+  // fnptr type. If `name` is non-null, stores the declared identifier there.
+  std::unique_ptr<TypeSyntax> ParseFnPtrSuffix(std::unique_ptr<TypeSyntax> ret,
+                                               std::string* name) {
+    auto fn = std::make_unique<TypeSyntax>();
+    fn->loc = ret->loc;
+    fn->base = TypeSyntax::Base::kFnPtr;
+    fn->fn_ret = std::move(ret);
+    Expect(Tok::kLParen, "in function pointer type");
+    if (!Match(Tok::kRParen)) {
+      do {
+        if (Peek().kind == Tok::kKwVoid && Peek(1).kind == Tok::kRParen) {
+          Advance();
+          break;
+        }
+        auto pt = ParseAbstractType();
+        // Optional parameter name, ignored.
+        if (Peek().kind == Tok::kIdent) {
+          Advance();
+        }
+        fn->fn_params.push_back(std::move(pt));
+      } while (Match(Tok::kComma));
+      Expect(Tok::kRParen, "after function pointer parameters");
+    }
+    (void)name;
+    return fn;
+  }
+
+  // Parses `type declarator` and returns (type, name). Handles:
+  //   base * ... name [dims]
+  //   base * ... (*name)(params)          function pointer
+  struct Declared {
+    std::unique_ptr<TypeSyntax> type;
+    std::string name;
+    SourceLoc loc;
+  };
+  Declared ParseDeclared() {
+    Declared d;
+    auto ts = ParseTypeBase();
+    ParsePointers(ts.get());
+    d.loc = Peek().loc;
+    if (Peek().kind == Tok::kLParen && Peek(1).kind == Tok::kStar) {
+      // Function pointer declarator: ( * name ) ( params )
+      Advance();
+      Advance();
+      if (Peek().kind == Tok::kIdent) {
+        d.name = Advance().text;
+      } else {
+        diags_->Error(Peek().loc, "expected function pointer name");
+        fatal_ = true;
+      }
+      Expect(Tok::kRParen, "after function pointer name");
+      d.type = ParseFnPtrSuffix(std::move(ts), nullptr);
+      return d;
+    }
+    if (Peek().kind == Tok::kIdent) {
+      d.name = Advance().text;
+    } else {
+      diags_->Error(Peek().loc,
+                    StrFormat("expected identifier, found '%s'", TokName(Peek().kind)));
+      fatal_ = true;
+    }
+    while (Match(Tok::kLBracket)) {
+      if (Peek().kind == Tok::kIntLit) {
+        ts->array_dims.push_back(Advance().int_value);
+      } else {
+        diags_->Error(Peek().loc, "array dimension must be an integer literal");
+        fatal_ = true;
+      }
+      Expect(Tok::kRBracket, "after array dimension");
+    }
+    d.type = std::move(ts);
+    return d;
+  }
+
+  // ---- Top-level ----
+
+  void ParseStructDef(Program* program) {
+    StructDecl sd;
+    sd.loc = Peek().loc;
+    Advance();  // struct
+    sd.name = Advance().text;
+    Expect(Tok::kLBrace, "in struct definition");
+    while (!Match(Tok::kRBrace)) {
+      if (Peek().kind == Tok::kEof) {
+        diags_->Error(Peek().loc, "unterminated struct definition");
+        fatal_ = true;
+        return;
+      }
+      Declared d = ParseDeclared();
+      if (fatal_) {
+        return;
+      }
+      FieldDecl f;
+      f.type = std::move(d.type);
+      f.name = std::move(d.name);
+      f.loc = d.loc;
+      sd.fields.push_back(std::move(f));
+      Expect(Tok::kSemi, "after struct field");
+    }
+    Expect(Tok::kSemi, "after struct definition");
+    program->structs.push_back(std::move(sd));
+  }
+
+  void ParseGlobalOrFunction(Program* program) {
+    Declared d = ParseDeclared();
+    if (fatal_) {
+      return;
+    }
+    if (Peek().kind == Tok::kLParen &&
+        d.type->base != TypeSyntax::Base::kFnPtr) {
+      ParseFunctionRest(program, std::move(d));
+      return;
+    }
+    GlobalDecl g;
+    g.type = std::move(d.type);
+    g.name = std::move(d.name);
+    g.loc = d.loc;
+    if (Match(Tok::kAssign)) {
+      g.init = ParseAssign();
+    }
+    Expect(Tok::kSemi, "after global declaration");
+    program->globals.push_back(std::move(g));
+  }
+
+  void ParseFunctionRest(Program* program, Declared d) {
+    FuncDecl fn;
+    fn.name = std::move(d.name);
+    fn.ret_type = std::move(d.type);
+    fn.loc = d.loc;
+    Expect(Tok::kLParen, "in function declaration");
+    if (!Match(Tok::kRParen)) {
+      if (Peek().kind == Tok::kKwVoid && Peek(1).kind == Tok::kRParen) {
+        Advance();
+        Advance();
+      } else {
+        do {
+          Declared p = ParseDeclared();
+          if (fatal_) {
+            return;
+          }
+          ParamDecl pd;
+          pd.type = std::move(p.type);
+          pd.name = std::move(p.name);
+          pd.loc = p.loc;
+          fn.params.push_back(std::move(pd));
+        } while (Match(Tok::kComma));
+        Expect(Tok::kRParen, "after parameters");
+      }
+    }
+    if (Match(Tok::kSemi)) {
+      program->functions.push_back(std::move(fn));  // extern declaration
+      return;
+    }
+    fn.body = ParseBlock();
+    program->functions.push_back(std::move(fn));
+  }
+
+  // ---- Statements ----
+
+  std::unique_ptr<Stmt> ParseBlock() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kBlock;
+    s->loc = Peek().loc;
+    Expect(Tok::kLBrace, "to open block");
+    while (!Match(Tok::kRBrace)) {
+      if (Peek().kind == Tok::kEof || fatal_) {
+        diags_->Error(Peek().loc, "unterminated block");
+        fatal_ = true;
+        break;
+      }
+      s->stmts.push_back(ParseStmt());
+    }
+    return s;
+  }
+
+  std::unique_ptr<Stmt> ParseStmt() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case Tok::kLBrace:
+        return ParseBlock();
+      case Tok::kKwIf: {
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kIf;
+        s->loc = t.loc;
+        Advance();
+        Expect(Tok::kLParen, "after 'if'");
+        s->cond = ParseExpr();
+        Expect(Tok::kRParen, "after if condition");
+        s->then_stmt = ParseStmt();
+        if (Match(Tok::kKwElse)) {
+          s->else_stmt = ParseStmt();
+        }
+        return s;
+      }
+      case Tok::kKwWhile: {
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kWhile;
+        s->loc = t.loc;
+        Advance();
+        Expect(Tok::kLParen, "after 'while'");
+        s->cond = ParseExpr();
+        Expect(Tok::kRParen, "after while condition");
+        s->body = ParseStmt();
+        return s;
+      }
+      case Tok::kKwFor: {
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kFor;
+        s->loc = t.loc;
+        Advance();
+        Expect(Tok::kLParen, "after 'for'");
+        if (!Match(Tok::kSemi)) {
+          if (IsTypeStart(Peek().kind)) {
+            s->for_init = ParseDeclStmt();
+          } else {
+            auto e = std::make_unique<Stmt>();
+            e->kind = StmtKind::kExpr;
+            e->loc = Peek().loc;
+            e->expr = ParseExpr();
+            s->for_init = std::move(e);
+            Expect(Tok::kSemi, "after for initializer");
+          }
+        }
+        if (!Match(Tok::kSemi)) {
+          s->cond = ParseExpr();
+          Expect(Tok::kSemi, "after for condition");
+        }
+        if (Peek().kind != Tok::kRParen) {
+          s->step = ParseExpr();
+        }
+        Expect(Tok::kRParen, "after for clauses");
+        s->body = ParseStmt();
+        return s;
+      }
+      case Tok::kKwReturn: {
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kReturn;
+        s->loc = t.loc;
+        Advance();
+        if (Peek().kind != Tok::kSemi) {
+          s->expr = ParseExpr();
+        }
+        Expect(Tok::kSemi, "after return");
+        return s;
+      }
+      case Tok::kKwBreak: {
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kBreak;
+        s->loc = t.loc;
+        Advance();
+        Expect(Tok::kSemi, "after break");
+        return s;
+      }
+      case Tok::kKwContinue: {
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kContinue;
+        s->loc = t.loc;
+        Advance();
+        Expect(Tok::kSemi, "after continue");
+        return s;
+      }
+      default:
+        if (IsTypeStart(t.kind)) {
+          return ParseDeclStmt();
+        }
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kExpr;
+        s->loc = t.loc;
+        s->expr = ParseExpr();
+        Expect(Tok::kSemi, "after expression");
+        return s;
+    }
+  }
+
+  std::unique_ptr<Stmt> ParseDeclStmt() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kDecl;
+    s->loc = Peek().loc;
+    Declared d = ParseDeclared();
+    s->decl_type = std::move(d.type);
+    s->decl_name = std::move(d.name);
+    if (Match(Tok::kAssign)) {
+      s->decl_init = ParseAssign();
+    }
+    Expect(Tok::kSemi, "after declaration");
+    return s;
+  }
+
+  // ---- Expressions ----
+
+  std::unique_ptr<Expr> MakeExpr(ExprKind k, SourceLoc loc) {
+    auto e = std::make_unique<Expr>();
+    e->kind = k;
+    e->loc = loc;
+    return e;
+  }
+
+  std::unique_ptr<Expr> ParseExpr() { return ParseAssign(); }
+
+  std::unique_ptr<Expr> ParseAssign() {
+    auto lhs = ParseBinary(0);
+    if (Peek().kind == Tok::kAssign) {
+      SourceLoc loc = Advance().loc;
+      auto e = MakeExpr(ExprKind::kAssign, loc);
+      e->lhs = std::move(lhs);
+      e->rhs = ParseAssign();
+      return e;
+    }
+    return lhs;
+  }
+
+  static int BinPrec(Tok t) {
+    switch (t) {
+      case Tok::kOrOr: return 1;
+      case Tok::kAndAnd: return 2;
+      case Tok::kPipe: return 3;
+      case Tok::kCaret: return 4;
+      case Tok::kAmp: return 5;
+      case Tok::kEq:
+      case Tok::kNe: return 6;
+      case Tok::kLt:
+      case Tok::kGt:
+      case Tok::kLe:
+      case Tok::kGe: return 7;
+      case Tok::kShl:
+      case Tok::kShr: return 8;
+      case Tok::kPlus:
+      case Tok::kMinus: return 9;
+      case Tok::kStar:
+      case Tok::kSlash:
+      case Tok::kPercent: return 10;
+      default: return -1;
+    }
+  }
+
+  std::unique_ptr<Expr> ParseBinary(int min_prec) {
+    auto lhs = ParseUnary();
+    for (;;) {
+      Tok op = Peek().kind;
+      int prec = BinPrec(op);
+      if (prec < 0 || prec < min_prec) {
+        return lhs;
+      }
+      SourceLoc loc = Advance().loc;
+      auto rhs = ParseBinary(prec + 1);
+      auto e = MakeExpr(ExprKind::kBinary, loc);
+      e->op1 = op;
+      e->lhs = std::move(lhs);
+      e->rhs = std::move(rhs);
+      lhs = std::move(e);
+    }
+  }
+
+  std::unique_ptr<Expr> ParseUnary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case Tok::kMinus:
+      case Tok::kBang:
+      case Tok::kTilde: {
+        SourceLoc loc = Advance().loc;
+        auto e = MakeExpr(ExprKind::kUnary, loc);
+        e->op1 = t.kind;
+        e->lhs = ParseUnary();
+        return e;
+      }
+      case Tok::kStar: {
+        SourceLoc loc = Advance().loc;
+        auto e = MakeExpr(ExprKind::kDeref, loc);
+        e->lhs = ParseUnary();
+        return e;
+      }
+      case Tok::kAmp: {
+        SourceLoc loc = Advance().loc;
+        auto e = MakeExpr(ExprKind::kAddrOf, loc);
+        e->lhs = ParseUnary();
+        return e;
+      }
+      case Tok::kLParen:
+        if (IsTypeStart(Peek(1).kind)) {
+          SourceLoc loc = Advance().loc;  // (
+          auto e = MakeExpr(ExprKind::kCast, loc);
+          e->type_syntax = ParseAbstractType();
+          Expect(Tok::kRParen, "after cast type");
+          e->lhs = ParseUnary();
+          return e;
+        }
+        return ParsePostfix();
+      case Tok::kKwSizeof: {
+        SourceLoc loc = Advance().loc;
+        auto e = MakeExpr(ExprKind::kSizeof, loc);
+        Expect(Tok::kLParen, "after sizeof");
+        e->type_syntax = ParseAbstractType();
+        Expect(Tok::kRParen, "after sizeof type");
+        return e;
+      }
+      default:
+        return ParsePostfix();
+    }
+  }
+
+  std::unique_ptr<Expr> ParsePostfix() {
+    auto e = ParsePrimary();
+    for (;;) {
+      const Token& t = Peek();
+      if (t.kind == Tok::kLParen) {
+        SourceLoc loc = Advance().loc;
+        auto call = MakeExpr(ExprKind::kCall, loc);
+        call->lhs = std::move(e);
+        if (!Match(Tok::kRParen)) {
+          do {
+            call->args.push_back(ParseAssign());
+          } while (Match(Tok::kComma));
+          Expect(Tok::kRParen, "after call arguments");
+        }
+        e = std::move(call);
+      } else if (t.kind == Tok::kLBracket) {
+        SourceLoc loc = Advance().loc;
+        auto ix = MakeExpr(ExprKind::kIndex, loc);
+        ix->lhs = std::move(e);
+        ix->rhs = ParseExpr();
+        Expect(Tok::kRBracket, "after index");
+        e = std::move(ix);
+      } else if (t.kind == Tok::kDot || t.kind == Tok::kArrow) {
+        SourceLoc loc = Advance().loc;
+        auto m = MakeExpr(ExprKind::kMember, loc);
+        m->is_arrow = t.kind == Tok::kArrow;
+        m->lhs = std::move(e);
+        if (Peek().kind == Tok::kIdent) {
+          m->name = Advance().text;
+        } else {
+          diags_->Error(Peek().loc, "expected member name");
+          fatal_ = true;
+        }
+        e = std::move(m);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  std::unique_ptr<Expr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case Tok::kIntLit:
+      case Tok::kCharLit: {
+        Advance();
+        auto e = MakeExpr(ExprKind::kIntLit, t.loc);
+        e->int_value = t.int_value;
+        return e;
+      }
+      case Tok::kFloatLit: {
+        Advance();
+        auto e = MakeExpr(ExprKind::kFloatLit, t.loc);
+        e->float_value = t.float_value;
+        return e;
+      }
+      case Tok::kStringLit: {
+        Advance();
+        auto e = MakeExpr(ExprKind::kStringLit, t.loc);
+        e->str_value = t.string_value;
+        return e;
+      }
+      case Tok::kKwNull: {
+        Advance();
+        return MakeExpr(ExprKind::kNullLit, t.loc);
+      }
+      case Tok::kIdent: {
+        Advance();
+        auto e = MakeExpr(ExprKind::kVarRef, t.loc);
+        e->name = t.text;
+        return e;
+      }
+      case Tok::kLParen: {
+        Advance();
+        auto e = ParseExpr();
+        Expect(Tok::kRParen, "after parenthesized expression");
+        return e;
+      }
+      default:
+        diags_->Error(t.loc,
+                      StrFormat("expected expression, found '%s'", TokName(t.kind)));
+        fatal_ = true;
+        Advance();
+        return MakeExpr(ExprKind::kIntLit, t.loc);
+    }
+  }
+
+  std::vector<Token> tokens_;
+  DiagEngine* diags_;
+  size_t pos_ = 0;
+  bool fatal_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<Program> Parse(const std::string& source, DiagEngine* diags) {
+  std::vector<Token> tokens = Lex(source, diags);
+  if (diags->HasErrors()) {
+    return std::make_unique<Program>();
+  }
+  return ParserImpl(std::move(tokens), diags).Run();
+}
+
+}  // namespace confllvm

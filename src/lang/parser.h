@@ -1,0 +1,19 @@
+// MiniC recursive-descent parser.
+#ifndef CONFLLVM_SRC_LANG_PARSER_H_
+#define CONFLLVM_SRC_LANG_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/lang/ast.h"
+#include "src/support/diag.h"
+
+namespace confllvm {
+
+// Parses a full MiniC translation unit. On parse errors the engine holds
+// diagnostics and the returned program may be partial.
+std::unique_ptr<Program> Parse(const std::string& source, DiagEngine* diags);
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_LANG_PARSER_H_

@@ -1,0 +1,88 @@
+// MiniC token definitions.
+//
+// MiniC is the C subset this reproduction compiles (the paper's frontend is
+// Clang with a `private` qualifier; see DESIGN.md for the substitution). It
+// supports pointers, fixed-size arrays, structs, function pointers, casts,
+// globals and the `private` type qualifier at every type level.
+#ifndef CONFLLVM_SRC_LANG_TOKEN_H_
+#define CONFLLVM_SRC_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/diag.h"
+
+namespace confllvm {
+
+enum class Tok : uint8_t {
+  kEof,
+  kIdent,
+  kIntLit,
+  kFloatLit,
+  kCharLit,
+  kStringLit,
+  // Keywords.
+  kKwInt,
+  kKwChar,
+  kKwFloat,
+  kKwVoid,
+  kKwStruct,
+  kKwPrivate,
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwFor,
+  kKwReturn,
+  kKwBreak,
+  kKwContinue,
+  kKwSizeof,
+  kKwNull,
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemi,
+  kAssign,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAmp,
+  kPipe,
+  kCaret,
+  kTilde,
+  kBang,
+  kShl,
+  kShr,
+  kEq,
+  kNe,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kAndAnd,
+  kOrOr,
+  kDot,
+  kArrow,
+};
+
+// Returns a human-readable spelling for diagnostics.
+const char* TokName(Tok t);
+
+struct Token {
+  Tok kind = Tok::kEof;
+  SourceLoc loc;
+  std::string text;      // identifier / literal spelling
+  int64_t int_value = 0;  // kIntLit / kCharLit
+  double float_value = 0;  // kFloatLit
+  std::string string_value;  // kStringLit (unescaped bytes)
+};
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_LANG_TOKEN_H_

@@ -1,0 +1,34 @@
+// IR optimization passes.
+//
+// Stands in for the standard LLVM pipeline the paper runs before qualifier
+// inference (§5.1). ConfLLVM keeps "the most important" optimizations and
+// disables the rest; we model that with two pass levels:
+//   kFull    — Base/vanilla builds: everything below.
+//   kReduced — ConfLLVM builds: no cross-use copy propagation (stands in for
+//              the disabled passes, e.g. jump tables and remove-dead-args).
+// All passes preserve vreg taints and memory-region metadata.
+#ifndef CONFLLVM_SRC_OPT_PASSES_H_
+#define CONFLLVM_SRC_OPT_PASSES_H_
+
+#include "src/ir/ir.h"
+
+namespace confllvm {
+
+enum class OptLevel : uint8_t {
+  kNone,     // no IR optimization at all (O0; used by the Privado fallback)
+  kReduced,  // ConfLLVM-supported subset
+  kFull,     // vanilla "O2"
+};
+
+// Runs the pipeline in place.
+void OptimizeModule(IrModule* module, OptLevel level);
+
+// Individual passes (exposed for unit tests).
+bool ConstantFold(IrFunction* f);
+bool CopyPropagate(IrFunction* f);
+bool DeadCodeEliminate(IrFunction* f);
+bool SimplifyCfg(IrFunction* f);
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_OPT_PASSES_H_

@@ -1,0 +1,105 @@
+#include "src/runtime/allocator.h"
+
+namespace confllvm {
+
+void RegionAllocator::Reset() {
+  bump_ = base_;
+  in_use_ = 0;
+  free_lists_.assign(kNumClasses, {});
+  free_blocks_.clear();
+  sizes_.clear();
+  if (policy_ == AllocPolicy::kSystem && size_ != 0) {
+    free_blocks_[base_] = size_;
+  }
+}
+
+int RegionAllocator::ClassFor(uint64_t n) {
+  uint64_t c = 16;
+  int idx = 0;
+  while (c < n && idx < kNumClasses - 1) {
+    c <<= 1;
+    ++idx;
+  }
+  return idx;
+}
+
+uint64_t RegionAllocator::Alloc(uint64_t n) {
+  if (n == 0) {
+    n = 1;
+  }
+  n = (n + 15) & ~15ull;
+  if (policy_ == AllocPolicy::kCustom) {
+    const int cls = ClassFor(n);
+    const uint64_t csz = 16ull << cls;
+    last_cost_ = 24;
+    uint64_t p = 0;
+    if (!free_lists_[cls].empty()) {
+      p = free_lists_[cls].back();
+      free_lists_[cls].pop_back();
+    } else {
+      if (bump_ + csz > base_ + size_) {
+        last_cost_ = 30;
+        return 0;
+      }
+      p = bump_;
+      bump_ += csz;
+      last_cost_ = 30;
+    }
+    sizes_[p] = csz;
+    in_use_ += csz;
+    return p;
+  }
+  // kSystem: first fit with splitting.
+  last_cost_ = 50;
+  for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+    last_cost_ += 4;  // list walk
+    if (it->second >= n) {
+      const uint64_t p = it->first;
+      const uint64_t rest = it->second - n;
+      free_blocks_.erase(it);
+      if (rest >= 16) {
+        free_blocks_[p + n] = rest;
+      }
+      sizes_[p] = n;
+      in_use_ += n;
+      return p;
+    }
+  }
+  return 0;
+}
+
+void RegionAllocator::Free(uint64_t p) {
+  auto it = sizes_.find(p);
+  if (it == sizes_.end()) {
+    last_cost_ = 10;
+    return;  // ignore bad frees (native metadata is not corruptible by U)
+  }
+  const uint64_t n = it->second;
+  in_use_ -= n;
+  sizes_.erase(it);
+  if (policy_ == AllocPolicy::kCustom) {
+    free_lists_[ClassFor(n)].push_back(p);
+    last_cost_ = 18;
+    return;
+  }
+  last_cost_ = 40;
+  // Coalesce with neighbours.
+  auto next = free_blocks_.lower_bound(p);
+  uint64_t start = p;
+  uint64_t size = n;
+  if (next != free_blocks_.end() && p + n == next->first) {
+    size += next->second;
+    next = free_blocks_.erase(next);
+  }
+  if (next != free_blocks_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == start) {
+      start = prev->first;
+      size += prev->second;
+      free_blocks_.erase(prev);
+    }
+  }
+  free_blocks_[start] = size;
+}
+
+}  // namespace confllvm

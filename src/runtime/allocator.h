@@ -1,0 +1,61 @@
+// Region-confined heap allocators (paper §6: a modified dlmalloc encloses
+// private and public allocations in their respective sections).
+//
+// Two policies:
+//  * kSystem — first-fit with block splitting/coalescing; stands in for the
+//    platform allocator used by the Base configuration.
+//  * kCustom — segregated size-class free lists with bump-pointer refill;
+//    the ConfLLVM allocator (BaseOA measures exactly this substitution).
+// Metadata lives natively (outside U's address space), so heap corruption in
+// U cannot subvert the allocator — allocation addresses are all U sees.
+#ifndef CONFLLVM_SRC_RUNTIME_ALLOCATOR_H_
+#define CONFLLVM_SRC_RUNTIME_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace confllvm {
+
+enum class AllocPolicy : uint8_t { kSystem, kCustom };
+
+class RegionAllocator {
+ public:
+  RegionAllocator() = default;
+  RegionAllocator(uint64_t base, uint64_t size, AllocPolicy policy)
+      : base_(base), size_(size), policy_(policy) {
+    Reset();
+  }
+
+  void Reset();
+
+  // Returns 0 on exhaustion. Size is rounded up to 16 bytes.
+  uint64_t Alloc(uint64_t n);
+  void Free(uint64_t p);
+
+  // Cycle cost of the most recent operation (charged to the caller as T
+  // time; the custom allocator's fast path is cheaper).
+  uint64_t last_cost() const { return last_cost_; }
+
+  uint64_t bytes_in_use() const { return in_use_; }
+  uint64_t base() const { return base_; }
+  uint64_t size() const { return size_; }
+
+ private:
+  static constexpr int kNumClasses = 16;  // 16, 32, ..., up to 64 KiB pow2
+  static int ClassFor(uint64_t n);
+
+  uint64_t base_ = 0;
+  uint64_t size_ = 0;
+  AllocPolicy policy_ = AllocPolicy::kCustom;
+  uint64_t bump_ = 0;
+  uint64_t last_cost_ = 0;
+  uint64_t in_use_ = 0;
+  std::vector<std::vector<uint64_t>> free_lists_;  // kCustom
+  std::map<uint64_t, uint64_t> free_blocks_;       // kSystem: addr -> size
+  std::map<uint64_t, uint64_t> sizes_;             // live allocation sizes
+};
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_RUNTIME_ALLOCATOR_H_

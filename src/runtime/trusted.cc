@@ -1,0 +1,348 @@
+#include "src/runtime/trusted.h"
+
+#include <cstring>
+
+#include "src/support/strings.h"
+
+namespace confllvm {
+
+namespace {
+
+// Reads a NUL-terminated string from U memory with a range check (capped).
+bool ReadCStr(Vm* vm, uint64_t addr, bool private_region, std::string* out,
+              uint64_t cap = 4096) {
+  out->clear();
+  for (uint64_t i = 0; i < cap; ++i) {
+    if (!vm->RangeInRegion(addr + i, 1, private_region)) {
+      return false;
+    }
+    uint64_t c = 0;
+    if (!vm->memory().Read(addr + i, 1, &c)) {
+      return false;
+    }
+    if (c == 0) {
+      return true;
+    }
+    out->push_back(static_cast<char>(c));
+  }
+  return true;
+}
+
+// Byte-copy cost model: a cache-warm kernel/libc copy (paper Figure 6: time
+// spent outside U dilutes the relative instrumentation overhead).
+uint64_t CopyCost(uint64_t n) { return 20 + n / 4; }
+
+uint64_t Fnv1a(const uint8_t* p, size_t n, uint64_t h = 0xcbf29ce484222325ull) {
+  for (size_t i = 0; i < n; ++i) {
+    h = (h ^ p[i]) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+void TrustedLib::Attach(Vm* vm) {
+  if (!attached_) {
+    const RegionMap& m = vm->program().map;
+    pub_heap_ = RegionAllocator(m.pub_heap, m.pub_heap_size, options_.alloc_policy);
+    prv_heap_ = RegionAllocator(m.prv_heap, m.prv_heap_size, options_.alloc_policy);
+    rand_state_ = options_.rand_seed;
+    attached_ = true;
+  }
+  if (!installed_) {
+    InstallStandard();
+    installed_ = true;
+  }
+}
+
+std::string TrustedLib::SentBytes(int fd) const {
+  auto it = channels_.find(fd);
+  std::string out;
+  if (it == channels_.end()) {
+    return out;
+  }
+  for (const auto& msg : it->second.tx) {
+    out.append(msg.begin(), msg.end());
+  }
+  return out;
+}
+
+bool TrustedLib::PublicOutputContains(const std::string& needle) const {
+  for (const auto& [fd, ch] : channels_) {
+    std::string all;
+    for (const auto& msg : ch.tx) {
+      all.append(msg.begin(), msg.end());
+    }
+    if (all.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return log_.find(needle) != std::string::npos ||
+         stdout_.find(needle) != std::string::npos;
+}
+
+void TrustedLib::Invoke(uint32_t import_idx, Vm* vm, ThreadCtx* t) {
+  Attach(vm);
+  const BinImport& imp = vm->program().binary.imports[import_idx];
+  auto it = natives_.find(imp.name);
+  if (it == natives_.end()) {
+    vm->TrustedFault(t, "no native registered for trusted import '" + imp.name + "'");
+    return;
+  }
+  it->second(this, vm, t);
+}
+
+void TrustedLib::InstallStandard() {
+  auto arg = [](ThreadCtx* t, int i) { return t->regs[kRegArg0 + i]; };
+  auto ret = [](ThreadCtx* t, uint64_t v) { t->regs[kRegRet] = v; };
+
+  // ---- channels ----
+  Register("recv", [arg, ret](TrustedLib* tl, Vm* vm, ThreadCtx* t) {
+    const int fd = static_cast<int>(arg(t, 0));
+    const uint64_t buf = arg(t, 1);
+    const uint64_t n = arg(t, 2);
+    auto& ch = tl->channels_[fd];
+    if (ch.rx.empty()) {
+      ret(t, 0);
+      return;
+    }
+    auto msg = std::move(ch.rx.front());
+    ch.rx.pop_front();
+    const uint64_t len = std::min<uint64_t>(msg.size(), n);
+    if (!vm->RangeInRegion(buf, len, /*private_region=*/false)) {
+      vm->TrustedFault(t, "recv: buffer not in public region");
+      return;
+    }
+    vm->memory().WriteBytes(buf, msg.data(), len);
+    vm->ChargeTrusted(t, CopyCost(len));
+    ret(t, len);
+  });
+
+  Register("send", [arg, ret](TrustedLib* tl, Vm* vm, ThreadCtx* t) {
+    const int fd = static_cast<int>(arg(t, 0));
+    const uint64_t buf = arg(t, 1);
+    const uint64_t n = arg(t, 2);
+    if (!vm->RangeInRegion(buf, n, /*private_region=*/false)) {
+      vm->TrustedFault(t, "send: buffer not in public region");
+      return;
+    }
+    std::vector<uint8_t> data(n);
+    vm->memory().ReadBytes(buf, data.data(), n);
+    auto& ch = tl->channels_[fd];
+    ch.tx.push_back(std::move(data));
+    ch.bytes_sent += n;
+    vm->ChargeTrusted(t, CopyCost(n) + 60 /* syscall-ish */);
+    ret(t, n);
+  });
+
+  Register("log_write", [arg, ret](TrustedLib* tl, Vm* vm, ThreadCtx* t) {
+    const uint64_t buf = arg(t, 0);
+    const uint64_t n = arg(t, 1);
+    if (!vm->RangeInRegion(buf, n, false)) {
+      vm->TrustedFault(t, "log_write: buffer not in public region");
+      return;
+    }
+    std::vector<char> data(n);
+    vm->memory().ReadBytes(buf, data.data(), n);
+    tl->log_.append(data.begin(), data.end());
+    vm->ChargeTrusted(t, CopyCost(n) + 20);
+    ret(t, n);
+  });
+
+  // ---- crypto (xor stream stands in for a real cipher; the property under
+  // test is *where* plaintext may live, not cipher strength) ----
+  Register("decrypt", [arg](TrustedLib* tl, Vm* vm, ThreadCtx* t) {
+    const uint64_t ct = arg(t, 0);
+    const uint64_t pt = arg(t, 1);
+    const uint64_t n = arg(t, 2);
+    if (!vm->RangeInRegion(ct, n, false) || !vm->RangeInRegion(pt, n, true)) {
+      vm->TrustedFault(t, "decrypt: bad buffer regions");
+      return;
+    }
+    std::vector<uint8_t> data(n);
+    vm->memory().ReadBytes(ct, data.data(), n);
+    for (uint64_t i = 0; i < n; ++i) {
+      data[i] ^= static_cast<uint8_t>(tl->crypto_key_ >> ((i % 8) * 8));
+    }
+    vm->memory().WriteBytes(pt, data.data(), n);
+    vm->ChargeTrusted(t, 40 + n);
+  });
+
+  Register("encrypt", [arg, ret](TrustedLib* tl, Vm* vm, ThreadCtx* t) {
+    const uint64_t pt = arg(t, 0);
+    const uint64_t ct = arg(t, 1);
+    const uint64_t n = arg(t, 2);
+    if (!vm->RangeInRegion(pt, n, true) || !vm->RangeInRegion(ct, n, false)) {
+      vm->TrustedFault(t, "encrypt: bad buffer regions");
+      return;
+    }
+    std::vector<uint8_t> data(n);
+    vm->memory().ReadBytes(pt, data.data(), n);
+    for (uint64_t i = 0; i < n; ++i) {
+      data[i] ^= static_cast<uint8_t>(tl->crypto_key_ >> ((i % 8) * 8));
+    }
+    vm->memory().WriteBytes(ct, data.data(), n);
+    vm->ChargeTrusted(t, 40 + n);
+    ret(t, n);
+  });
+
+  Register("read_passwd", [arg](TrustedLib* tl, Vm* vm, ThreadCtx* t) {
+    const uint64_t uname = arg(t, 0);
+    const uint64_t pass = arg(t, 1);
+    const uint64_t n = arg(t, 2);
+    std::string user;
+    if (!ReadCStr(vm, uname, false, &user)) {
+      vm->TrustedFault(t, "read_passwd: bad uname");
+      return;
+    }
+    if (!vm->RangeInRegion(pass, n, true)) {
+      vm->TrustedFault(t, "read_passwd: password buffer not private");
+      return;
+    }
+    auto it = tl->passwords_.find(user);
+    const std::string pw = it == tl->passwords_.end() ? "" : it->second;
+    std::vector<uint8_t> buf(n, 0);
+    memcpy(buf.data(), pw.data(), std::min<uint64_t>(pw.size(), n > 0 ? n - 1 : 0));
+    vm->memory().WriteBytes(pass, buf.data(), n);
+    vm->ChargeTrusted(t, 200 /* db lookup */ + CopyCost(n));
+  });
+
+  // ---- files (RAM disk) ----
+  auto read_file_impl = [arg, ret](bool private_buf) {
+    return [arg, ret, private_buf](TrustedLib* tl, Vm* vm, ThreadCtx* t) {
+      const uint64_t name = arg(t, 0);
+      const uint64_t buf = arg(t, 1);
+      const uint64_t n = arg(t, 2);
+      std::string fname;
+      if (!ReadCStr(vm, name, false, &fname)) {
+        vm->TrustedFault(t, "read_file: bad name");
+        return;
+      }
+      auto it = tl->files_.find(fname);
+      if (it == tl->files_.end()) {
+        ret(t, static_cast<uint64_t>(-1));
+        return;
+      }
+      const uint64_t len = std::min<uint64_t>(it->second.size(), n);
+      if (!vm->RangeInRegion(buf, len, private_buf)) {
+        vm->TrustedFault(t, "read_file: bad buffer region");
+        return;
+      }
+      vm->memory().WriteBytes(buf, it->second.data(), len);
+      vm->ChargeTrusted(t, 100 + CopyCost(len));
+      ret(t, len);
+    };
+  };
+  Register("read_file", read_file_impl(false));
+  Register("read_file_private", read_file_impl(true));
+
+  Register("file_size", [arg, ret](TrustedLib* tl, Vm* vm, ThreadCtx* t) {
+    std::string fname;
+    if (!ReadCStr(vm, arg(t, 0), false, &fname)) {
+      vm->TrustedFault(t, "file_size: bad name");
+      return;
+    }
+    auto it = tl->files_.find(fname);
+    ret(t, it == tl->files_.end() ? static_cast<uint64_t>(-1) : it->second.size());
+    vm->ChargeTrusted(t, 80);
+  });
+
+  // ---- allocator ----
+  Register("pub_malloc", [arg, ret](TrustedLib* tl, Vm* vm, ThreadCtx* t) {
+    const uint64_t p = tl->pub_heap_.Alloc(arg(t, 0));
+    vm->ChargeTrusted(t, tl->pub_heap_.last_cost());
+    ret(t, p);
+  });
+  Register("prv_malloc", [arg, ret](TrustedLib* tl, Vm* vm, ThreadCtx* t) {
+    const uint64_t p = tl->prv_heap_.Alloc(arg(t, 0));
+    vm->ChargeTrusted(t, tl->prv_heap_.last_cost());
+    ret(t, p);
+  });
+  Register("pub_free", [arg](TrustedLib* tl, Vm* vm, ThreadCtx* t) {
+    tl->pub_heap_.Free(arg(t, 0));
+    vm->ChargeTrusted(t, tl->pub_heap_.last_cost());
+  });
+  Register("prv_free", [arg](TrustedLib* tl, Vm* vm, ThreadCtx* t) {
+    tl->prv_heap_.Free(arg(t, 0));
+    vm->ChargeTrusted(t, tl->prv_heap_.last_cost());
+  });
+
+  // ---- integrity experiment: hashing declassifies (paper §7.5) ----
+  Register("hash_block", [arg](TrustedLib* tl, Vm* vm, ThreadCtx* t) {
+    const uint64_t data = arg(t, 0);
+    const uint64_t n = arg(t, 1);
+    const uint64_t out = arg(t, 2);
+    if (!vm->RangeInRegion(data, n, true) || !vm->RangeInRegion(out, 16, false)) {
+      vm->TrustedFault(t, "hash_block: bad buffer regions");
+      return;
+    }
+    std::vector<uint8_t> buf(n);
+    vm->memory().ReadBytes(data, buf.data(), n);
+    const uint64_t h1 = Fnv1a(buf.data(), buf.size());
+    const uint64_t h2 = Fnv1a(buf.data(), buf.size(), h1 ^ 0x9e3779b97f4a7c15ull);
+    vm->memory().WriteBytes(out, &h1, 8);
+    vm->memory().WriteBytes(out + 8, &h2, 8);
+    vm->ChargeTrusted(t, 30 + n / 2);
+  });
+
+  Register("hash_pub", [arg](TrustedLib* tl, Vm* vm, ThreadCtx* t) {
+    const uint64_t data = arg(t, 0);
+    const uint64_t n = arg(t, 1);
+    const uint64_t out = arg(t, 2);
+    if (!vm->RangeInRegion(data, n, false) || !vm->RangeInRegion(out, 16, false)) {
+      vm->TrustedFault(t, "hash_pub: bad buffer regions");
+      return;
+    }
+    std::vector<uint8_t> buf(n);
+    vm->memory().ReadBytes(data, buf.data(), n);
+    const uint64_t h1 = Fnv1a(buf.data(), buf.size());
+    const uint64_t h2 = Fnv1a(buf.data(), buf.size(), h1 ^ 0x9e3779b97f4a7c15ull);
+    vm->memory().WriteBytes(out, &h1, 8);
+    vm->memory().WriteBytes(out + 8, &h2, 8);
+    vm->ChargeTrusted(t, 30 + n / 2);
+  });
+
+  // ---- enclave declassifier (paper §7.4: the only way results leave) ----
+  Register("send_result", [arg](TrustedLib* tl, Vm* vm, ThreadCtx* t) {
+    const uint64_t buf = arg(t, 0);
+    const uint64_t n = arg(t, 1);
+    if (!vm->RangeInRegion(buf, n, true)) {
+      vm->TrustedFault(t, "send_result: buffer not private");
+      return;
+    }
+    std::vector<char> data(n);
+    vm->memory().ReadBytes(buf, data.data(), n);
+    tl->declassified_.append(data.begin(), data.end());
+    vm->ChargeTrusted(t, 80 + CopyCost(n));
+  });
+
+  // ---- misc ----
+  Register("get_time", [ret](TrustedLib* tl, Vm* vm, ThreadCtx* t) {
+    ret(t, ++tl->time_);
+    vm->ChargeTrusted(t, 12);
+  });
+  Register("rand_pub", [ret](TrustedLib* tl, Vm* vm, ThreadCtx* t) {
+    uint64_t x = tl->rand_state_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    tl->rand_state_ = x;
+    ret(t, x & 0x7fffffffull);
+    vm->ChargeTrusted(t, 8);
+  });
+  Register("print_int", [arg](TrustedLib* tl, Vm* vm, ThreadCtx* t) {
+    tl->stdout_ += StrFormat("%lld\n", static_cast<long long>(arg(t, 0)));
+    vm->ChargeTrusted(t, 20);
+  });
+  Register("print_str", [arg](TrustedLib* tl, Vm* vm, ThreadCtx* t) {
+    std::string s;
+    if (!ReadCStr(vm, arg(t, 0), false, &s)) {
+      vm->TrustedFault(t, "print_str: bad string");
+      return;
+    }
+    tl->stdout_ += s;
+    vm->ChargeTrusted(t, 20 + s.size() / 4);
+  });
+}
+
+}  // namespace confllvm

@@ -1,0 +1,117 @@
+// The trusted library T (paper §2, §6, §8).
+//
+// T is the small, trusted side of the application: I/O, cryptographic
+// primitives, the region-confined allocator, and declassification routines.
+// It executes natively (it is compiled by the "vanilla compiler"), can
+// access all of U's memory, and is reached only through wrappers that check
+// argument ranges — each native below validates its full buffer extents
+// against the declared region before touching memory, exactly the
+// discipline §6 prescribes for wrapper code.
+//
+// Standard interface exported to U (MiniC extern declarations):
+//   int  recv(int fd, char *buf, int n);
+//   int  send(int fd, char *buf, int n);              // public channel!
+//   int  log_write(char *buf, int n);                 // public log sink
+//   void decrypt(char *ct, private char *pt, int n);
+//   int  encrypt(private char *pt, char *ct, int n);  // declassification
+//   void read_passwd(char *uname, private char *pass, int n);
+//   int  read_file(char *name, char *buf, int n);
+//   int  read_file_private(char *name, private char *buf, int n);
+//   int  file_size(char *name);
+//   void *pub_malloc(int n);          void pub_free(void *p);
+//   private void *prv_malloc(int n);  void prv_free(private void *p);
+//   void hash_block(private char *data, int n, char *out16);  // declassify
+//   int  get_time();
+//   int  rand_pub();
+//   void print_int(int v);  void print_str(char *s);
+//   void send_result(private char *buf, int n);  // enclave declassifier
+#ifndef CONFLLVM_SRC_RUNTIME_TRUSTED_H_
+#define CONFLLVM_SRC_RUNTIME_TRUSTED_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/runtime/allocator.h"
+#include "src/vm/vm.h"
+
+namespace confllvm {
+
+struct TrustedOptions {
+  AllocPolicy alloc_policy = AllocPolicy::kCustom;
+  uint64_t rand_seed = 42;
+};
+
+class TrustedLib : public TrustedCallout {
+ public:
+  using Native = std::function<void(TrustedLib*, Vm*, ThreadCtx*)>;
+
+  explicit TrustedLib(TrustedOptions options = {}) : options_(options) {}
+
+  // Registers/overrides a native implementation by import name.
+  void Register(const std::string& name, Native fn) { natives_[name] = std::move(fn); }
+
+  // TrustedCallout:
+  void Invoke(uint32_t import_idx, Vm* vm, ThreadCtx* t) override;
+
+  // Binds allocators to the program's heap areas; call once after the VM
+  // exists (idempotent per Vm).
+  void Attach(Vm* vm);
+
+  // ---- host-side test/bench surface ----
+  struct Channel {
+    std::deque<std::vector<uint8_t>> rx;
+    std::vector<std::vector<uint8_t>> tx;
+    uint64_t bytes_sent = 0;
+  };
+  Channel& channel(int fd) { return channels_[fd]; }
+  void PushRx(int fd, const std::string& data) {
+    channels_[fd].rx.emplace_back(data.begin(), data.end());
+  }
+  // All bytes ever sent on fd, concatenated.
+  std::string SentBytes(int fd) const;
+  // True if `needle` occurs in any public output (any channel tx, the log,
+  // or stdout) — the leak detector used by the §7.6 experiments.
+  bool PublicOutputContains(const std::string& needle) const;
+
+  void AddFile(const std::string& name, std::string contents) {
+    files_[name] = std::move(contents);
+  }
+  void SetPassword(const std::string& user, const std::string& pw) {
+    passwords_[user] = pw;
+  }
+
+  const std::string& log() const { return log_; }
+  const std::string& stdout_text() const { return stdout_; }
+  const std::string& declassified() const { return declassified_; }
+  uint64_t crypto_key() const { return crypto_key_; }
+
+  RegionAllocator& pub_heap() { return pub_heap_; }
+  RegionAllocator& prv_heap() { return prv_heap_; }
+
+ private:
+  void InstallStandard();
+
+  TrustedOptions options_;
+  std::map<std::string, Native> natives_;
+  std::map<int, Channel> channels_;
+  std::map<std::string, std::string> files_;
+  std::map<std::string, std::string> passwords_;
+  std::string log_;
+  std::string stdout_;
+  std::string declassified_;
+  RegionAllocator pub_heap_;
+  RegionAllocator prv_heap_;
+  uint64_t crypto_key_ = 0xA5C3A5C3A5C3A5C3ull;
+  uint64_t time_ = 0;
+  uint64_t rand_state_ = 0;
+  bool attached_ = false;
+  bool installed_ = false;
+};
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_RUNTIME_TRUSTED_H_

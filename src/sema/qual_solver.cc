@@ -1,0 +1,34 @@
+#include "src/sema/qual_solver.h"
+
+namespace confllvm {
+
+bool QualSolver::Solve(DiagEngine* diags) {
+  solution_.assign(num_vars_, Qual::kPublic);
+
+  // Least fixpoint: repeatedly propagate private along lo ⊑ hi edges. The
+  // constraint count is linear in program size and the lattice has height 1,
+  // so iterating the full list until quiescence is O(n^2) worst case but
+  // fast in practice; a worklist would not change observable behaviour.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Constraint& c : constraints_) {
+      if (Resolve(c.lo) == Qual::kPrivate && c.hi.is_var &&
+          solution_[c.hi.var] == Qual::kPublic) {
+        solution_[c.hi.var] = Qual::kPrivate;
+        changed = true;
+      }
+    }
+  }
+
+  bool ok = true;
+  for (const Constraint& c : constraints_) {
+    if (!QualLe(Resolve(c.lo), Resolve(c.hi))) {
+      diags->Error(c.loc, "private data flows to public " + c.what);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace confllvm

@@ -1,0 +1,66 @@
+// Qualifier-inference constraint solver.
+//
+// The paper (§5.1) generates subtyping constraints on dataflows and solves
+// them with Z3. Over the two-point lattice {public ⊑ private} the least
+// solution is computed directly by fixpoint propagation: all variables start
+// public and `private` propagates along flow edges; a constraint forcing
+// private ⊑ public is unsatisfiable and reported as a type error (this is
+// what flags the paper's Figure-1 bug of sending a private buffer on a
+// public channel at compile time).
+#ifndef CONFLLVM_SRC_SEMA_QUAL_SOLVER_H_
+#define CONFLLVM_SRC_SEMA_QUAL_SOLVER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sema/type.h"
+#include "src/support/diag.h"
+
+namespace confllvm {
+
+class QualSolver {
+ public:
+  QualTerm NewVar() { return QualTerm::Var(num_vars_++); }
+
+  // Adds `lo ⊑ hi`; `what` explains the flow for error messages.
+  void AddFlow(QualTerm lo, QualTerm hi, SourceLoc loc, std::string what) {
+    constraints_.push_back({lo, hi, loc, std::move(what)});
+  }
+
+  // Adds `a == b` (two flows).
+  void AddEq(QualTerm a, QualTerm b, SourceLoc loc, const std::string& what) {
+    AddFlow(a, b, loc, what);
+    AddFlow(b, a, loc, what);
+  }
+
+  // Solves for the least solution; reports unsatisfiable constraints to
+  // `diags`. Returns false if any constraint failed.
+  bool Solve(DiagEngine* diags);
+
+  // Post-Solve: resolves a term to its concrete qualifier.
+  Qual Resolve(QualTerm t) const {
+    if (!t.is_var) {
+      return t.value;
+    }
+    return solution_[t.var];
+  }
+
+  size_t num_vars() const { return num_vars_; }
+  size_t num_constraints() const { return constraints_.size(); }
+
+ private:
+  struct Constraint {
+    QualTerm lo;
+    QualTerm hi;
+    SourceLoc loc;
+    std::string what;
+  };
+
+  std::vector<Constraint> constraints_;
+  std::vector<Qual> solution_;
+  uint32_t num_vars_ = 0;
+};
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_SEMA_QUAL_SOLVER_H_

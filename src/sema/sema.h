@@ -1,0 +1,104 @@
+// MiniC semantic analysis: name resolution, type checking, and qualifier
+// inference (paper §5.1).
+//
+// Outputs a TypedProgram in which every expression and symbol carries a
+// fully *concrete* qualified type: inference variables introduced for local
+// declarations are solved by QualSolver and substituted before the result is
+// handed to IR generation.
+#ifndef CONFLLVM_SRC_SEMA_SEMA_H_
+#define CONFLLVM_SRC_SEMA_SEMA_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/sema/type.h"
+#include "src/support/diag.h"
+
+namespace confllvm {
+
+struct Symbol {
+  enum class Kind : uint8_t { kLocal, kParam, kGlobal, kFunc };
+  enum class InitKind : uint8_t { kNone, kInt, kFloat, kString };
+
+  Kind kind = Kind::kLocal;
+  std::string name;
+  QType type;  // concrete after sema; kFunc: unused (see sig)
+  std::shared_ptr<FnSig> sig;  // kFunc
+  bool is_trusted_import = false;  // kFunc with no body anywhere => import from T
+  uint32_t index = 0;  // param position / local ordinal / global ordinal / import slot
+  SourceLoc loc;
+
+  // Global initializer (constant), if any.
+  InitKind init_kind = InitKind::kNone;
+  int64_t init_int = 0;
+  double init_float = 0;
+  std::string init_str;
+};
+
+struct ExprInfo {
+  QType type;  // concrete after sema
+  bool is_lvalue = false;
+  Symbol* sym = nullptr;          // kVarRef binding (var or function)
+  bool is_direct_call = false;    // kCall to a named function symbol
+  Symbol* callee = nullptr;       // direct call target
+};
+
+struct FunctionSema {
+  const FuncDecl* decl = nullptr;
+  Symbol* sym = nullptr;
+  std::vector<Symbol*> params;
+  std::vector<Symbol*> locals;  // flattened across blocks, unique per decl site
+};
+
+// How to treat branches on private data (paper §2: experiments run in the
+// stricter mode that disallows them).
+enum class ImplicitFlowMode : uint8_t {
+  kWarn,    // default ConfLLVM behaviour: warn on private branch
+  kStrict,  // reject private branches (no implicit flows possible)
+};
+
+struct SemaOptions {
+  ImplicitFlowMode implicit_flows = ImplicitFlowMode::kStrict;
+  // §5.1 all-private mode: every unannotated qualifier defaults to private
+  // and private branches are permitted (implicit flows are vacuous).
+  bool all_private = false;
+};
+
+struct TypedProgram {
+  std::unique_ptr<Program> ast;
+  std::unique_ptr<TypeContext> types;
+  SemaOptions options;
+
+  std::vector<std::unique_ptr<Symbol>> owned_symbols;
+  std::unordered_map<const Expr*, ExprInfo> expr_info;
+  std::unordered_map<const Stmt*, Symbol*> decl_sym;  // kDecl stmt -> local
+  std::vector<Symbol*> globals;                       // declaration order
+  std::vector<FunctionSema> functions;                // defined (U) functions
+  std::vector<Symbol*> trusted_imports;               // externals table order
+
+  // Inference statistics (reported by tooling).
+  size_t num_qual_vars = 0;
+  size_t num_constraints = 0;
+
+  const ExprInfo& Info(const Expr* e) const { return expr_info.at(e); }
+  const FunctionSema* FindFunction(const std::string& name) const {
+    for (const auto& f : functions) {
+      if (f.decl->name == name) {
+        return &f;
+      }
+    }
+    return nullptr;
+  }
+};
+
+// Runs semantic analysis. Returns nullptr if `diags` holds errors.
+std::unique_ptr<TypedProgram> RunSema(std::unique_ptr<Program> ast,
+                                      const SemaOptions& options, DiagEngine* diags);
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_SEMA_SEMA_H_

@@ -1,0 +1,41 @@
+#include "src/support/diag.h"
+
+#include <sstream>
+
+namespace confllvm {
+
+namespace {
+const char* SeverityName(DiagSeverity s) {
+  switch (s) {
+    case DiagSeverity::kNote:
+      return "note";
+    case DiagSeverity::kWarning:
+      return "warning";
+    case DiagSeverity::kError:
+      return "error";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string DiagEngine::ToString() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) {
+    if (d.loc.IsValid()) {
+      os << d.loc.line << ":" << d.loc.column << ": ";
+    }
+    os << SeverityName(d.severity) << ": " << d.message << "\n";
+  }
+  return os.str();
+}
+
+bool DiagEngine::Contains(const std::string& needle) const {
+  for (const Diagnostic& d : diags_) {
+    if (d.message.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace confllvm

@@ -1,0 +1,77 @@
+// Diagnostics engine: source locations, error/warning collection.
+//
+// The compiler never throws; every stage appends to a DiagEngine and callers
+// test HasErrors() before consuming stage output (Google style: no
+// exceptions crossing library boundaries).
+#ifndef CONFLLVM_SRC_SUPPORT_DIAG_H_
+#define CONFLLVM_SRC_SUPPORT_DIAG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace confllvm {
+
+// A position in a MiniC source buffer. Files are identified by an index into
+// the SourceManager-like table owned by the frontend; this repo compiles one
+// buffer at a time so `file` is informational.
+struct SourceLoc {
+  uint32_t line = 0;    // 1-based; 0 = unknown
+  uint32_t column = 0;  // 1-based
+
+  bool IsValid() const { return line != 0; }
+};
+
+enum class DiagSeverity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::kError;
+  SourceLoc loc;
+  std::string message;
+};
+
+// Collects diagnostics across compiler stages.
+class DiagEngine {
+ public:
+  void Error(SourceLoc loc, std::string message) {
+    diags_.push_back({DiagSeverity::kError, loc, std::move(message)});
+    ++num_errors_;
+  }
+  void Warning(SourceLoc loc, std::string message) {
+    diags_.push_back({DiagSeverity::kWarning, loc, std::move(message)});
+    ++num_warnings_;
+  }
+  void Note(SourceLoc loc, std::string message) {
+    diags_.push_back({DiagSeverity::kNote, loc, std::move(message)});
+  }
+
+  bool HasErrors() const { return num_errors_ != 0; }
+  size_t num_errors() const { return num_errors_; }
+  size_t num_warnings() const { return num_warnings_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  // Renders all diagnostics as "line:col: severity: message" lines.
+  std::string ToString() const;
+
+  // True if any diagnostic message contains `needle` (test helper).
+  bool Contains(const std::string& needle) const;
+
+  void Clear() {
+    diags_.clear();
+    num_errors_ = 0;
+    num_warnings_ = 0;
+  }
+
+ private:
+  std::vector<Diagnostic> diags_;
+  size_t num_errors_ = 0;
+  size_t num_warnings_ = 0;
+};
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_SUPPORT_DIAG_H_

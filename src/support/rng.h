@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generator (SplitMix64 + xoshiro256**).
+//
+// Used for magic-sequence prefix selection (paper §6: "generating random bit
+// sequences and checking for uniqueness"), workload generation, and the
+// formal model's random program generator. Deterministic seeding keeps every
+// test and benchmark reproducible.
+#ifndef CONFLLVM_SRC_SUPPORT_RNG_H_
+#define CONFLLVM_SRC_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace confllvm {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 to spread the seed across the xoshiro state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  bool Chance(double p) {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_SUPPORT_RNG_H_

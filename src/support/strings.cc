@@ -1,0 +1,42 @@
+#include "src/support/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace confllvm {
+
+std::string Join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out(static_cast<size_t>(n), '\0');
+  vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  va_end(ap2);
+  return out;
+}
+
+std::string Hex(uint64_t n) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(n));
+  return buf;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace confllvm

@@ -1,0 +1,187 @@
+// Sparse paged memory with explicit mapping. Accesses to unmapped addresses
+// fault — this is how guard zones (paper Figure 3) stop segment-scheme
+// escapes and wild pointers.
+#ifndef CONFLLVM_SRC_VM_MEMORY_H_
+#define CONFLLVM_SRC_VM_MEMORY_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+namespace confllvm {
+
+class Memory {
+ public:
+  static constexpr uint64_t kPageSize = 4096;
+
+  // Marks [base, base+size) mapped (zero-filled on first touch).
+  void Map(uint64_t base, uint64_t size) {
+    const uint64_t first = base / kPageSize;
+    const uint64_t last = (base + size + kPageSize - 1) / kPageSize;
+    for (uint64_t p = first; p < last; ++p) {
+      pages_.try_emplace(p);  // nullptr until touched
+    }
+  }
+
+  bool IsMapped(uint64_t addr, uint64_t size) const {
+    const uint64_t first = addr / kPageSize;
+    const uint64_t last = (addr + size + kPageSize - 1) / kPageSize;
+    for (uint64_t p = first; p < last; ++p) {
+      if (pages_.find(p) == pages_.end()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Scalar access (size 1 or 8). Returns false on unmapped access.
+  bool Read(uint64_t addr, uint32_t size, uint64_t* out) {
+    uint8_t buf[8];
+    if (!ReadBytes(addr, buf, size)) {
+      return false;
+    }
+    if (size == 1) {
+      *out = buf[0];
+    } else {
+      uint64_t v;
+      memcpy(&v, buf, 8);
+      *out = v;
+    }
+    return true;
+  }
+
+  bool Write(uint64_t addr, uint32_t size, uint64_t value) {
+    uint8_t buf[8];
+    memcpy(buf, &value, 8);
+    return WriteBytes(addr, buf, size);
+  }
+
+  bool ReadBytes(uint64_t addr, void* dst, uint64_t len) {
+    uint8_t* out = static_cast<uint8_t*>(dst);
+    while (len > 0) {
+      uint8_t* page = PageFor(addr);
+      if (page == nullptr) {
+        return false;
+      }
+      const uint64_t off = addr % kPageSize;
+      const uint64_t n = std::min(len, kPageSize - off);
+      memcpy(out, page + off, n);
+      addr += n;
+      out += n;
+      len -= n;
+    }
+    return true;
+  }
+
+  bool WriteBytes(uint64_t addr, const void* src, uint64_t len) {
+    const uint8_t* in = static_cast<const uint8_t*>(src);
+    while (len > 0) {
+      uint8_t* page = PageFor(addr);
+      if (page == nullptr) {
+        return false;
+      }
+      const uint64_t off = addr % kPageSize;
+      const uint64_t n = std::min(len, kPageSize - off);
+      memcpy(page + off, in, n);
+      addr += n;
+      in += n;
+      len -= n;
+    }
+    return true;
+  }
+
+  bool Fill(uint64_t addr, uint8_t value, uint64_t len) {
+    while (len > 0) {
+      uint8_t* page = PageFor(addr);
+      if (page == nullptr) {
+        return false;
+      }
+      const uint64_t off = addr % kPageSize;
+      const uint64_t n = std::min(len, kPageSize - off);
+      memset(page + off, value, n);
+      addr += n;
+      len -= n;
+    }
+    return true;
+  }
+
+ private:
+  uint8_t* PageFor(uint64_t addr) {
+    const uint64_t p = addr / kPageSize;
+    if (p == last_page_num_ && last_page_ != nullptr) {
+      return last_page_;
+    }
+    auto it = pages_.find(p);
+    if (it == pages_.end()) {
+      return nullptr;
+    }
+    if (it->second == nullptr) {
+      it->second = std::make_unique<uint8_t[]>(kPageSize);
+      memset(it->second.get(), 0, kPageSize);
+    }
+    last_page_num_ = p;
+    last_page_ = it->second.get();
+    return last_page_;
+  }
+
+  std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
+  uint64_t last_page_num_ = ~0ull;
+  uint8_t* last_page_ = nullptr;
+};
+
+// Tiny set-associative D-cache model: 32 KiB, 64-byte lines, 4-way LRU.
+// Only used for cost accounting — the split private/public stacks' extra
+// cache pressure is what drives Figure 6's OurMPX vs OurMPX-Sep gap.
+class CacheModel {
+ public:
+  static constexpr uint32_t kLineBits = 6;
+  static constexpr uint32_t kSets = 128;
+  static constexpr uint32_t kWays = 4;
+  static constexpr uint64_t kMissPenalty = 24;
+
+  // Returns extra cycles (0 on hit).
+  uint64_t Access(uint64_t addr) {
+    const uint64_t line = addr >> kLineBits;
+    const uint32_t set = static_cast<uint32_t>(line) & (kSets - 1);
+    const uint64_t tag = line / kSets;
+    for (uint32_t w = 0; w < kWays; ++w) {
+      if (valid_[set][w] && tags_[set][w] == tag) {
+        lru_[set][w] = ++tick_;
+        ++hits_;
+        return 0;
+      }
+    }
+    // Miss: replace LRU way.
+    uint32_t victim = 0;
+    for (uint32_t w = 1; w < kWays; ++w) {
+      if (!valid_[set][w]) {
+        victim = w;
+        break;
+      }
+      if (lru_[set][w] < lru_[set][victim]) {
+        victim = w;
+      }
+    }
+    valid_[set][victim] = true;
+    tags_[set][victim] = tag;
+    lru_[set][victim] = ++tick_;
+    ++misses_;
+    return kMissPenalty;
+  }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  uint64_t tags_[kSets][kWays] = {};
+  uint64_t lru_[kSets][kWays] = {};
+  bool valid_[kSets][kWays] = {};
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_VM_MEMORY_H_

@@ -1,0 +1,75 @@
+// LoadedProgram: a linked, relocated, magic-patched binary plus the region
+// map the loader established — everything the VM needs to execute U and the
+// verifier needs to validate it against concrete bounds.
+#ifndef CONFLLVM_SRC_VM_PROGRAM_H_
+#define CONFLLVM_SRC_VM_PROGRAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/isa/binary.h"
+
+namespace confllvm {
+
+// Concrete addresses of every mapped area (paper Figure 3).
+struct RegionMap {
+  // U's regions (usable areas; guards around them stay unmapped).
+  uint64_t pub_base = 0;
+  uint64_t pub_size = 0;
+  uint64_t prv_base = 0;
+  uint64_t prv_size = 0;
+  // Segment bases (segmentation scheme; == region bases).
+  uint64_t fs = 0;
+  uint64_t gs = 0;
+  // MPX bounds registers: [lo, hi) per region.
+  uint64_t bnd_lo[2] = {0, 0};
+  uint64_t bnd_hi[2] = {0, 0};
+  // T's own region (U must never touch it).
+  uint64_t t_base = 0;
+  uint64_t t_size = 0;
+  // Region-internal carving (absolute addresses).
+  uint64_t pub_globals = 0;
+  uint64_t pub_heap = 0;
+  uint64_t pub_heap_size = 0;
+  uint64_t pub_stack_area = 0;  // kMaxThreads stacks of kThreadStackSize
+  uint64_t prv_globals = 0;
+  uint64_t prv_heap = 0;
+  uint64_t prv_heap_size = 0;
+  uint64_t prv_stack_area = 0;
+  uint64_t t_stack_area = 0;
+  uint64_t t_heap = 0;
+  uint64_t t_heap_size = 0;
+};
+
+// One decoded code word. Multi-word instructions mark their continuation
+// words invalid (executing them faults, like jumping into the middle of an
+// x86 instruction — CFI prevents this in verified binaries).
+struct DecodedSlot {
+  std::optional<MInstr> instr;
+  uint32_t words = 1;
+};
+
+struct LoadedProgram {
+  Binary binary;  // post-link patched (magic words, global refs)
+  std::vector<DecodedSlot> decoded;
+  RegionMap map;
+  std::vector<uint64_t> global_addr;  // absolute address per global
+
+  // Exit stubs appended by the loader after U's code: returning from the
+  // entry function lands here and halts the VM.
+  uint32_t exit_stub_word[2] = {0, 0};  // by return-taint bit
+
+  // Loader configuration mirrored for the VM / trusted runtime.
+  bool separate_t_memory = true;  // false: Our1Mem (no stack/gs switch)
+  bool unified_bounds = false;    // OurMPX-Sep: both bnds cover all of U
+
+  uint64_t EntryWordOf(const std::string& name) const {
+    const int i = binary.FunctionIndex(name);
+    return i < 0 ? 0 : binary.functions[i].entry_word;
+  }
+};
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_VM_PROGRAM_H_

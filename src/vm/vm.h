@@ -1,0 +1,161 @@
+// The machine simulator.
+//
+// Executes vISA with the paper's protection semantics:
+//  * unmapped (guard-zone) access, bounds violation, CFI trap, executing a
+//    data word, or escaping the thread stack (chkstk) all fault and halt the
+//    thread — confidentiality is preserved by stopping the program;
+//  * segment-prefixed operands use only the low 32 bits of base and index
+//    registers (paper §3);
+//  * kCallExt crosses into T: the wrapper checks pointer arguments against
+//    their declared regions, switches stacks/gs (modeled as cycle cost), and
+//    invokes the native trusted function.
+//
+// Cost model (cycles):
+//  * ALU/mov 1, mul 3, div 20; loads/stores 2 + D-cache penalty (+1 for
+//    segment-prefixed pointer operands: the 32-bit sub-register addressing
+//    constraint; rsp-based frame accesses are exempt); calls 2.
+//  * bndcl/bndcu: 1 (register form) / 2 (memory form); an FP arithmetic op
+//    leaves a free issue slot that an adjacent bound check consumes at zero
+//    cost — the port-level parallelism the paper credits for Privado's low
+//    overhead (§7.4).
+//  * FP add/sub/mul 3, div 15.
+// Deterministic: same program + inputs => same cycle counts.
+#ifndef CONFLLVM_SRC_VM_VM_H_
+#define CONFLLVM_SRC_VM_VM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/vm/memory.h"
+#include "src/vm/program.h"
+
+namespace confllvm {
+
+enum class VmFault : uint8_t {
+  kNone = 0,
+  kUnmapped,      // guard zone / wild pointer
+  kBndViolation,  // MPX check failed
+  kCfiTrap,       // magic-sequence check failed
+  kExecData,      // executed a non-instruction word
+  kDivZero,
+  kChkstk,        // rsp escaped the thread stack
+  kBadJump,       // control left the code image
+  kTrustedCheck,  // T wrapper rejected an argument
+  kInstrLimit,
+};
+
+const char* FaultName(VmFault f);
+
+struct ThreadCtx {
+  uint32_t id = 0;
+  uint64_t regs[kNumIntRegs] = {};
+  double fregs[kNumFloatRegs] = {};
+  uint64_t pc = 0;  // code word index
+  uint64_t stack_lo = 0;
+  uint64_t stack_hi = 0;
+  bool halted = false;
+  VmFault fault = VmFault::kNone;
+  std::string fault_msg;
+  uint64_t fault_pc = 0;
+  uint64_t cycles = 0;
+  uint64_t instrs = 0;
+  uint32_t fp_credit = 0;
+};
+
+struct VmStats {
+  uint64_t instrs = 0;
+  uint64_t cycles = 0;
+  uint64_t check_instrs = 0;   // bndc executed
+  uint64_t check_cycles = 0;
+  uint64_t cfi_instrs = 0;     // CFI sequences (loadcode)
+  uint64_t trusted_cycles = 0;
+  uint64_t trusted_calls = 0;
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  uint64_t cache_miss_cycles = 0;
+};
+
+struct VmOptions {
+  uint32_t num_cores = 4;
+  uint64_t quantum = 20000;          // cycles per scheduling slice
+  uint64_t max_instrs = 4000000000;  // per Call safety limit
+};
+
+class Vm;
+
+// Native implementations of the trusted library T (runtime module).
+class TrustedCallout {
+ public:
+  virtual ~TrustedCallout() = default;
+  virtual void Invoke(uint32_t import_idx, Vm* vm, ThreadCtx* t) = 0;
+};
+
+class Vm {
+ public:
+  Vm(LoadedProgram* prog, TrustedCallout* trusted, VmOptions opts = {});
+
+  struct CallResult {
+    bool ok = false;
+    VmFault fault = VmFault::kNone;
+    std::string fault_msg;
+    uint64_t ret = 0;
+    uint64_t cycles = 0;
+    uint64_t instrs = 0;
+  };
+
+  // Runs `fn(args...)` to completion on thread 0.
+  CallResult Call(const std::string& fn, const std::vector<uint64_t>& args);
+
+  struct ThreadSpec {
+    std::string fn;
+    std::vector<uint64_t> args;
+  };
+  struct ParallelResult {
+    bool ok = false;
+    uint64_t wall_cycles = 0;  // makespan over num_cores
+    std::vector<CallResult> per_thread;
+  };
+  // Runs each spec on its own thread (own stacks), round-robin over
+  // num_cores-wide waves of `quantum` cycles.
+  ParallelResult RunParallel(const std::vector<ThreadSpec>& threads);
+
+  Memory& memory() { return mem_; }
+  const VmStats& stats() const { return stats_; }
+  LoadedProgram& program() { return *prog_; }
+  CacheModel& cache() { return cache_; }
+
+  // ---- services for trusted natives ----
+  void ChargeTrusted(ThreadCtx* t, uint64_t cycles) {
+    t->cycles += cycles;
+    stats_.trusted_cycles += cycles;
+  }
+  // Validates that [addr, addr+len) lies inside U's public (or private)
+  // region — the per-function wrapper range checks of paper §6.
+  bool RangeInRegion(uint64_t addr, uint64_t len, bool private_region) const;
+  void TrustedFault(ThreadCtx* t, const std::string& msg) {
+    t->fault = VmFault::kTrustedCheck;
+    t->fault_msg = msg;
+  }
+
+ private:
+  bool Step(ThreadCtx* t);  // false when halted or faulted
+  void Fault(ThreadCtx* t, VmFault f, const std::string& msg);
+  uint64_t Ea(const ThreadCtx& t, const MemOperand& m) const;
+  uint64_t EaNoSeg(const ThreadCtx& t, const MemOperand& m) const;
+  void SetupThread(ThreadCtx* t, uint32_t tid, const std::string& fn,
+                   const std::vector<uint64_t>& args, bool* ok);
+  CallResult Finish(const ThreadCtx& t) const;
+  void InvokeTrusted(ThreadCtx* t, uint32_t idx);
+
+  LoadedProgram* prog_;
+  TrustedCallout* trusted_;
+  VmOptions opts_;
+  Memory mem_;
+  CacheModel cache_;
+  VmStats stats_;
+};
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_VM_VM_H_

@@ -1,0 +1,252 @@
+// End-to-end smoke tests: compile MiniC, run on the VM, across all eight
+// build presets of §7.1/§7.2.
+#include <gtest/gtest.h>
+
+#include "src/driver/confcc.h"
+
+namespace confllvm {
+namespace {
+
+constexpr BuildPreset kAllPresets[] = {
+    BuildPreset::kBase,    BuildPreset::kBaseOA, BuildPreset::kOur1Mem,
+    BuildPreset::kOurBare, BuildPreset::kOurCFI, BuildPreset::kOurMpx,
+    BuildPreset::kOurMpxSep, BuildPreset::kOurSeg,
+};
+
+uint64_t RunMain(const std::string& src, BuildPreset preset,
+                 const std::vector<uint64_t>& args = {}) {
+  DiagEngine diags;
+  auto s = MakeSession(src, preset, &diags);
+  EXPECT_NE(s, nullptr) << diags.ToString();
+  if (s == nullptr) {
+    return ~0ull;
+  }
+  auto r = s->vm->Call("main", args);
+  EXPECT_TRUE(r.ok) << "preset=" << PresetName(preset) << " fault="
+                    << FaultName(r.fault) << ": " << r.fault_msg;
+  return r.ret;
+}
+
+class AllPresets : public ::testing::TestWithParam<BuildPreset> {};
+
+INSTANTIATE_TEST_SUITE_P(Presets, AllPresets, ::testing::ValuesIn(kAllPresets),
+                         [](const auto& info) {
+                           std::string n = PresetName(info.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST_P(AllPresets, ReturnsConstant) {
+  EXPECT_EQ(RunMain("int main() { return 42; }", GetParam()), 42u);
+}
+
+TEST_P(AllPresets, Arithmetic) {
+  EXPECT_EQ(RunMain("int main() { int a = 6; int b = 7; return a * b + 1; }",
+                    GetParam()),
+            43u);
+}
+
+TEST_P(AllPresets, LoopSum) {
+  const char* src = R"(
+    int main() {
+      int s = 0;
+      for (int i = 1; i <= 100; i = i + 1) { s = s + i; }
+      return s;
+    })";
+  EXPECT_EQ(RunMain(src, GetParam()), 5050u);
+}
+
+TEST_P(AllPresets, LocalArrayAndPointers) {
+  const char* src = R"(
+    int main() {
+      int a[10];
+      int *p = a;
+      for (int i = 0; i < 10; i = i + 1) { p[i] = i * i; }
+      int s = 0;
+      for (int i = 0; i < 10; i = i + 1) { s = s + a[i]; }
+      return s;
+    })";
+  EXPECT_EQ(RunMain(src, GetParam()), 285u);
+}
+
+TEST_P(AllPresets, PrivateLocalsAndArgs) {
+  const char* src = R"(
+    private int add(private int x) { return x + 1; }
+    private int incr(private int *p, private int x) {
+      int y = add(x);
+      *p = y;
+      return *p;
+    }
+    int main() {
+      private int v = 41;
+      private int r = incr(&v, v);
+      if (r == 42) { return 1; }
+      return 0;
+    })";
+  // Branching on private: run in warn mode equivalent => use all-private?
+  // The condition `r == 42` is private, so strict mode rejects it. Compare
+  // via arithmetic instead.
+  const char* src2 = R"(
+    private int add(private int x) { return x + 1; }
+    private int incr(private int *p, private int x) {
+      int y = add(x);
+      *p = y;
+      return *p;
+    }
+    int deliver(private int r) {
+      private int probe = r - 42;   // stays private; never branched on
+      private int sink[1];
+      sink[0] = probe;
+      return 7;
+    }
+    int main() {
+      private int v = 41;
+      private int r = incr(&v, v);
+      return deliver(r);
+    })";
+  (void)src;
+  EXPECT_EQ(RunMain(src2, GetParam()), 7u);
+}
+
+TEST_P(AllPresets, StructsAndGlobals) {
+  const char* src = R"(
+    struct point { int x; int y; };
+    struct point g_origin;
+    int g_scale = 3;
+    int main() {
+      g_origin.x = 4;
+      g_origin.y = 5;
+      struct point p;
+      p.x = g_origin.x * g_scale;
+      p.y = g_origin.y * g_scale;
+      struct point *q = &p;
+      return q->x + q->y;
+    })";
+  EXPECT_EQ(RunMain(src, GetParam()), 27u);
+}
+
+TEST_P(AllPresets, FunctionPointers) {
+  const char* src = R"(
+    int twice(int x) { return 2 * x; }
+    int thrice(int x) { return 3 * x; }
+    int apply(int (*f)(int), int v) { return f(v); }
+    int main() {
+      int (*g)(int) = twice;
+      int a = apply(g, 10);
+      g = thrice;
+      int b = apply(g, 10);
+      return a + b;
+    })";
+  EXPECT_EQ(RunMain(src, GetParam()), 50u);
+}
+
+TEST_P(AllPresets, RecursionFib) {
+  const char* src = R"(
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() { return fib(15); })";
+  EXPECT_EQ(RunMain(src, GetParam()), 610u);
+}
+
+TEST_P(AllPresets, FloatMath) {
+  const char* src = R"(
+    float g_acc = 0.0;
+    int main() {
+      float x = 1.5;
+      float y = 2.25;
+      g_acc = x * y + 0.75;
+      float z = g_acc * 4.0;
+      return (int)z;
+    })";
+  EXPECT_EQ(RunMain(src, GetParam()), 16u);  // (1.5*2.25+0.75)*4 = 16.5 -> 16
+}
+
+TEST_P(AllPresets, CharsAndStrings) {
+  const char* src = R"(
+    int str_len(char *s) {
+      int n = 0;
+      while (s[n] != 0) { n = n + 1; }
+      return n;
+    }
+    int main() {
+      char buf[16];
+      char *msg = "hello";
+      int n = str_len(msg);
+      for (int i = 0; i < n; i = i + 1) { buf[i] = msg[i]; }
+      buf[n] = 0;
+      return str_len(buf) + (int)buf[0];
+    })";
+  EXPECT_EQ(RunMain(src, GetParam()), 5u + 'h');
+}
+
+TEST_P(AllPresets, HeapAllocationViaT) {
+  const char* src = R"(
+    void *pub_malloc(int n);
+    void pub_free(void *p);
+    int main() {
+      int *a = (int*)pub_malloc(10 * sizeof(int));
+      for (int i = 0; i < 10; i = i + 1) { a[i] = i; }
+      int s = 0;
+      for (int i = 0; i < 10; i = i + 1) { s = s + a[i]; }
+      pub_free((void*)a);
+      return s;
+    })";
+  EXPECT_EQ(RunMain(src, GetParam()), 45u);
+}
+
+TEST_P(AllPresets, PrivateHeapAndDeclassifyViaT) {
+  const char* src = R"(
+    private void *prv_malloc(int n);
+    void prv_free(private void *p);
+    int encrypt(private char *pt, char *ct, int n);
+    int send(int fd, char *buf, int n);
+    int main() {
+      private char *secret = (private char*)prv_malloc(16);
+      for (int i = 0; i < 16; i = i + 1) { secret[i] = (char)(65 + i); }
+      char out[16];
+      encrypt(secret, out, 16);
+      send(1, out, 16);
+      prv_free((private void*)secret);
+      return 0;
+    })";
+  EXPECT_EQ(RunMain(src, GetParam()), 0u);
+}
+
+TEST(SemaErrors, LeakPrivateToPublicSinkRejected) {
+  // The Figure-1 bug: sending a private buffer on a public channel is a
+  // compile-time qualifier error.
+  const char* src = R"(
+    int send(int fd, char *buf, int n);
+    void read_passwd(char *uname, private char *pass, int n);
+    int main() {
+      char uname[8];
+      private char passwd[64];
+      read_passwd(uname, passwd, 64);
+      send(1, passwd, 64);
+      return 0;
+    })";
+  DiagEngine diags;
+  auto s = MakeSession(src, BuildPreset::kOurMpx, &diags);
+  EXPECT_EQ(s, nullptr);
+  EXPECT_TRUE(diags.Contains("private data flows to public")) << diags.ToString();
+}
+
+TEST(SemaErrors, BranchOnPrivateRejectedInStrictMode) {
+  const char* src = R"(
+    int main() {
+      private int x = 5;
+      if (x > 3) { return 1; }
+      return 0;
+    })";
+  DiagEngine diags;
+  auto s = MakeSession(src, BuildPreset::kOurMpx, &diags);
+  EXPECT_EQ(s, nullptr);
+  EXPECT_TRUE(diags.Contains("branching on private")) << diags.ToString();
+}
+
+}  // namespace
+}  // namespace confllvm

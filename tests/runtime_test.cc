@@ -1,0 +1,213 @@
+// Runtime-layer tests: trusted library semantics, crypto round trips,
+// channel behaviour, loader limits, and live control-flow-hijack attempts
+// stopped by the taint-aware CFI at runtime (paper §4).
+#include <gtest/gtest.h>
+
+#include "src/driver/confcc.h"
+#include "src/isa/layout.h"
+
+namespace confllvm {
+namespace {
+
+TEST(TrustedRuntime, EncryptDecryptRoundTrip) {
+  const char* src = R"(
+    void decrypt(char *ct, private char *pt, int n);
+    int encrypt(private char *pt, char *ct, int n);
+    int send(int fd, char *buf, int n);
+    int recv(int fd, char *buf, int n);
+    int roundtrip() {
+      char wire[32];
+      int n = recv(0, wire, 32);
+      private char clear[32];
+      decrypt(wire, clear, n);
+      char back[32];
+      encrypt(clear, back, n);
+      send(1, back, n);
+      return n;
+    })";
+  DiagEngine d;
+  auto s = MakeSession(src, BuildPreset::kOurMpx, &d);
+  ASSERT_NE(s, nullptr) << d.ToString();
+  // Push ciphertext of "attack at dawn!" by encrypting host-side with the
+  // same xor key.
+  std::string msg = "attack at dawn!";
+  std::string ct = msg;
+  for (size_t i = 0; i < ct.size(); ++i) {
+    ct[i] ^= static_cast<char>(s->tlib->crypto_key() >> ((i % 8) * 8));
+  }
+  s->tlib->PushRx(0, ct);
+  auto r = s->vm->Call("roundtrip", {});
+  ASSERT_TRUE(r.ok) << r.fault_msg;
+  EXPECT_EQ(r.ret, msg.size());
+  // decrypt->encrypt with the same key: the wire sees the ciphertext again,
+  // never the plaintext.
+  EXPECT_EQ(s->tlib->SentBytes(1), ct);
+  EXPECT_FALSE(s->tlib->PublicOutputContains("attack at dawn"));
+}
+
+TEST(TrustedRuntime, RecvDrainsQueueInOrder) {
+  const char* src = R"(
+    int recv(int fd, char *buf, int n);
+    int drain() {
+      char b[16];
+      int total = 0;
+      int n = recv(5, b, 16);
+      while (n > 0) {
+        total = total + (int)b[0];
+        n = recv(5, b, 16);
+      }
+      return total;
+    })";
+  DiagEngine d;
+  auto s = MakeSession(src, BuildPreset::kOurSeg, &d);
+  ASSERT_NE(s, nullptr) << d.ToString();
+  s->tlib->PushRx(5, "A");
+  s->tlib->PushRx(5, "B");
+  s->tlib->PushRx(5, "C");
+  auto r = s->vm->Call("drain", {});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.ret, static_cast<uint64_t>('A' + 'B' + 'C'));
+}
+
+TEST(TrustedRuntime, FileMissingReturnsMinusOne) {
+  const char* src = R"(
+    int file_size(char *name);
+    int probe() {
+      char n[8];
+      n[0] = 'x'; n[1] = 0;
+      return file_size(n) + 2;
+    })";
+  DiagEngine d;
+  auto s = MakeSession(src, BuildPreset::kOurMpx, &d);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->vm->Call("probe", {}).ret, 1u);  // -1 + 2
+}
+
+TEST(TrustedRuntime, PrivateHeapPointersRejectedAtPublicSinks) {
+  const char* src = R"(
+    private void *prv_malloc(int n);
+    int send(int fd, char *buf, int n);
+    int try_leak() {
+      private char *p = (private char*)prv_malloc(32);
+      for (int i = 0; i < 32; i = i + 1) { p[i] = 'S'; }
+      send(0, (char*)(int)p, 32);
+      return 0;
+    })";
+  DiagEngine d;
+  auto s = MakeSession(src, BuildPreset::kOurMpx, &d);
+  ASSERT_NE(s, nullptr) << d.ToString();
+  auto r = s->vm->Call("try_leak", {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.fault, VmFault::kTrustedCheck);
+  EXPECT_FALSE(s->tlib->PublicOutputContains("SSSS"));
+}
+
+TEST(Loader, RejectsOversizedGlobals) {
+  // The globals area is 16 MiB per region; a 32 MiB global must be refused.
+  const char* src = "char huge[33554432]; int main() { return 0; }";
+  DiagEngine d;
+  auto s = MakeSession(src, BuildPreset::kOurMpx, &d);
+  EXPECT_EQ(s, nullptr);
+  EXPECT_TRUE(d.Contains("globals exceed")) << d.ToString();
+}
+
+// ---- runtime control-flow hijack (the heart of §4) ----
+
+const char* kHijack = R"(
+int send(int fd, char *buf, int n);
+void read_passwd(char *uname, private char *pass, int n);
+
+// Never called legitimately: exfiltrates whatever it can reach.
+int gadget(int x) {
+  char out[16];
+  for (int i = 0; i < 16; i = i + 1) { out[i] = (char)(65 + i); }
+  send(0, out, 16);
+  return 99;
+}
+
+int dispatch(int target) {
+  int (*f)(int) = (int (*)(int))target;
+  return f(7);
+}
+)";
+
+TEST(CfiRuntime, IndirectCallToValidEntrySucceeds) {
+  DiagEngine d;
+  auto s = MakeSession(kHijack, BuildPreset::kOurMpx, &d);
+  ASSERT_NE(s, nullptr) << d.ToString();
+  const uint64_t entry =
+      CodeAddr(s->compiled->prog->EntryWordOf("gadget"));
+  auto r = s->vm->Call("dispatch", {entry});
+  // gadget's signature taints match dispatch's icall site (int->int), so the
+  // CFI check passes: this is a *valid* target.
+  EXPECT_TRUE(r.ok) << r.fault_msg;
+  EXPECT_EQ(r.ret, 99u);
+}
+
+TEST(CfiRuntime, IndirectCallIntoFunctionBodyTrapsUnderCfi) {
+  DiagEngine d;
+  auto s = MakeSession(kHijack, BuildPreset::kOurMpx, &d);
+  ASSERT_NE(s, nullptr) << d.ToString();
+  // Jump 3 words past the entry — a classic gadget address. The word before
+  // it is not an MCall magic, so the check must trap.
+  const uint64_t mid = CodeAddr(s->compiled->prog->EntryWordOf("gadget") + 3);
+  auto r = s->vm->Call("dispatch", {mid});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.fault, VmFault::kCfiTrap) << FaultName(r.fault);
+}
+
+TEST(CfiRuntime, IndirectCallToDataTrapsOrFaults) {
+  DiagEngine d;
+  auto s = MakeSession(kHijack, BuildPreset::kOurMpx, &d);
+  ASSERT_NE(s, nullptr) << d.ToString();
+  // Point the "function pointer" into U's public heap (non-code): must not
+  // execute attacker data under any circumstances.
+  const uint64_t heap = s->compiled->prog->map.pub_heap + 64;
+  auto r = s->vm->Call("dispatch", {heap});
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.fault == VmFault::kCfiTrap || r.fault == VmFault::kBadJump)
+      << FaultName(r.fault);
+}
+
+TEST(CfiRuntime, WithoutCfiTheHijackLandsAnywhere) {
+  // Under Base the same mid-function jump is accepted by the hardware —
+  // precisely the gap the taint-aware CFI closes.
+  DiagEngine d;
+  auto s = MakeSession(kHijack, BuildPreset::kBase, &d);
+  ASSERT_NE(s, nullptr) << d.ToString();
+  const uint64_t mid = CodeAddr(s->compiled->prog->EntryWordOf("gadget") + 3);
+  auto r = s->vm->Call("dispatch", {mid});
+  // Whatever happens (it may fault on garbage, or run), it is NOT a CFI
+  // trap — Base has no such defense.
+  EXPECT_NE(r.fault, VmFault::kCfiTrap);
+}
+
+TEST(CfiRuntime, ReturnAddressOverwriteTrapsUnderCfi) {
+  // Smash the saved return address through an in-frame pointer; the CFI
+  // return sequence must refuse to transfer there.
+  const char* src = R"(
+    int smash(int off, int fake) {
+      char buf[8];
+      int *ra = (int*)(buf + off);  // past the frame: the saved RA area
+      *ra = fake;
+      return 1;
+    })";
+  DiagEngine d;
+  auto s = MakeSession(src, BuildPreset::kOurMpx, &d);
+  ASSERT_NE(s, nullptr) << d.ToString();
+  // Aim the return at mid-code (not a valid MRet site). The exact offset of
+  // the saved RA depends on the frame layout, so sweep a few.
+  const uint64_t mid = CodeAddr(s->compiled->prog->EntryWordOf("smash") + 2);
+  bool trapped = false;
+  for (uint64_t off = 8; off <= 48; off += 8) {
+    auto r = s->vm->Call("smash", {off, mid});
+    if (!r.ok && r.fault == VmFault::kCfiTrap) {
+      trapped = true;
+    }
+    ASSERT_NE(r.fault, VmFault::kUnmapped) << r.fault_msg;
+  }
+  EXPECT_TRUE(trapped) << "no offset reached the saved return address";
+}
+
+}  // namespace
+}  // namespace confllvm

@@ -1,0 +1,174 @@
+// §7.6 vulnerability-injection experiments as tests: each exploit leaks the
+// planted secret under Base and is stopped (by region separation, a wrapper
+// check fault, or a bounds fault) under OurMPX and OurSeg.
+#include <gtest/gtest.h>
+
+#include "src/driver/confcc.h"
+
+namespace confllvm {
+namespace {
+
+constexpr char kSecret[] = "TOPSECRETPASSWORD";
+
+uint64_t StageString(Session* s, const std::string& str) {
+  const uint64_t addr = s->compiled->prog->map.pub_heap + 0x10000;
+  s->vm->memory().WriteBytes(addr, str.c_str(), str.size() + 1);
+  return addr;
+}
+
+const char* kMongoose = R"(
+int send(int fd, char *buf, int n);
+int read_file_private(char *name, private char *buf, int n);
+int handle_private(char *fname) {
+  char hdr[128];
+  private char fbuf[64];
+  hdr[0] = 'h';
+  read_file_private(fname, fbuf, 64);
+  return 0;
+}
+int handle_public(int out_size) {
+  char resp[16];
+  char scratch[512];
+  scratch[0] = 's';
+  for (int i = 0; i < 16; i = i + 1) { resp[i] = 'p'; }
+  send(0, resp, out_size);
+  return 0;
+}
+)";
+
+const char* kMinizip = R"(
+int log_write(char *buf, int n);
+void read_passwd(char *uname, private char *pass, int n);
+int compress_and_log(char *uname) {
+  private char password[32];
+  read_passwd(uname, password, 32);
+  int addr = (int)(private char*)password;
+  char *laundered = (char*)addr;
+  log_write(laundered, 32);
+  return 0;
+}
+)";
+
+const char* kFormat = R"(
+int send(int fd, char *buf, int n);
+void read_passwd(char *uname, private char *pass, int n);
+int count_directives(char *fmt) {
+  int n = 0;
+  int i = 0;
+  while (fmt[i] != 0) {
+    if (fmt[i] == '%') { n = n + 1; }
+    i = i + 1;
+  }
+  return n;
+}
+int mini_sprintf(char *out, char *fmt, int *args, int nargs) {
+  int directives = count_directives(fmt);
+  int o = 0;
+  for (int a = 0; a < directives; a = a + 1) {
+    int v = args[a];
+    for (int b = 0; b < 8; b = b + 1) {
+      out[o] = (char)((v >> (b * 8)) & 255);
+      o = o + 1;
+    }
+  }
+  return o;
+}
+int handle(char *fmt) {
+  int fmt_args[2];
+  private int secret[4];
+  char uname[8];
+  uname[0] = 'u'; uname[1] = 0;
+  read_passwd(uname, (private char*)secret, 32);
+  fmt_args[0] = 1;
+  fmt_args[1] = 2;
+  char out[128];
+  int n = mini_sprintf(out, fmt, fmt_args, 2);
+  send(0, out, n);
+  return n;
+}
+)";
+
+struct Outcome {
+  bool leaked = false;
+  bool compiled = false;
+};
+
+Outcome RunMongoose(BuildPreset p) {
+  DiagEngine diags;
+  auto s = MakeSession(kMongoose, p, &diags);
+  if (s == nullptr) {
+    return {};
+  }
+  s->tlib->AddFile("private.txt", std::string(kSecret) + kSecret);
+  s->vm->Call("handle_private", {StageString(s.get(), "private.txt")});
+  s->vm->Call("handle_public", {512});
+  return {s->tlib->PublicOutputContains(kSecret), true};
+}
+
+Outcome RunMinizip(BuildPreset p) {
+  DiagEngine diags;
+  auto s = MakeSession(kMinizip, p, &diags);
+  if (s == nullptr) {
+    return {};
+  }
+  s->tlib->SetPassword("zipuser", kSecret);
+  s->vm->Call("compress_and_log", {StageString(s.get(), "zipuser")});
+  return {s->tlib->PublicOutputContains(kSecret), true};
+}
+
+Outcome RunFormat(BuildPreset p) {
+  DiagEngine diags;
+  auto s = MakeSession(kFormat, p, &diags);
+  if (s == nullptr) {
+    return {};
+  }
+  s->tlib->SetPassword("u", kSecret);
+  s->vm->Call("handle", {StageString(s.get(), "%d%d%d%d%d%d")});
+  return {s->tlib->PublicOutputContains(kSecret), true};
+}
+
+TEST(VulnInjection, MongooseStaleStackLeaksUnderBaseOnly) {
+  auto base = RunMongoose(BuildPreset::kBase);
+  ASSERT_TRUE(base.compiled);
+  EXPECT_TRUE(base.leaked) << "the exploit must work against the vanilla build";
+  for (BuildPreset p : {BuildPreset::kOurMpx, BuildPreset::kOurSeg}) {
+    auto r = RunMongoose(p);
+    ASSERT_TRUE(r.compiled);
+    EXPECT_FALSE(r.leaked) << PresetName(p);
+  }
+}
+
+TEST(VulnInjection, MinizipCastLeaksUnderBaseOnly) {
+  auto base = RunMinizip(BuildPreset::kBase);
+  ASSERT_TRUE(base.compiled);
+  EXPECT_TRUE(base.leaked);
+  for (BuildPreset p : {BuildPreset::kOurMpx, BuildPreset::kOurSeg}) {
+    auto r = RunMinizip(p);
+    ASSERT_TRUE(r.compiled);
+    EXPECT_FALSE(r.leaked) << PresetName(p);
+  }
+}
+
+TEST(VulnInjection, FormatStringLeaksUnderBaseOnly) {
+  auto base = RunFormat(BuildPreset::kBase);
+  ASSERT_TRUE(base.compiled);
+  EXPECT_TRUE(base.leaked);
+  for (BuildPreset p : {BuildPreset::kOurMpx, BuildPreset::kOurSeg}) {
+    auto r = RunFormat(p);
+    ASSERT_TRUE(r.compiled);
+    EXPECT_FALSE(r.leaked) << PresetName(p);
+  }
+}
+
+TEST(VulnInjection, MinizipIsStoppedByAWrapperFaultNotByLuck) {
+  DiagEngine diags;
+  auto s = MakeSession(kMinizip, BuildPreset::kOurMpx, &diags);
+  ASSERT_NE(s, nullptr);
+  s->tlib->SetPassword("zipuser", kSecret);
+  auto r = s->vm->Call("compress_and_log", {StageString(s.get(), "zipuser")});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.fault, VmFault::kTrustedCheck) << r.fault_msg;
+}
+
+}  // namespace
+}  // namespace confllvm

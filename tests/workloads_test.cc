@@ -1,0 +1,178 @@
+// Every workload compiles, runs, verifies (instrumented configs), and
+// produces the same checksum under every configuration — instrumentation
+// must never change program results (paper §7: same outputs, different
+// cost).
+#include <gtest/gtest.h>
+
+#include "bench/workloads.h"
+#include "src/driver/confcc.h"
+#include "src/verifier/verifier.h"
+
+namespace confllvm {
+namespace {
+
+using workloads::kNumSpecKernels;
+using workloads::kSpecKernels;
+
+constexpr BuildPreset kConfigs[] = {
+    BuildPreset::kBase,   BuildPreset::kBaseOA, BuildPreset::kOurBare,
+    BuildPreset::kOurCFI, BuildPreset::kOurMpx, BuildPreset::kOurSeg,
+};
+
+class SpecKernels : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(All, SpecKernels, ::testing::Range(0, kNumSpecKernels),
+                         [](const auto& info) {
+                           return kSpecKernels[info.param].name;
+                         });
+
+TEST_P(SpecKernels, SameChecksumAcrossAllConfigs) {
+  const auto& kernel = kSpecKernels[GetParam()];
+  uint64_t base_result = 0;
+  bool first = true;
+  for (BuildPreset preset : kConfigs) {
+    DiagEngine diags;
+    auto s = MakeSession(kernel.source, preset, &diags);
+    ASSERT_NE(s, nullptr) << kernel.name << " " << PresetName(preset) << "\n"
+                          << diags.ToString();
+    auto r = s->vm->Call("main", {});
+    ASSERT_TRUE(r.ok) << kernel.name << " " << PresetName(preset) << " fault "
+                      << FaultName(r.fault) << ": " << r.fault_msg;
+    if (first) {
+      base_result = r.ret;
+      first = false;
+    } else {
+      EXPECT_EQ(r.ret, base_result) << kernel.name << " diverges under "
+                                    << PresetName(preset);
+    }
+  }
+}
+
+TEST_P(SpecKernels, InstrumentedBinariesVerify) {
+  const auto& kernel = kSpecKernels[GetParam()];
+  for (BuildPreset preset : {BuildPreset::kOurMpx, BuildPreset::kOurSeg}) {
+    DiagEngine diags;
+    auto s = MakeSession(kernel.source, preset, &diags);
+    ASSERT_NE(s, nullptr) << diags.ToString();
+    VerifyResult r = Verify(*s->compiled->prog);
+    EXPECT_TRUE(r.ok) << kernel.name << " under " << PresetName(preset) << "\n"
+                      << r.ErrorText();
+  }
+}
+
+TEST_P(SpecKernels, InstrumentationAddsCyclesNeverChangesOutput) {
+  const auto& kernel = kSpecKernels[GetParam()];
+  DiagEngine d1;
+  DiagEngine d2;
+  auto base = MakeSession(kernel.source, BuildPreset::kBase, &d1);
+  auto mpx = MakeSession(kernel.source, BuildPreset::kOurMpx, &d2);
+  ASSERT_NE(base, nullptr);
+  ASSERT_NE(mpx, nullptr);
+  auto rb = base->vm->Call("main", {});
+  auto rm = mpx->vm->Call("main", {});
+  ASSERT_TRUE(rb.ok && rm.ok);
+  EXPECT_EQ(rb.ret, rm.ret);
+  EXPECT_GT(rm.cycles, rb.cycles) << "MPX instrumentation must cost something";
+  EXPECT_GT(mpx->vm->stats().check_instrs, 0u);
+}
+
+struct AppCase {
+  const char* name;
+  const char* source;
+};
+
+class Apps : public ::testing::TestWithParam<AppCase> {};
+INSTANTIATE_TEST_SUITE_P(All, Apps,
+                         ::testing::Values(AppCase{"nginx", nullptr},
+                                           AppCase{"ldap", nullptr},
+                                           AppCase{"privado", nullptr},
+                                           AppCase{"merkle", nullptr}),
+                         [](const auto& info) { return std::string(info.param.name); });
+
+const char* AppSource(const std::string& name) {
+  if (name == "nginx") return workloads::kNginx;
+  if (name == "ldap") return workloads::kLdap;
+  if (name == "privado") return workloads::kPrivado;
+  return workloads::kMerkle;
+}
+
+TEST_P(Apps, RunsUnderAllConfigsAndVerifies) {
+  const char* src = AppSource(GetParam().name);
+  const std::string name = GetParam().name;
+  for (BuildPreset preset : kConfigs) {
+    DiagEngine diags;
+    auto s = MakeSession(src, preset, &diags);
+    ASSERT_NE(s, nullptr) << name << " " << PresetName(preset) << "\n"
+                          << diags.ToString();
+    if (name == "nginx") {
+      s->tlib->AddFile("index.html", std::string(1024, 'x'));
+      for (int i = 0; i < 4; ++i) {
+        s->tlib->PushRx(0, "GET index.html\n");
+      }
+    }
+    auto r = s->vm->Call("main", {});
+    ASSERT_TRUE(r.ok) << name << " " << PresetName(preset) << " fault "
+                      << FaultName(r.fault) << ": " << r.fault_msg;
+    if (preset == BuildPreset::kOurMpx || preset == BuildPreset::kOurSeg) {
+      VerifyResult v = Verify(*s->compiled->prog);
+      EXPECT_TRUE(v.ok) << name << "\n" << v.ErrorText();
+    }
+  }
+}
+
+TEST(NginxWorkload, ServesAndNeverLogsFileContent) {
+  DiagEngine diags;
+  auto s = MakeSession(workloads::kNginx, BuildPreset::kOurMpx, &diags);
+  ASSERT_NE(s, nullptr) << diags.ToString();
+  const std::string secret(512, 'S');
+  s->tlib->AddFile("secret.txt", secret);
+  for (int i = 0; i < 3; ++i) {
+    s->tlib->PushRx(0, "GET secret.txt\n");
+  }
+  auto r = s->vm->Call("server_run", {3});
+  ASSERT_TRUE(r.ok) << r.fault_msg;
+  EXPECT_EQ(r.ret, 3u);
+  // The plaintext never reaches a public sink; only ciphertext was sent.
+  EXPECT_FALSE(s->tlib->PublicOutputContains("SSSSSSSS"));
+  EXPECT_NE(s->tlib->log().find("secret.txt"), std::string::npos);
+}
+
+TEST(PrivadoWorkload, ClassifiesAndDeclassifiesOnlyTheLabel) {
+  DiagEngine diags;
+  auto s = MakeSession(workloads::kPrivado, BuildPreset::kOurMpx, &diags);
+  ASSERT_NE(s, nullptr) << diags.ToString();
+  ASSERT_TRUE(s->vm->Call("nn_init", {}).ok);
+  ASSERT_TRUE(s->vm->Call("nn_stage_image", {7}).ok);
+  auto r = s->vm->Call("nn_classify", {});
+  ASSERT_TRUE(r.ok) << r.fault_msg;
+  EXPECT_EQ(s->tlib->declassified().size(), 1u);
+  EXPECT_LT(static_cast<uint8_t>(s->tlib->declassified()[0]), 10);
+}
+
+TEST(MerkleWorkload, DetectsTamperedTree) {
+  DiagEngine diags;
+  auto s = MakeSession(workloads::kMerkle, BuildPreset::kOurMpx, &diags);
+  ASSERT_NE(s, nullptr) << diags.ToString();
+  ASSERT_TRUE(s->vm->Call("merkle_build", {64}).ok);
+  auto ok = s->vm->Call("merkle_read_all", {0, 64});
+  ASSERT_TRUE(ok.ok);
+  EXPECT_EQ(ok.ret, 64u);
+  // Corrupt a leaf hash in the public tree; verified reads must notice.
+  const int gidx = [&] {
+    const auto& globals = s->compiled->prog->binary.globals;
+    for (size_t i = 0; i < globals.size(); ++i) {
+      if (globals[i].name == "g_tree") return static_cast<int>(i);
+    }
+    return -1;
+  }();
+  ASSERT_GE(gidx, 0);
+  const uint64_t tree_addr = s->compiled->prog->global_addr[gidx];
+  uint64_t word = 0;
+  s->vm->memory().Read(tree_addr + (64 + 5) * 16, 8, &word);
+  s->vm->memory().Write(tree_addr + (64 + 5) * 16, 8, word ^ 0xff);
+  auto tampered = s->vm->Call("merkle_read_all", {0, 64});
+  ASSERT_TRUE(tampered.ok);
+  EXPECT_LT(tampered.ret, 64u);
+}
+
+}  // namespace
+}  // namespace confllvm

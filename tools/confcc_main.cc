@@ -1,0 +1,150 @@
+// confcc: command-line driver — compile a MiniC file, optionally verify,
+// disassemble, and run it under any of the paper's configurations.
+//
+//   confcc [--preset=OurMPX] [--entry=main] [--args=1,2,3] [--verify]
+//          [--disasm] [--stats] [--all-private] file.mc
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/driver/confcc.h"
+#include "src/verifier/verifier.h"
+
+using namespace confllvm;
+
+namespace {
+
+bool ParsePreset(const std::string& name, BuildPreset* out) {
+  const BuildPreset all[] = {BuildPreset::kBase,    BuildPreset::kBaseOA,
+                             BuildPreset::kOur1Mem, BuildPreset::kOurBare,
+                             BuildPreset::kOurCFI,  BuildPreset::kOurMpx,
+                             BuildPreset::kOurMpxSep, BuildPreset::kOurSeg};
+  for (BuildPreset p : all) {
+    if (name == PresetName(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+int Usage() {
+  fprintf(stderr,
+          "usage: confcc [--preset=P] [--entry=F] [--args=a,b,...] [--verify]\n"
+          "              [--disasm] [--stats] [--all-private] file.mc\n"
+          "presets: Base BaseOA Our1Mem OurBare OurCFI OurMPX OurMPX-Sep OurSeg\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BuildPreset preset = BuildPreset::kOurMpx;
+  std::string entry = "main";
+  std::vector<uint64_t> args;
+  bool verify = false;
+  bool disasm = false;
+  bool stats = false;
+  bool all_private = false;
+  std::string file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--preset=", 0) == 0) {
+      if (!ParsePreset(a.substr(9), &preset)) {
+        fprintf(stderr, "unknown preset '%s'\n", a.substr(9).c_str());
+        return Usage();
+      }
+    } else if (a.rfind("--entry=", 0) == 0) {
+      entry = a.substr(8);
+    } else if (a.rfind("--args=", 0) == 0) {
+      std::stringstream ss(a.substr(7));
+      std::string tok;
+      while (std::getline(ss, tok, ',')) {
+        args.push_back(strtoull(tok.c_str(), nullptr, 0));
+      }
+    } else if (a == "--verify") {
+      verify = true;
+    } else if (a == "--disasm") {
+      disasm = true;
+    } else if (a == "--stats") {
+      stats = true;
+    } else if (a == "--all-private") {
+      all_private = true;
+    } else if (a[0] == '-') {
+      return Usage();
+    } else {
+      file = a;
+    }
+  }
+  if (file.empty()) {
+    return Usage();
+  }
+
+  std::ifstream in(file);
+  if (!in) {
+    fprintf(stderr, "confcc: cannot open %s\n", file.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  BuildConfig config = BuildConfig::For(preset);
+  config.sema.all_private = all_private;
+  if (all_private) {
+    config.sema.implicit_flows = ImplicitFlowMode::kWarn;
+  }
+
+  DiagEngine diags;
+  auto compiled = Compile(buf.str(), config, &diags);
+  fputs(diags.ToString().c_str(), stderr);
+  if (compiled == nullptr) {
+    return 1;
+  }
+  fprintf(stderr, "confcc: %s: %zu code words, %zu functions, %zu imports [%s]\n",
+          file.c_str(), compiled->prog->binary.code.size(),
+          compiled->prog->binary.functions.size(),
+          compiled->prog->binary.imports.size(), PresetName(preset));
+
+  if (disasm) {
+    fputs(Disassemble(compiled->prog->binary).c_str(), stdout);
+  }
+  if (verify) {
+    VerifyResult v = Verify(*compiled->prog);
+    fprintf(stderr, "confverify: %s (%zu procedures, %zu instructions)\n",
+            v.ok ? "ok" : "REJECTED", v.procedures, v.instructions);
+    if (!v.ok) {
+      fputs(v.ErrorText().c_str(), stderr);
+      return 1;
+    }
+  }
+
+  TrustedOptions topts;
+  topts.alloc_policy = config.alloc_policy;
+  TrustedLib tlib(topts);
+  Vm vm(compiled->prog.get(), &tlib);
+  auto r = vm.Call(entry, args);
+  if (!r.ok) {
+    fprintf(stderr, "confcc: %s faulted: %s (%s)\n", entry.c_str(),
+            FaultName(r.fault), r.fault_msg.c_str());
+    return 1;
+  }
+  if (!tlib.stdout_text().empty()) {
+    fputs(tlib.stdout_text().c_str(), stdout);
+  }
+  fprintf(stderr, "confcc: %s() = %lld  (%llu instructions, %llu cycles",
+          entry.c_str(), static_cast<long long>(r.ret),
+          static_cast<unsigned long long>(r.instrs),
+          static_cast<unsigned long long>(r.cycles));
+  if (stats) {
+    const VmStats& s = vm.stats();
+    fprintf(stderr, "; checks=%llu cfi=%llu tcalls=%llu cache-miss-cyc=%llu",
+            static_cast<unsigned long long>(s.check_instrs),
+            static_cast<unsigned long long>(s.cfi_instrs),
+            static_cast<unsigned long long>(s.trusted_calls),
+            static_cast<unsigned long long>(s.cache_miss_cycles));
+  }
+  fprintf(stderr, ")\n");
+  return static_cast<int>(r.ret & 0xff);
+}

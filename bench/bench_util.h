@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/driver/confcc.h"
+#include "src/driver/pipeline.h"
 
 namespace confllvm::bench {
 
@@ -50,6 +51,46 @@ inline RunResult RunOnce(const std::string& src, BuildPreset preset,
             r.fault_msg.c_str());
   }
   return out;
+}
+
+// One preset's compiled+runnable artifact from a CompileSweep.
+struct SweepEntry {
+  BuildPreset preset = BuildPreset::kBase;
+  std::unique_ptr<Session> session;  // null when compilation failed
+  double compile_ms = 0;
+};
+
+// Batch-compiles `src` under every preset in `presets` concurrently through
+// the pipeline's CompileBatch (jobs = 0 -> hardware concurrency), then wraps
+// each outcome in a runnable Session. Compilation failures are reported to
+// stderr and leave a null session in the corresponding entry.
+inline std::vector<SweepEntry> CompileSweep(const std::string& src,
+                                            const std::vector<BuildPreset>& presets,
+                                            unsigned jobs = 0) {
+  std::vector<BatchJob> batch;
+  for (const BuildPreset p : presets) {
+    BatchJob job;
+    job.label = PresetName(p);
+    job.source = src;
+    job.config = BuildConfig::For(p);
+    batch.push_back(std::move(job));
+  }
+  auto outcomes = CompileBatch(batch, jobs);
+
+  std::vector<SweepEntry> entries;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    SweepEntry e;
+    e.preset = presets[i];
+    e.compile_ms = outcomes[i].invocation->stats().total_ms;
+    if (!outcomes[i].ok) {
+      fprintf(stderr, "compile failed under %s:\n%s", outcomes[i].label.c_str(),
+              outcomes[i].invocation->diags().ToString().c_str());
+    } else {
+      e.session = MakeSessionFor(std::move(outcomes[i].program));
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
 }
 
 inline double Pct(uint64_t cycles, uint64_t base) {

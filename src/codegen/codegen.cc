@@ -1092,6 +1092,10 @@ Binary GenerateCode(const IrModule& mod, const CodegenOptions& opts, DiagEngine*
       Encode(p.mi, &bin.code);
     }
   }
+  if (stats != nullptr) {
+    stats->functions_emitted += bin.functions.size();
+    stats->code_words += bin.code.size();
+  }
   return bin;
 }
 

@@ -40,13 +40,16 @@ struct CodegenOptions {
   bool ConfMode() const { return confllvm_abi || scheme != Scheme::kNone || cfi; }
 };
 
-// Per-function emission statistics (used by ablation benches and tests).
+// Emission statistics, accumulated across all functions of one GenerateCode
+// run (used by ablation benches, tests, and the pipeline's per-stage stats).
 struct CodegenStats {
   uint64_t bnd_checks_emitted = 0;
   uint64_t bnd_checks_coalesced = 0;
   uint64_t bnd_checks_elided_stack = 0;
   uint64_t magic_words = 0;
   uint64_t private_spills = 0;
+  uint64_t functions_emitted = 0;
+  uint64_t code_words = 0;  // final size of Binary::code
 };
 
 Binary GenerateCode(const IrModule& mod, const CodegenOptions& opts, DiagEngine* diags,

@@ -1,7 +1,6 @@
 #include "src/driver/confcc.h"
 
-#include "src/ir/irgen.h"
-#include "src/lang/parser.h"
+#include "src/driver/pipeline.h"
 
 namespace confllvm {
 
@@ -75,51 +74,37 @@ BuildConfig BuildConfig::For(BuildPreset preset) {
 }
 
 std::unique_ptr<CompiledProgram> Compile(const std::string& source,
-                                         const BuildConfig& config, DiagEngine* diags) {
-  auto ast = Parse(source, diags);
-  if (diags->HasErrors()) {
+                                         const BuildConfig& config, DiagEngine* diags,
+                                         PipelineStats* stats) {
+  CompilerInvocation inv(source, config, diags);
+  const bool ok = RunStandardPipeline(&inv);
+  if (stats != nullptr) {
+    *stats = inv.stats();
+  }
+  if (!ok) {
     return nullptr;
   }
-  auto typed = RunSema(std::move(ast), config.sema, diags);
-  if (typed == nullptr) {
-    return nullptr;
-  }
-  auto ir = GenerateIr(*typed, diags);
-  if (ir == nullptr) {
-    return nullptr;
-  }
-  OptimizeModule(ir.get(), config.opt_level);
-
-  auto out = std::make_unique<CompiledProgram>();
-  out->config = config;
-  out->qual_vars = typed->num_qual_vars;
-  out->qual_constraints = typed->num_constraints;
-  Binary bin = GenerateCode(*ir, config.codegen, diags, &out->codegen_stats);
-  if (diags->HasErrors()) {
-    return nullptr;
-  }
-  out->prog = LoadBinary(std::move(bin), config.load, diags);
-  if (out->prog == nullptr) {
-    return nullptr;
-  }
-  return out;
+  return inv.TakeProgram();
 }
 
-std::unique_ptr<Session> MakeSession(const std::string& source, BuildPreset preset,
-                                     DiagEngine* diags, VmOptions vm_opts) {
-  const BuildConfig config = BuildConfig::For(preset);
-  auto compiled = Compile(source, config, diags);
+std::unique_ptr<Session> MakeSessionFor(std::unique_ptr<CompiledProgram> compiled,
+                                        VmOptions vm_opts) {
   if (compiled == nullptr) {
     return nullptr;
   }
   auto session = std::make_unique<Session>();
   session->compiled = std::move(compiled);
   TrustedOptions topts;
-  topts.alloc_policy = config.alloc_policy;
+  topts.alloc_policy = session->compiled->config.alloc_policy;
   session->tlib = std::make_unique<TrustedLib>(topts);
   session->vm = std::make_unique<Vm>(session->compiled->prog.get(), session->tlib.get(),
                                      vm_opts);
   return session;
+}
+
+std::unique_ptr<Session> MakeSession(const std::string& source, BuildPreset preset,
+                                     DiagEngine* diags, VmOptions vm_opts) {
+  return MakeSessionFor(Compile(source, BuildConfig::For(preset), diags), vm_opts);
 }
 
 }  // namespace confllvm

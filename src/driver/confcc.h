@@ -40,6 +40,13 @@ enum class BuildPreset : uint8_t {
 
 const char* PresetName(BuildPreset p);
 
+// All presets, in the §7.1 table order (sweep helpers iterate this).
+inline constexpr BuildPreset kAllBuildPresets[] = {
+    BuildPreset::kBase,      BuildPreset::kBaseOA, BuildPreset::kOur1Mem,
+    BuildPreset::kOurBare,   BuildPreset::kOurCFI, BuildPreset::kOurMpx,
+    BuildPreset::kOurMpxSep, BuildPreset::kOurSeg,
+};
+
 struct BuildConfig {
   BuildPreset preset = BuildPreset::kOurMpx;
   SemaOptions sema;
@@ -59,10 +66,14 @@ struct CompiledProgram {
   size_t qual_constraints = 0;
 };
 
-// Compiles MiniC source under `config`. Returns nullptr with diagnostics in
-// `diags` on any front-end/type/qualifier error.
+// Compiles MiniC source under `config` by running the standard staged
+// pipeline (see src/driver/pipeline.h). Returns nullptr with diagnostics in
+// `diags` on any front-end/type/qualifier error. When `stats` is non-null it
+// receives the invocation's per-stage statistics.
+struct PipelineStats;
 std::unique_ptr<CompiledProgram> Compile(const std::string& source,
-                                         const BuildConfig& config, DiagEngine* diags);
+                                         const BuildConfig& config, DiagEngine* diags,
+                                         PipelineStats* stats = nullptr);
 
 // Convenience: compile + construct a trusted lib matching the config's
 // allocator policy. (The Vm is constructed by the caller so tests can pass
@@ -74,6 +85,11 @@ struct Session {
 };
 std::unique_ptr<Session> MakeSession(const std::string& source, BuildPreset preset,
                                      DiagEngine* diags, VmOptions vm_opts = {});
+
+// Wraps an already-compiled program (e.g. one CompileBatch outcome) in a
+// runnable Session with a trusted lib matching its config.
+std::unique_ptr<Session> MakeSessionFor(std::unique_ptr<CompiledProgram> compiled,
+                                        VmOptions vm_opts = {});
 
 }  // namespace confllvm
 

@@ -1,0 +1,318 @@
+#include "src/driver/pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <thread>
+
+#include "src/ir/irgen.h"
+#include "src/lang/parser.h"
+
+namespace confllvm {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string Fmt(const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+// ---- Concrete stages ----
+
+class ParseStage : public Stage {
+ public:
+  StageId id() const override { return StageId::kParse; }
+  bool Run(CompilerInvocation* inv) override {
+    inv->ast = Parse(inv->source(), &inv->diags());
+    return !inv->diags().HasErrors();
+  }
+};
+
+class SemaStage : public Stage {
+ public:
+  StageId id() const override { return StageId::kSema; }
+  bool Run(CompilerInvocation* inv) override {
+    inv->typed = RunSema(std::move(inv->ast), inv->config().sema, &inv->diags());
+    if (inv->typed == nullptr) {
+      return false;
+    }
+    inv->stats().solver = inv->typed->solver_stats;
+    return true;
+  }
+};
+
+class IrGenStage : public Stage {
+ public:
+  StageId id() const override { return StageId::kIrGen; }
+  bool Run(CompilerInvocation* inv) override {
+    inv->ir = GenerateIr(*inv->typed, &inv->diags());
+    return inv->ir != nullptr;
+  }
+};
+
+// Runs the registered FunctionPasses for one OptLevel. Keeps the same
+// per-function bounded-fixpoint schedule the monolithic driver used, so the
+// optimized IR is bit-identical to the pre-pipeline compiler.
+class OptStage : public Stage {
+ public:
+  explicit OptStage(OptLevel level) : level_(level) {}
+  StageId id() const override { return StageId::kOpt; }
+  bool Run(CompilerInvocation* inv) override {
+    OptimizeModule(inv->ir.get(), level_, &inv->stats().passes);
+    return true;
+  }
+
+ private:
+  OptLevel level_;
+};
+
+class CodegenStage : public Stage {
+ public:
+  explicit CodegenStage(CodegenOptions opts) : opts_(opts) {}
+  StageId id() const override { return StageId::kCodegen; }
+  bool Run(CompilerInvocation* inv) override {
+    inv->binary = std::make_unique<Binary>(
+        GenerateCode(*inv->ir, opts_, &inv->diags(), &inv->stats().codegen));
+    return !inv->diags().HasErrors();
+  }
+
+ private:
+  CodegenOptions opts_;
+};
+
+class LoadStage : public Stage {
+ public:
+  explicit LoadStage(LoadOptions opts) : opts_(opts) {}
+  StageId id() const override { return StageId::kLoad; }
+  bool Run(CompilerInvocation* inv) override {
+    inv->prog = LoadBinary(std::move(*inv->binary), opts_, &inv->diags());
+    inv->binary.reset();
+    return inv->prog != nullptr;
+  }
+
+ private:
+  LoadOptions opts_;
+};
+
+class VerifyStage : public Stage {
+ public:
+  StageId id() const override { return StageId::kVerify; }
+  bool Run(CompilerInvocation* inv) override {
+    inv->verify_result = std::make_unique<VerifyResult>(Verify(*inv->prog));
+    if (!inv->verify_result->ok) {
+      for (const std::string& e : inv->verify_result->errors) {
+        inv->diags().Error({}, "confverify: " + e);
+      }
+      return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+const char* StageName(StageId id) {
+  switch (id) {
+    case StageId::kParse: return "parse";
+    case StageId::kSema: return "sema";
+    case StageId::kIrGen: return "irgen";
+    case StageId::kOpt: return "opt";
+    case StageId::kCodegen: return "codegen";
+    case StageId::kLoad: return "load";
+    case StageId::kVerify: return "verify";
+  }
+  return "?";
+}
+
+const StageStats* PipelineStats::Find(StageId id) const {
+  for (const StageStats& s : stages) {
+    if (s.id == id) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+std::string PipelineStats::ToTable() const {
+  std::string out = Fmt("%-10s%10s%10s%10s\n", "stage", "ms", "IR in", "IR out");
+  for (const StageStats& s : stages) {
+    out += Fmt("%-10s%10.3f", s.name, s.ms);
+    if (s.ir_instrs_in != 0 || s.ir_instrs_out != 0) {
+      out += Fmt("%10zu%10zu", s.ir_instrs_in, s.ir_instrs_out);
+    } else {
+      out += Fmt("%10s%10s", "-", "-");
+    }
+    if (!s.ok) {
+      out += "  (failed)";
+    }
+    out += "\n";
+  }
+  out += Fmt("%-10s%10.3f\n", "total", total_ms);
+  for (const PassRunStats& p : passes) {
+    out += Fmt("  pass %-16s%8.3f ms  runs=%llu changed=%llu\n", p.name, p.ms,
+               static_cast<unsigned long long>(p.invocations),
+               static_cast<unsigned long long>(p.changed));
+  }
+  if (solver.constraints != 0 || solver.vars != 0) {
+    out += Fmt("  qual-solver: vars=%zu constraints=%zu edges=%zu propagations=%zu\n",
+               solver.vars, solver.constraints, solver.edges, solver.propagations);
+  }
+  if (codegen.code_words != 0) {
+    out += Fmt("  codegen: funcs=%llu words=%llu bndchk=%llu coalesced=%llu "
+               "elided=%llu magic=%llu spills(priv)=%llu\n",
+               static_cast<unsigned long long>(codegen.functions_emitted),
+               static_cast<unsigned long long>(codegen.code_words),
+               static_cast<unsigned long long>(codegen.bnd_checks_emitted),
+               static_cast<unsigned long long>(codegen.bnd_checks_coalesced),
+               static_cast<unsigned long long>(codegen.bnd_checks_elided_stack),
+               static_cast<unsigned long long>(codegen.magic_words),
+               static_cast<unsigned long long>(codegen.private_spills));
+  }
+  return out;
+}
+
+// ---- CompilerInvocation ----
+
+CompilerInvocation::CompilerInvocation(std::string source, BuildConfig config)
+    : source_(std::move(source)),
+      config_(config),
+      owned_diags_(std::make_unique<DiagEngine>()),
+      diags_(owned_diags_.get()) {}
+
+CompilerInvocation::CompilerInvocation(std::string source, BuildConfig config,
+                                       DiagEngine* diags)
+    : source_(std::move(source)), config_(config), diags_(diags) {}
+
+std::unique_ptr<CompiledProgram> CompilerInvocation::TakeProgram() {
+  if (prog == nullptr) {
+    return nullptr;
+  }
+  auto out = std::make_unique<CompiledProgram>();
+  out->config = config_;
+  out->codegen_stats = stats_.codegen;
+  out->qual_vars = stats_.solver.vars;
+  out->qual_constraints = stats_.solver.constraints;
+  out->prog = std::move(prog);
+  return out;
+}
+
+// ---- PassManager ----
+
+void PassManager::AddStage(std::unique_ptr<Stage> stage) {
+  stages_.push_back(std::move(stage));
+}
+
+PassManager PassManager::Standard(const BuildConfig& config, bool verify) {
+  PassManager pm;
+  pm.AddStage(std::make_unique<ParseStage>());
+  pm.AddStage(std::make_unique<SemaStage>());
+  pm.AddStage(std::make_unique<IrGenStage>());
+  pm.AddStage(std::make_unique<OptStage>(config.opt_level));
+  pm.AddStage(std::make_unique<CodegenStage>(config.codegen));
+  pm.AddStage(std::make_unique<LoadStage>(config.load));
+  if (verify) {
+    pm.AddStage(std::make_unique<VerifyStage>());
+  }
+  return pm;
+}
+
+bool PassManager::Run(CompilerInvocation* inv) const {
+  for (const auto& stage : stages_) {
+    StageStats s;
+    s.id = stage->id();
+    s.name = stage->name();
+    // IR sizes are only meaningful while the IR is the live artifact
+    // (irgen through codegen); load/verify operate on the binary.
+    const bool track_ir = stage->id() >= StageId::kIrGen &&
+                          stage->id() <= StageId::kCodegen;
+    s.ir_instrs_in = track_ir && inv->ir != nullptr ? CountInstrs(*inv->ir) : 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool stage_ok = stage->Run(inv);
+    s.ms = MsSince(t0);
+    s.ran = true;
+    s.ok = stage_ok && !inv->diags().HasErrors();
+    s.ir_instrs_out = track_ir && inv->ir != nullptr ? CountInstrs(*inv->ir) : 0;
+    inv->stats().stages.push_back(s);
+    inv->stats().total_ms += s.ms;
+    if (!s.ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RunStandardPipeline(CompilerInvocation* inv, bool verify) {
+  return PassManager::Standard(inv->config(), verify).Run(inv);
+}
+
+// ---- Batch compilation ----
+
+std::vector<BatchOutcome> CompileBatch(const std::vector<BatchJob>& jobs,
+                                       unsigned num_workers) {
+  std::vector<BatchOutcome> outcomes(jobs.size());
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) {
+        return;
+      }
+      const BatchJob& job = jobs[i];
+      BatchOutcome& out = outcomes[i];
+      out.label = job.label;
+      out.invocation = std::make_unique<CompilerInvocation>(job.source, job.config);
+      const bool ok = RunStandardPipeline(out.invocation.get(), job.verify);
+      if (ok) {
+        out.program = out.invocation->TakeProgram();
+      }
+      out.ok = ok && out.program != nullptr;
+    }
+  };
+
+  unsigned n = num_workers != 0 ? num_workers : std::thread::hardware_concurrency();
+  if (n == 0) {
+    n = 1;
+  }
+  n = static_cast<unsigned>(
+      std::min<size_t>(n, jobs.size() == 0 ? 1 : jobs.size()));
+  if (n <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (unsigned t = 0; t < n; ++t) {
+      threads.emplace_back(worker);
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+  return outcomes;
+}
+
+std::vector<BatchJob> PresetSweepJobs(const std::string& source, bool verify) {
+  std::vector<BatchJob> jobs;
+  for (const BuildPreset p : kAllBuildPresets) {
+    BatchJob job;
+    job.label = PresetName(p);
+    job.source = source;
+    job.config = BuildConfig::For(p);
+    job.verify = verify;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace confllvm

@@ -1,0 +1,186 @@
+// Staged compilation pipeline (paper §5): the driver-level architecture that
+// replaces the old monolithic Compile() body.
+//
+//   CompilerInvocation — one source × one BuildConfig. Owns the diagnostics
+//     sink (or borrows the caller's), every intermediate artifact (AST,
+//     TypedProgram, IrModule, Binary, LoadedProgram), and the per-stage
+//     timing / IR-size statistics. Stages communicate exclusively through
+//     the invocation, never through globals, so invocations are independent
+//     and may run concurrently.
+//
+//   PassManager — an ordered list of Stage objects. The standard schedule is
+//     Parse → Sema/QualInfer → IR-Gen → Opt (the registered FunctionPasses
+//     selected by the config's OptLevel; see src/opt/passes.h) →
+//     RegAlloc+Codegen → Link/Load, with an optional trailing Verify stage
+//     (ConfVerify, §5.2). Custom schedules (ablations, stage reordering,
+//     front-end-only runs) are built by appending stages manually.
+//
+//   CompileBatch — compiles N invocations on a thread pool with
+//     per-invocation diagnostics and stats; results are positionally
+//     deterministic and bit-identical to sequential compilation. Used by the
+//     benches to build the eight §7.1 configurations concurrently.
+#ifndef CONFLLVM_SRC_DRIVER_PIPELINE_H_
+#define CONFLLVM_SRC_DRIVER_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/driver/confcc.h"
+#include "src/verifier/verifier.h"
+
+namespace confllvm {
+
+// ---- Per-stage statistics ----
+
+enum class StageId : uint8_t {
+  kParse,
+  kSema,     // type checking + qualifier inference (§5.1)
+  kIrGen,
+  kOpt,      // registered function passes (reduced-optimization model)
+  kCodegen,  // taint-aware regalloc + instrumenting emission (§3-§5)
+  kLoad,     // link + magic patching (§6)
+  kVerify,   // ConfVerify over the loaded binary (§5.2); optional
+};
+
+const char* StageName(StageId id);
+
+struct StageStats {
+  StageId id = StageId::kParse;
+  const char* name = "";
+  bool ran = false;
+  bool ok = false;
+  double ms = 0;
+  // IR instruction counts entering/leaving the stage; 0 for stages that run
+  // before IR exists (parse/sema) or after it is consumed (load/verify).
+  size_t ir_instrs_in = 0;
+  size_t ir_instrs_out = 0;
+};
+
+// Everything one invocation learned about its own compilation: stage table,
+// per-pass counters, solver counters, codegen counters.
+struct PipelineStats {
+  std::vector<StageStats> stages;      // in execution order
+  std::vector<PassRunStats> passes;    // parallel to the scheduled pass list
+  QualSolverStats solver;
+  CodegenStats codegen;
+  double total_ms = 0;
+
+  const StageStats* Find(StageId id) const;
+  // Renders the --time-passes table: one row per stage (name, ms, IR in/out)
+  // followed by per-pass and solver/codegen counter lines.
+  std::string ToTable() const;
+};
+
+// ---- Invocation context ----
+
+class CompilerInvocation {
+ public:
+  // Owns its DiagEngine (batch use).
+  CompilerInvocation(std::string source, BuildConfig config);
+  // Borrows `diags` (legacy single-compile use); must outlive *this.
+  CompilerInvocation(std::string source, BuildConfig config, DiagEngine* diags);
+
+  const std::string& source() const { return source_; }
+  const BuildConfig& config() const { return config_; }
+  DiagEngine& diags() { return *diags_; }
+  const DiagEngine& diags() const { return *diags_; }
+  PipelineStats& stats() { return stats_; }
+  const PipelineStats& stats() const { return stats_; }
+
+  // Intermediate artifacts, populated as stages run and retained so a failed
+  // or partial invocation can be inspected by tests and tools. Exception:
+  // the AST is consumed by the Sema stage (RunSema takes ownership), so
+  // `ast` is null from that stage onward.
+  std::unique_ptr<Program> ast;
+  std::unique_ptr<TypedProgram> typed;
+  std::unique_ptr<IrModule> ir;
+  std::unique_ptr<Binary> binary;
+  std::unique_ptr<LoadedProgram> prog;
+  std::unique_ptr<VerifyResult> verify_result;  // set by the Verify stage
+
+  // After a successful Load stage: wraps the loaded program in the public
+  // CompiledProgram result type (moves `prog` out).
+  std::unique_ptr<CompiledProgram> TakeProgram();
+
+ private:
+  std::string source_;
+  BuildConfig config_;
+  std::unique_ptr<DiagEngine> owned_diags_;
+  DiagEngine* diags_;
+  PipelineStats stats_;
+};
+
+// ---- Stages ----
+
+// A pipeline stage. Stateless apart from construction-time configuration;
+// reads and writes only through the invocation.
+class Stage {
+ public:
+  virtual ~Stage() = default;
+  virtual StageId id() const = 0;
+  virtual const char* name() const { return StageName(id()); }
+  // Returns false to abort the pipeline (diagnostics explain why).
+  virtual bool Run(CompilerInvocation* inv) = 0;
+};
+
+class PassManager {
+ public:
+  PassManager() = default;
+  PassManager(PassManager&&) = default;
+  PassManager& operator=(PassManager&&) = default;
+
+  // The standard ConfLLVM schedule for `config` (see file comment). When
+  // `verify` is set, a ConfVerify stage is appended after Load.
+  static PassManager Standard(const BuildConfig& config, bool verify = false);
+
+  void AddStage(std::unique_ptr<Stage> stage);
+  size_t num_stages() const { return stages_.size(); }
+  const Stage& stage(size_t i) const { return *stages_[i]; }
+
+  // Runs the stages in order against `inv`, recording per-stage timing and
+  // IR sizes into inv->stats(). Stops at the first stage that fails (or at
+  // the first stage after which the invocation's DiagEngine holds errors)
+  // and returns false.
+  bool Run(CompilerInvocation* inv) const;
+
+ private:
+  std::vector<std::unique_ptr<Stage>> stages_;
+};
+
+// Convenience: run PassManager::Standard over `inv`.
+bool RunStandardPipeline(CompilerInvocation* inv, bool verify = false);
+
+// ---- Batch compilation ----
+
+struct BatchJob {
+  std::string label;  // e.g. preset name or file name (reporting only)
+  std::string source;
+  BuildConfig config;
+  bool verify = false;
+};
+
+struct BatchOutcome {
+  std::string label;
+  bool ok = false;
+  // Diagnostics, stats, and artifacts for this job; never null.
+  std::unique_ptr<CompilerInvocation> invocation;
+  // The compiled program; null when ok is false.
+  std::unique_ptr<CompiledProgram> program;
+};
+
+// Compiles every job, `num_workers` at a time (0 = hardware concurrency),
+// each with its own DiagEngine and PipelineStats. outcome[i] always
+// corresponds to jobs[i], and every outcome is bit-identical to what a
+// sequential compile of the same job produces.
+std::vector<BatchOutcome> CompileBatch(const std::vector<BatchJob>& jobs,
+                                       unsigned num_workers = 0);
+
+// One BatchJob per BuildPreset for `source`, labelled with PresetName — the
+// §7.1/§7.2 build-configuration sweep.
+std::vector<BatchJob> PresetSweepJobs(const std::string& source,
+                                      bool verify = false);
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_DRIVER_PIPELINE_H_

@@ -7,8 +7,14 @@
 //   kReduced — ConfLLVM builds: no cross-use copy propagation (stands in for
 //              the disabled passes, e.g. jump tables and remove-dead-args).
 // All passes preserve vreg taints and memory-region metadata.
+//
+// Passes are exposed as a registry of FunctionPass objects so the driver's
+// PassManager (src/driver/pipeline.h) can select, reorder, and time them per
+// BuildConfig instead of hardwiring the schedule.
 #ifndef CONFLLVM_SRC_OPT_PASSES_H_
 #define CONFLLVM_SRC_OPT_PASSES_H_
+
+#include <vector>
 
 #include "src/ir/ir.h"
 
@@ -20,14 +26,53 @@ enum class OptLevel : uint8_t {
   kFull,     // vanilla "O2"
 };
 
-// Runs the pipeline in place.
-void OptimizeModule(IrModule* module, OptLevel level);
+const char* OptLevelName(OptLevel level);
+
+// A function-local IR transformation. Returns true if it changed the IR.
+// Instances are stateless value objects taken from the registry; the same
+// pass may run on many functions (and threads) concurrently.
+struct FunctionPass {
+  const char* name;
+  bool (*run)(IrFunction* f);
+  // Lowest level at which the pass is scheduled (kReduced passes also run at
+  // kFull). ConfLLVM-unsupported passes would set this to kFull.
+  OptLevel min_level;
+};
+
+// All known passes, in schedule order.
+const std::vector<FunctionPass>& AllFunctionPasses();
+
+// The subset of AllFunctionPasses() scheduled at `level`, in schedule order.
+std::vector<FunctionPass> PassesForLevel(OptLevel level);
+
+// Per-pass aggregate counters for one OptimizeModule/pipeline run. Parallel
+// index with the pass list that produced it.
+struct PassRunStats {
+  const char* name = nullptr;
+  uint64_t invocations = 0;   // times the pass ran (functions × rounds)
+  uint64_t changed = 0;       // invocations that modified the IR
+  double ms = 0;              // wall-clock time spent in the pass
+};
+
+// Runs the registered pipeline in place; iterates each function to a local
+// fixpoint (bounded rounds). When `stats` is non-null it is resized to the
+// scheduled pass list and accumulated into.
+void OptimizeModule(IrModule* module, OptLevel level,
+                    std::vector<PassRunStats>* stats = nullptr);
+
+// Runs the scheduled passes on a single function to a bounded fixpoint.
+// Returns the number of pass invocations that changed the IR.
+uint64_t OptimizeFunction(IrFunction* f, const std::vector<FunctionPass>& passes,
+                          std::vector<PassRunStats>* stats = nullptr);
 
 // Individual passes (exposed for unit tests).
 bool ConstantFold(IrFunction* f);
 bool CopyPropagate(IrFunction* f);
 bool DeadCodeEliminate(IrFunction* f);
 bool SimplifyCfg(IrFunction* f);
+
+// Counts IR instructions across all blocks of all functions (stage stats).
+size_t CountInstrs(const IrModule& module);
 
 }  // namespace confllvm
 

@@ -4,20 +4,44 @@ namespace confllvm {
 
 bool QualSolver::Solve(DiagEngine* diags) {
   solution_.assign(num_vars_, Qual::kPublic);
+  stats_ = {};
+  stats_.vars = num_vars_;
+  stats_.constraints = constraints_.size();
 
-  // Least fixpoint: repeatedly propagate private along lo ⊑ hi edges. The
-  // constraint count is linear in program size and the lattice has height 1,
-  // so iterating the full list until quiescence is O(n^2) worst case but
-  // fast in practice; a worklist would not change observable behaviour.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const Constraint& c : constraints_) {
-      if (Resolve(c.lo) == Qual::kPrivate && c.hi.is_var &&
-          solution_[c.hi.var] == Qual::kPublic) {
-        solution_[c.hi.var] = Qual::kPrivate;
-        changed = true;
-      }
+  // Least fixpoint: propagate private along lo ⊑ hi edges. The lattice has
+  // height 1, so each variable flips public→private at most once; a worklist
+  // over a var→outgoing-constraint adjacency index makes the whole solve
+  // linear in the number of constraints (the previous implementation
+  // re-scanned the full constraint list until quiescence, O(n²) worst case).
+  std::vector<std::vector<uint32_t>> out_edges(num_vars_);
+  std::vector<uint32_t> worklist;
+
+  auto mark_private = [&](uint32_t var) {
+    if (solution_[var] == Qual::kPublic) {
+      solution_[var] = Qual::kPrivate;
+      worklist.push_back(var);
+      ++stats_.propagations;
+    }
+  };
+
+  for (uint32_t i = 0; i < constraints_.size(); ++i) {
+    const Constraint& c = constraints_[i];
+    if (!c.hi.is_var) {
+      continue;  // nothing to propagate into; checked below
+    }
+    if (c.lo.is_var) {
+      out_edges[c.lo.var].push_back(i);
+      ++stats_.edges;
+    } else if (c.lo.value == Qual::kPrivate) {
+      mark_private(c.hi.var);  // seed: concrete private flows into a var
+    }
+  }
+  while (!worklist.empty()) {
+    const uint32_t v = worklist.back();
+    worklist.pop_back();
+    ++stats_.worklist_pops;
+    for (const uint32_t i : out_edges[v]) {
+      mark_private(constraints_[i].hi.var);
     }
   }
 

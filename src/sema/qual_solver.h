@@ -18,6 +18,16 @@
 
 namespace confllvm {
 
+// Counters from one Solve() run, surfaced through sema into the pipeline's
+// per-invocation stats.
+struct QualSolverStats {
+  size_t vars = 0;
+  size_t constraints = 0;
+  size_t edges = 0;           // var→var flow edges indexed for the worklist
+  size_t propagations = 0;    // variables flipped public→private
+  size_t worklist_pops = 0;
+};
+
 class QualSolver {
  public:
   QualTerm NewVar() { return QualTerm::Var(num_vars_++); }
@@ -47,6 +57,7 @@ class QualSolver {
 
   size_t num_vars() const { return num_vars_; }
   size_t num_constraints() const { return constraints_.size(); }
+  const QualSolverStats& stats() const { return stats_; }
 
  private:
   struct Constraint {
@@ -59,6 +70,7 @@ class QualSolver {
   std::vector<Constraint> constraints_;
   std::vector<Qual> solution_;
   uint32_t num_vars_ = 0;
+  QualSolverStats stats_;
 };
 
 }  // namespace confllvm

@@ -41,6 +41,7 @@ class Checker {
     Substitute();
     tp_->num_qual_vars = solver_.num_vars();
     tp_->num_constraints = solver_.num_constraints();
+    tp_->solver_stats = solver_.stats();
     if (diags_->HasErrors()) {
       return nullptr;
     }

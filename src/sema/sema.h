@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/lang/ast.h"
+#include "src/sema/qual_solver.h"
 #include "src/sema/type.h"
 #include "src/support/diag.h"
 
@@ -80,9 +81,11 @@ struct TypedProgram {
   std::vector<FunctionSema> functions;                // defined (U) functions
   std::vector<Symbol*> trusted_imports;               // externals table order
 
-  // Inference statistics (reported by tooling).
+  // Inference statistics (reported by tooling and the pipeline's per-stage
+  // stats).
   size_t num_qual_vars = 0;
   size_t num_constraints = 0;
+  QualSolverStats solver_stats;
 
   const ExprInfo& Info(const Expr* e) const { return expr_info.at(e); }
   const FunctionSema* FindFunction(const std::string& name) const {

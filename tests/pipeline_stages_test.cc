@@ -1,0 +1,375 @@
+// Tests for the staged compilation pipeline (src/driver/pipeline.h):
+// stage ordering, per-stage stats, OptLevel→pass selection, CompileBatch
+// determinism, and byte-for-byte equivalence with the pre-pipeline
+// monolithic driver sequence.
+#include <gtest/gtest.h>
+
+#include "bench/workloads.h"
+#include "src/driver/confcc.h"
+#include "src/driver/pipeline.h"
+#include "src/ir/irgen.h"
+#include "src/lang/parser.h"
+
+namespace confllvm {
+namespace {
+
+// A program that exercises every front-end feature class: private quals,
+// pointers, arrays, structs, globals, function pointers, recursion, floats,
+// and trusted imports.
+const char* kRichSource = R"(
+  struct acc { int lo; int hi; };
+  struct acc g_acc;
+  int g_scale = 2;
+  void *pub_malloc(int n);
+  void pub_free(void *p);
+  int twice(int x) { return 2 * x; }
+  int thrice(int x) { return 3 * x; }
+  int apply(int (*f)(int), int v) { return f(v); }
+  int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+  }
+  private int blend(private int s, int p) { return s + p; }
+  int main() {
+    int a[8];
+    for (int i = 0; i < 8; i = i + 1) { a[i] = i * g_scale; }
+    int *h = (int*)pub_malloc(4 * sizeof(int));
+    h[0] = apply(twice, a[3]);
+    h[1] = apply(thrice, a[2]);
+    h[2] = fib(10);
+    h[3] = 1 + 2 * 3;
+    g_acc.lo = h[0] + h[1];
+    g_acc.hi = h[2] + h[3];
+    private int secret = 41;
+    private int mixed = blend(secret, g_acc.lo);
+    private int sink[1];
+    sink[0] = mixed;
+    float f = 1.5;
+    int fi = (int)(f * 4.0);
+    int r = g_acc.lo + g_acc.hi + fi;
+    pub_free((void*)h);
+    return r;
+  })";
+
+// The pre-pipeline driver body: the exact stage sequence the monolithic
+// Compile() ran before the PassManager refactor.
+std::unique_ptr<LoadedProgram> LegacyCompile(const std::string& source,
+                                             const BuildConfig& config,
+                                             DiagEngine* diags) {
+  auto ast = Parse(source, diags);
+  if (diags->HasErrors()) {
+    return nullptr;
+  }
+  auto typed = RunSema(std::move(ast), config.sema, diags);
+  if (typed == nullptr) {
+    return nullptr;
+  }
+  auto ir = GenerateIr(*typed, diags);
+  if (ir == nullptr) {
+    return nullptr;
+  }
+  OptimizeModule(ir.get(), config.opt_level);
+  CodegenStats stats;
+  Binary bin = GenerateCode(*ir, config.codegen, diags, &stats);
+  if (diags->HasErrors()) {
+    return nullptr;
+  }
+  return LoadBinary(std::move(bin), config.load, diags);
+}
+
+uint64_t RunMainCycles(LoadedProgram* prog, AllocPolicy policy, uint64_t* ret) {
+  TrustedOptions topts;
+  topts.alloc_policy = policy;
+  TrustedLib tlib(topts);
+  Vm vm(prog, &tlib);
+  auto r = vm.Call("main", {});
+  EXPECT_TRUE(r.ok) << r.fault_msg;
+  *ret = r.ret;
+  return r.cycles;
+}
+
+class AllPresets : public ::testing::TestWithParam<BuildPreset> {};
+
+INSTANTIATE_TEST_SUITE_P(Presets, AllPresets, ::testing::ValuesIn(kAllBuildPresets),
+                         [](const auto& info) {
+                           std::string n = PresetName(info.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// ---- Pipeline equivalence: new PassManager path vs the legacy sequence ----
+
+TEST_P(AllPresets, ByteIdenticalToLegacyPath) {
+  const BuildConfig config = BuildConfig::For(GetParam());
+
+  DiagEngine legacy_diags;
+  auto legacy = LegacyCompile(kRichSource, config, &legacy_diags);
+  ASSERT_NE(legacy, nullptr) << legacy_diags.ToString();
+
+  DiagEngine diags;
+  auto compiled = Compile(kRichSource, config, &diags);
+  ASSERT_NE(compiled, nullptr) << diags.ToString();
+
+  // Byte-identical binary: code image, function table, magic sites.
+  ASSERT_EQ(compiled->prog->binary.code, legacy->binary.code);
+  ASSERT_EQ(compiled->prog->binary.functions.size(),
+            legacy->binary.functions.size());
+  for (size_t i = 0; i < legacy->binary.functions.size(); ++i) {
+    EXPECT_EQ(compiled->prog->binary.functions[i].entry_word,
+              legacy->binary.functions[i].entry_word);
+    EXPECT_EQ(compiled->prog->binary.functions[i].taint_bits,
+              legacy->binary.functions[i].taint_bits);
+  }
+  EXPECT_EQ(compiled->prog->binary.magic_sites.size(),
+            legacy->binary.magic_sites.size());
+
+  // Identical VM behaviour: same result, same cycle count.
+  uint64_t legacy_ret = 0;
+  uint64_t new_ret = 0;
+  const uint64_t legacy_cycles =
+      RunMainCycles(legacy.get(), config.alloc_policy, &legacy_ret);
+  const uint64_t new_cycles =
+      RunMainCycles(compiled->prog.get(), config.alloc_policy, &new_ret);
+  EXPECT_EQ(new_ret, legacy_ret);
+  EXPECT_EQ(new_cycles, legacy_cycles);
+}
+
+// ---- Stage ordering and per-stage stats ----
+
+TEST(PipelineStages, StandardScheduleOrderAndStats) {
+  CompilerInvocation inv(kRichSource, BuildConfig::For(BuildPreset::kOurMpx));
+  ASSERT_TRUE(RunStandardPipeline(&inv)) << inv.diags().ToString();
+
+  const PipelineStats& stats = inv.stats();
+  const StageId want[] = {StageId::kParse,   StageId::kSema, StageId::kIrGen,
+                          StageId::kOpt,     StageId::kCodegen, StageId::kLoad};
+  ASSERT_EQ(stats.stages.size(), 6u);
+  for (size_t i = 0; i < stats.stages.size(); ++i) {
+    EXPECT_EQ(stats.stages[i].id, want[i]) << "stage " << i;
+    EXPECT_TRUE(stats.stages[i].ran);
+    EXPECT_TRUE(stats.stages[i].ok);
+    EXPECT_GE(stats.stages[i].ms, 0.0);
+  }
+
+  // IR sizes: irgen produces instructions, opt shrinks (or keeps) them, and
+  // the counts thread through consistently stage to stage.
+  const StageStats* irgen = stats.Find(StageId::kIrGen);
+  const StageStats* opt = stats.Find(StageId::kOpt);
+  ASSERT_NE(irgen, nullptr);
+  ASSERT_NE(opt, nullptr);
+  EXPECT_GT(irgen->ir_instrs_out, 0u);
+  EXPECT_EQ(opt->ir_instrs_in, irgen->ir_instrs_out);
+  EXPECT_LE(opt->ir_instrs_out, opt->ir_instrs_in);
+
+  // Pass, solver, and codegen counters are populated.
+  ASSERT_EQ(stats.passes.size(), PassesForLevel(OptLevel::kReduced).size());
+  for (const PassRunStats& p : stats.passes) {
+    EXPECT_GT(p.invocations, 0u) << p.name;
+  }
+  EXPECT_GT(stats.solver.vars, 0u);
+  EXPECT_GT(stats.solver.constraints, 0u);
+  EXPECT_GT(stats.codegen.code_words, 0u);
+  EXPECT_GT(stats.codegen.functions_emitted, 0u);
+  EXPECT_GT(stats.total_ms, 0.0);
+
+  // The --time-passes rendering mentions every stage.
+  const std::string table = stats.ToTable();
+  for (const StageId id : want) {
+    EXPECT_NE(table.find(StageName(id)), std::string::npos) << StageName(id);
+  }
+
+  // Artifacts are retained on the invocation for inspection.
+  EXPECT_NE(inv.typed, nullptr);
+  EXPECT_NE(inv.ir, nullptr);
+  EXPECT_NE(inv.prog, nullptr);
+}
+
+TEST(PipelineStages, VerifyStageRunsWhenRequested) {
+  CompilerInvocation inv(kRichSource, BuildConfig::For(BuildPreset::kOurMpx));
+  ASSERT_TRUE(RunStandardPipeline(&inv, /*verify=*/true)) << inv.diags().ToString();
+  ASSERT_EQ(inv.stats().stages.size(), 7u);
+  EXPECT_EQ(inv.stats().stages.back().id, StageId::kVerify);
+  ASSERT_NE(inv.verify_result, nullptr);
+  EXPECT_TRUE(inv.verify_result->ok) << inv.verify_result->ErrorText();
+  EXPECT_GT(inv.verify_result->procedures, 0u);
+}
+
+TEST(PipelineStages, FailingStageAbortsPipeline) {
+  // Qualifier error: private flows to a public sink — sema must fail and
+  // nothing downstream may run.
+  const char* bad = R"(
+    int send(int fd, char *buf, int n);
+    int main() {
+      private char secret[8];
+      send(1, secret, 8);
+      return 0;
+    })";
+  CompilerInvocation inv(bad, BuildConfig::For(BuildPreset::kOurMpx));
+  EXPECT_FALSE(RunStandardPipeline(&inv));
+  EXPECT_TRUE(inv.diags().Contains("private data flows to public"))
+      << inv.diags().ToString();
+  ASSERT_EQ(inv.stats().stages.size(), 2u);  // parse ok, sema failed
+  EXPECT_TRUE(inv.stats().stages[0].ok);
+  EXPECT_FALSE(inv.stats().stages[1].ok);
+  EXPECT_EQ(inv.ir, nullptr);
+  EXPECT_EQ(inv.prog, nullptr);
+  EXPECT_EQ(inv.TakeProgram(), nullptr);
+}
+
+// ---- OptLevel → registered pass selection ----
+
+TEST(PassRegistry, SelectionByLevel) {
+  EXPECT_TRUE(PassesForLevel(OptLevel::kNone).empty());
+  const auto reduced = PassesForLevel(OptLevel::kReduced);
+  const auto full = PassesForLevel(OptLevel::kFull);
+  ASSERT_EQ(reduced.size(), 4u);
+  EXPECT_STREQ(reduced[0].name, "constant-fold");
+  EXPECT_STREQ(reduced[1].name, "copy-propagate");
+  EXPECT_STREQ(reduced[2].name, "dce");
+  EXPECT_STREQ(reduced[3].name, "simplify-cfg");
+  // Every reduced pass also runs at kFull, in the same schedule positions.
+  ASSERT_GE(full.size(), reduced.size());
+  for (size_t i = 0; i < reduced.size(); ++i) {
+    EXPECT_STREQ(full[i].name, reduced[i].name);
+  }
+  // The registry is the superset, in schedule order.
+  EXPECT_EQ(AllFunctionPasses().size(), full.size());
+}
+
+TEST(PassRegistry, OptLevelNoneLeavesIrUntouched) {
+  BuildConfig config = BuildConfig::For(BuildPreset::kOurMpx);
+  config.opt_level = OptLevel::kNone;
+  CompilerInvocation inv(kRichSource, config);
+  ASSERT_TRUE(RunStandardPipeline(&inv)) << inv.diags().ToString();
+  EXPECT_TRUE(inv.stats().passes.empty());
+  const StageStats* opt = inv.stats().Find(StageId::kOpt);
+  ASSERT_NE(opt, nullptr);
+  EXPECT_EQ(opt->ir_instrs_in, opt->ir_instrs_out);
+}
+
+// ---- CompileBatch determinism ----
+
+TEST(CompileBatch, ParallelSweepIdenticalToSequential) {
+  const auto jobs = PresetSweepJobs(kRichSource);
+  ASSERT_EQ(jobs.size(), 8u);
+  auto sequential = CompileBatch(jobs, /*num_workers=*/1);
+  auto parallel = CompileBatch(jobs, /*num_workers=*/4);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE(jobs[i].label);
+    ASSERT_TRUE(sequential[i].ok)
+        << sequential[i].invocation->diags().ToString();
+    ASSERT_TRUE(parallel[i].ok) << parallel[i].invocation->diags().ToString();
+    EXPECT_EQ(parallel[i].label, sequential[i].label);
+    // Bit-identical code images regardless of worker count / interleaving.
+    EXPECT_EQ(parallel[i].program->prog->binary.code,
+              sequential[i].program->prog->binary.code);
+    // Identical runtime behaviour.
+    uint64_t ret_s = 0;
+    uint64_t ret_p = 0;
+    const AllocPolicy policy = jobs[i].config.alloc_policy;
+    EXPECT_EQ(RunMainCycles(parallel[i].program->prog.get(), policy, &ret_p),
+              RunMainCycles(sequential[i].program->prog.get(), policy, &ret_s));
+    EXPECT_EQ(ret_p, ret_s);
+  }
+}
+
+TEST(CompileBatch, PerInvocationDiagnostics) {
+  // One good job, one with a qualifier error, one with a parse error: each
+  // outcome carries its own diagnostics and the failures don't poison the
+  // successes.
+  std::vector<BatchJob> jobs(3);
+  jobs[0].label = "good";
+  jobs[0].source = "int main() { return 7; }";
+  jobs[0].config = BuildConfig::For(BuildPreset::kOurMpx);
+  jobs[1].label = "leak";
+  jobs[1].source = R"(
+    int send(int fd, char *buf, int n);
+    int main() { private char s[4]; send(1, s, 4); return 0; })";
+  jobs[1].config = BuildConfig::For(BuildPreset::kOurMpx);
+  jobs[2].label = "syntax";
+  jobs[2].source = "int main( { return }";
+  jobs[2].config = BuildConfig::For(BuildPreset::kBase);
+
+  auto outcomes = CompileBatch(jobs, 3);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].ok) << outcomes[0].invocation->diags().ToString();
+  EXPECT_FALSE(outcomes[0].invocation->diags().HasErrors());
+  EXPECT_FALSE(outcomes[1].ok);
+  EXPECT_TRUE(
+      outcomes[1].invocation->diags().Contains("private data flows to public"));
+  EXPECT_FALSE(outcomes[2].ok);
+  EXPECT_TRUE(outcomes[2].invocation->diags().HasErrors());
+  EXPECT_EQ(outcomes[2].program, nullptr);
+}
+
+TEST(CompileBatch, WorkloadSweepCompilesEverywhere) {
+  // The §7.2 web server compiles under all eight presets concurrently.
+  auto outcomes = CompileBatch(PresetSweepJobs(workloads::kNginx), 4);
+  for (const auto& out : outcomes) {
+    EXPECT_TRUE(out.ok) << out.label << ":\n"
+                        << out.invocation->diags().ToString();
+  }
+}
+
+// ---- Worklist qualifier solver ----
+
+TEST(QualSolverWorklist, ChainPropagationIsLinear) {
+  // private ⊑ v0 ⊑ v1 ⊑ ... ⊑ v999: the worklist visits each variable once.
+  QualSolver solver;
+  const uint32_t n = 1000;
+  std::vector<QualTerm> v;
+  for (uint32_t i = 0; i < n; ++i) {
+    v.push_back(solver.NewVar());
+  }
+  solver.AddFlow(QualTerm::Const(Qual::kPrivate), v[0], {}, "seed");
+  for (uint32_t i = 0; i + 1 < n; ++i) {
+    solver.AddFlow(v[i], v[i + 1], {}, "link");
+  }
+  DiagEngine diags;
+  ASSERT_TRUE(solver.Solve(&diags));
+  for (uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(solver.Resolve(v[i]), Qual::kPrivate) << i;
+  }
+  const QualSolverStats& s = solver.stats();
+  EXPECT_EQ(s.propagations, n);       // each var flips exactly once
+  EXPECT_EQ(s.worklist_pops, n);      // and is popped exactly once
+  EXPECT_EQ(s.edges, n - 1);
+}
+
+TEST(QualSolverWorklist, UnreachedVarsStayPublicAndConflictsDiagnose) {
+  QualSolver solver;
+  QualTerm a = solver.NewVar();
+  QualTerm b = solver.NewVar();
+  QualTerm c = solver.NewVar();  // no private inflow: stays public
+  solver.AddFlow(QualTerm::Const(Qual::kPrivate), a, {}, "seed");
+  solver.AddFlow(a, b, {}, "a->b");
+  solver.AddFlow(b, QualTerm::Const(Qual::kPublic), {}, "sink argument");
+  DiagEngine diags;
+  EXPECT_FALSE(solver.Solve(&diags));
+  EXPECT_TRUE(diags.Contains("private data flows to public sink argument"))
+      << diags.ToString();
+  EXPECT_EQ(solver.Resolve(a), Qual::kPrivate);
+  EXPECT_EQ(solver.Resolve(b), Qual::kPrivate);
+  EXPECT_EQ(solver.Resolve(c), Qual::kPublic);
+}
+
+// ---- Compile() wrapper surfaces stats ----
+
+TEST(CompileApi, StatsOutParam) {
+  DiagEngine diags;
+  PipelineStats stats;
+  auto compiled =
+      Compile(kRichSource, BuildConfig::For(BuildPreset::kOurSeg), &diags, &stats);
+  ASSERT_NE(compiled, nullptr) << diags.ToString();
+  EXPECT_EQ(stats.stages.size(), 6u);
+  EXPECT_GT(stats.codegen.code_words, 0u);
+  // The CompiledProgram's stats mirror the invocation's.
+  EXPECT_EQ(compiled->codegen_stats.code_words, stats.codegen.code_words);
+  EXPECT_EQ(compiled->qual_constraints, stats.solver.constraints);
+}
+
+}  // namespace
+}  // namespace confllvm

@@ -1,14 +1,20 @@
-// confcc: command-line driver — compile a MiniC file, optionally verify,
-// disassemble, and run it under any of the paper's configurations.
+// confcc: command-line driver — compile a MiniC file through the staged
+// pipeline, optionally verify, disassemble, time the stages, and run it
+// under any (or all) of the paper's configurations.
 //
-//   confcc [--preset=OurMPX] [--entry=main] [--args=1,2,3] [--verify]
-//          [--disasm] [--stats] [--all-private] file.mc
+//   confcc [--preset=OurMPX|all] [--entry=main] [--args=1,2,3] [--verify]
+//          [--disasm] [--stats] [--time-passes] [--jobs=N] [--all-private]
+//          file.mc
+//
+// --preset=all batch-compiles every §7.1/§7.2 configuration concurrently
+// (--jobs workers) through CompileBatch and reports one line per preset.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "src/driver/confcc.h"
+#include "src/driver/pipeline.h"
 #include "src/verifier/verifier.h"
 
 using namespace confllvm;
@@ -16,11 +22,7 @@ using namespace confllvm;
 namespace {
 
 bool ParsePreset(const std::string& name, BuildPreset* out) {
-  const BuildPreset all[] = {BuildPreset::kBase,    BuildPreset::kBaseOA,
-                             BuildPreset::kOur1Mem, BuildPreset::kOurBare,
-                             BuildPreset::kOurCFI,  BuildPreset::kOurMpx,
-                             BuildPreset::kOurMpxSep, BuildPreset::kOurSeg};
-  for (BuildPreset p : all) {
+  for (BuildPreset p : kAllBuildPresets) {
     if (name == PresetName(p)) {
       *out = p;
       return true;
@@ -31,86 +33,208 @@ bool ParsePreset(const std::string& name, BuildPreset* out) {
 
 int Usage() {
   fprintf(stderr,
-          "usage: confcc [--preset=P] [--entry=F] [--args=a,b,...] [--verify]\n"
-          "              [--disasm] [--stats] [--all-private] file.mc\n"
+          "usage: confcc [--preset=P|all] [--entry=F] [--args=a,b,...] [--verify]\n"
+          "              [--disasm] [--stats] [--time-passes] [--jobs=N]\n"
+          "              [--all-private] file.mc\n"
           "presets: Base BaseOA Our1Mem OurBare OurCFI OurMPX OurMPX-Sep OurSeg\n");
   return 2;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+struct Options {
   BuildPreset preset = BuildPreset::kOurMpx;
+  bool sweep = false;  // --preset=all
   std::string entry = "main";
   std::vector<uint64_t> args;
   bool verify = false;
   bool disasm = false;
   bool stats = false;
+  bool time_passes = false;
+  unsigned jobs = 0;  // 0 = hardware concurrency
   bool all_private = false;
   std::string file;
+};
 
+BuildConfig ConfigFor(BuildPreset preset, const Options& opt) {
+  BuildConfig config = BuildConfig::For(preset);
+  config.sema.all_private = opt.all_private;
+  if (opt.all_private) {
+    config.sema.implicit_flows = ImplicitFlowMode::kWarn;
+  }
+  return config;
+}
+
+// Runs `entry` of one compiled program; returns false on fault. `quiet`
+// suppresses the per-run summary line (sweep mode prints a table instead).
+bool RunProgram(std::unique_ptr<CompiledProgram> compiled, const Options& opt,
+                uint64_t* cycles_out, uint64_t* ret_out = nullptr,
+                bool quiet = false) {
+  auto s = MakeSessionFor(std::move(compiled));
+  auto r = s->vm->Call(opt.entry, opt.args);
+  if (!r.ok) {
+    fprintf(stderr, "confcc: %s faulted: %s (%s)\n", opt.entry.c_str(),
+            FaultName(r.fault), r.fault_msg.c_str());
+    return false;
+  }
+  if (!s->tlib->stdout_text().empty()) {
+    fputs(s->tlib->stdout_text().c_str(), stdout);
+  }
+  if (quiet) {
+    if (cycles_out != nullptr) {
+      *cycles_out = r.cycles;
+    }
+    if (ret_out != nullptr) {
+      *ret_out = r.ret;
+    }
+    return true;
+  }
+  fprintf(stderr, "confcc: %s() = %lld  (%llu instructions, %llu cycles",
+          opt.entry.c_str(), static_cast<long long>(r.ret),
+          static_cast<unsigned long long>(r.instrs),
+          static_cast<unsigned long long>(r.cycles));
+  if (opt.stats) {
+    const VmStats& vs = s->vm->stats();
+    fprintf(stderr, "; checks=%llu cfi=%llu tcalls=%llu cache-miss-cyc=%llu",
+            static_cast<unsigned long long>(vs.check_instrs),
+            static_cast<unsigned long long>(vs.cfi_instrs),
+            static_cast<unsigned long long>(vs.trusted_calls),
+            static_cast<unsigned long long>(vs.cache_miss_cycles));
+  }
+  fprintf(stderr, ")\n");
+  if (cycles_out != nullptr) {
+    *cycles_out = r.cycles;
+  }
+  if (ret_out != nullptr) {
+    *ret_out = r.ret;
+  }
+  return true;
+}
+
+// --preset=all: compile every configuration concurrently, then run each.
+int RunSweep(const std::string& source, const Options& opt) {
+  std::vector<BatchJob> jobs;
+  for (const BuildPreset p : kAllBuildPresets) {
+    BatchJob job;
+    job.label = PresetName(p);
+    job.source = source;
+    job.config = ConfigFor(p, opt);
+    // ConfVerify targets fully-instrumented binaries; skip for Base-like
+    // presets even under --verify (mirrors the paper's threat model).
+    job.verify = opt.verify && job.config.codegen.ConfMode() &&
+                 job.config.codegen.scheme != Scheme::kNone;
+    jobs.push_back(std::move(job));
+  }
+  auto outcomes = CompileBatch(jobs, opt.jobs);
+
+  int failures = 0;
+  fprintf(stderr, "%-12s%8s%10s%10s%12s%14s\n", "preset", "ok", "ms", "words",
+          "constraints", "cycles");
+  for (auto& out : outcomes) {
+    if (!out.ok) {
+      ++failures;
+      fprintf(stderr, "%-12s%8s\n%s", out.label.c_str(), "FAIL",
+              out.invocation->diags().ToString().c_str());
+      continue;
+    }
+    // Warnings (e.g. implicit-flow notes under --all-private) still matter
+    // for presets that compiled successfully.
+    fputs(out.invocation->diags().ToString().c_str(), stderr);
+    const PipelineStats& ps = out.invocation->stats();
+    if (opt.disasm) {
+      printf("-- %s --\n%s", out.label.c_str(),
+             Disassemble(out.program->prog->binary).c_str());
+    }
+    uint64_t cycles = 0;
+    if (!RunProgram(std::move(out.program), opt, &cycles, nullptr,
+                    /*quiet=*/true)) {
+      ++failures;
+      continue;
+    }
+    fprintf(stderr, "%-12s%8s%10.2f%10llu%12zu%14llu\n", out.label.c_str(), "ok",
+            ps.total_ms, static_cast<unsigned long long>(ps.codegen.code_words),
+            ps.solver.constraints, static_cast<unsigned long long>(cycles));
+    if (opt.time_passes) {
+      fprintf(stderr, "-- %s --\n%s", out.label.c_str(), ps.ToTable().c_str());
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--preset=", 0) == 0) {
-      if (!ParsePreset(a.substr(9), &preset)) {
-        fprintf(stderr, "unknown preset '%s'\n", a.substr(9).c_str());
+      const std::string name = a.substr(9);
+      if (name == "all") {
+        opt.sweep = true;
+      } else if (!ParsePreset(name, &opt.preset)) {
+        fprintf(stderr, "unknown preset '%s'\n", name.c_str());
         return Usage();
       }
     } else if (a.rfind("--entry=", 0) == 0) {
-      entry = a.substr(8);
+      opt.entry = a.substr(8);
     } else if (a.rfind("--args=", 0) == 0) {
       std::stringstream ss(a.substr(7));
       std::string tok;
       while (std::getline(ss, tok, ',')) {
-        args.push_back(strtoull(tok.c_str(), nullptr, 0));
+        opt.args.push_back(strtoull(tok.c_str(), nullptr, 0));
       }
+    } else if (a.rfind("--jobs=", 0) == 0) {
+      opt.jobs = static_cast<unsigned>(strtoul(a.substr(7).c_str(), nullptr, 0));
     } else if (a == "--verify") {
-      verify = true;
+      opt.verify = true;
     } else if (a == "--disasm") {
-      disasm = true;
+      opt.disasm = true;
     } else if (a == "--stats") {
-      stats = true;
+      opt.stats = true;
+    } else if (a == "--time-passes") {
+      opt.time_passes = true;
     } else if (a == "--all-private") {
-      all_private = true;
+      opt.all_private = true;
     } else if (a[0] == '-') {
       return Usage();
     } else {
-      file = a;
+      opt.file = a;
     }
   }
-  if (file.empty()) {
+  if (opt.file.empty()) {
     return Usage();
   }
 
-  std::ifstream in(file);
+  std::ifstream in(opt.file);
   if (!in) {
-    fprintf(stderr, "confcc: cannot open %s\n", file.c_str());
+    fprintf(stderr, "confcc: cannot open %s\n", opt.file.c_str());
     return 1;
   }
   std::stringstream buf;
   buf << in.rdbuf();
 
-  BuildConfig config = BuildConfig::For(preset);
-  config.sema.all_private = all_private;
-  if (all_private) {
-    config.sema.implicit_flows = ImplicitFlowMode::kWarn;
+  if (opt.sweep) {
+    return RunSweep(buf.str(), opt);
   }
 
-  DiagEngine diags;
-  auto compiled = Compile(buf.str(), config, &diags);
-  fputs(diags.ToString().c_str(), stderr);
-  if (compiled == nullptr) {
+  CompilerInvocation inv(buf.str(), ConfigFor(opt.preset, opt));
+  const bool ok = RunStandardPipeline(&inv);
+  fputs(inv.diags().ToString().c_str(), stderr);
+  if (opt.time_passes) {
+    fputs(inv.stats().ToTable().c_str(), stderr);
+  }
+  if (!ok) {
     return 1;
   }
-  fprintf(stderr, "confcc: %s: %zu code words, %zu functions, %zu imports [%s]\n",
-          file.c_str(), compiled->prog->binary.code.size(),
+  auto compiled = inv.TakeProgram();
+  fprintf(stderr, "confcc: %s: %zu code words, %zu functions, %zu imports [%s, %s]\n",
+          opt.file.c_str(), compiled->prog->binary.code.size(),
           compiled->prog->binary.functions.size(),
-          compiled->prog->binary.imports.size(), PresetName(preset));
+          compiled->prog->binary.imports.size(), PresetName(opt.preset),
+          OptLevelName(inv.config().opt_level));
 
-  if (disasm) {
+  if (opt.disasm) {
     fputs(Disassemble(compiled->prog->binary).c_str(), stdout);
   }
-  if (verify) {
+  if (opt.verify) {
     VerifyResult v = Verify(*compiled->prog);
     fprintf(stderr, "confverify: %s (%zu procedures, %zu instructions)\n",
             v.ok ? "ok" : "REJECTED", v.procedures, v.instructions);
@@ -120,31 +244,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  TrustedOptions topts;
-  topts.alloc_policy = config.alloc_policy;
-  TrustedLib tlib(topts);
-  Vm vm(compiled->prog.get(), &tlib);
-  auto r = vm.Call(entry, args);
-  if (!r.ok) {
-    fprintf(stderr, "confcc: %s faulted: %s (%s)\n", entry.c_str(),
-            FaultName(r.fault), r.fault_msg.c_str());
+  uint64_t cycles = 0;
+  uint64_t ret = 0;
+  if (!RunProgram(std::move(compiled), opt, &cycles, &ret)) {
     return 1;
   }
-  if (!tlib.stdout_text().empty()) {
-    fputs(tlib.stdout_text().c_str(), stdout);
-  }
-  fprintf(stderr, "confcc: %s() = %lld  (%llu instructions, %llu cycles",
-          entry.c_str(), static_cast<long long>(r.ret),
-          static_cast<unsigned long long>(r.instrs),
-          static_cast<unsigned long long>(r.cycles));
-  if (stats) {
-    const VmStats& s = vm.stats();
-    fprintf(stderr, "; checks=%llu cfi=%llu tcalls=%llu cache-miss-cyc=%llu",
-            static_cast<unsigned long long>(s.check_instrs),
-            static_cast<unsigned long long>(s.cfi_instrs),
-            static_cast<unsigned long long>(s.trusted_calls),
-            static_cast<unsigned long long>(s.cache_miss_cycles));
-  }
-  fprintf(stderr, ")\n");
-  return static_cast<int>(r.ret & 0xff);
+  return static_cast<int>(ret & 0xff);
 }

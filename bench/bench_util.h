@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/driver/artifact_cache.h"
 #include "src/driver/confcc.h"
 #include "src/driver/pipeline.h"
 
@@ -63,10 +64,13 @@ struct SweepEntry {
 // Batch-compiles `src` under every preset in `presets` concurrently through
 // the pipeline's CompileBatch (jobs = 0 -> hardware concurrency), then wraps
 // each outcome in a runnable Session. Compilation failures are reported to
-// stderr and leave a null session in the corresponding entry.
+// stderr and leave a null session in the corresponding entry. A non-null
+// `cache` shares the front-end artifacts across the sweep (and across
+// successive sweeps of the same source) without changing any output byte.
 inline std::vector<SweepEntry> CompileSweep(const std::string& src,
                                             const std::vector<BuildPreset>& presets,
-                                            unsigned jobs = 0) {
+                                            unsigned jobs = 0,
+                                            ArtifactCache* cache = nullptr) {
   std::vector<BatchJob> batch;
   for (const BuildPreset p : presets) {
     BatchJob job;
@@ -75,7 +79,7 @@ inline std::vector<SweepEntry> CompileSweep(const std::string& src,
     job.config = BuildConfig::For(p);
     batch.push_back(std::move(job));
   }
-  auto outcomes = CompileBatch(batch, jobs);
+  auto outcomes = CompileBatch(batch, jobs, cache);
 
   std::vector<SweepEntry> entries;
   for (size_t i = 0; i < outcomes.size(); ++i) {

@@ -1,0 +1,147 @@
+// Compile-time benchmark: per-stage wall-clock and artifact-cache behaviour
+// of the eight-preset sweep, cold vs warm.
+//
+// The runtime benches (fig5..fig8) track the paper's *execution* overheads;
+// this one tracks the compiler itself — what the artifact cache buys on a
+// preset sweep (shared Parse/Sema/IrGen prefix) and on a warm rebuild
+// (everything restored, only Load/Verify-grade work left). Emits one JSON
+// document on stdout so BENCH_*.json harvesting can chart compile
+// throughput alongside the runtime figures.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "bench/workloads.h"
+#include "src/driver/artifact_cache.h"
+#include "src/support/strings.h"
+
+namespace confllvm {
+namespace {
+
+using workloads::kNumSpecKernels;
+using workloads::kSpecKernels;
+
+double StageMsSum(const std::vector<BatchOutcome>& outcomes, StageId id) {
+  double ms = 0;
+  for (const auto& out : outcomes) {
+    if (const StageStats* s = out.invocation->stats().Find(id)) {
+      ms += s->ms;
+    }
+  }
+  return ms;
+}
+
+void AppendSweepJson(std::string* out, const char* phase,
+                     const std::vector<BatchOutcome>& outcomes,
+                     const CacheStats& cache) {
+  *out += StrFormat("      \"%s\": {\n        \"presets\": [\n", phase);
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const PipelineStats& ps = outcomes[i].invocation->stats();
+    *out += StrFormat("          {\"preset\": \"%s\", \"total_ms\": %.3f",
+                      outcomes[i].label.c_str(), ps.total_ms);
+    *out += ", \"stages\": {";
+    for (size_t s = 0; s < ps.stages.size(); ++s) {
+      const StageStats& st = ps.stages[s];
+      *out += StrFormat("%s\"%s\": {\"ms\": %.3f, \"cached\": %s}",
+                        s == 0 ? "" : ", ", st.name, st.ms,
+                        st.cached ? "true" : "false");
+    }
+    *out += StrFormat("}}%s\n", i + 1 == outcomes.size() ? "" : ",");
+  }
+  *out += StrFormat(
+      "        ],\n"
+      "        \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+      "\"prefix_shares\": %llu, \"bytes_retained\": %zu}\n      }",
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses),
+      static_cast<unsigned long long>(cache.PrefixShares()),
+      cache.bytes_retained);
+}
+
+// One kernel's sweep, cold then warm, through a fresh shared cache.
+void PrintJson() {
+  std::string out = "{\n  \"bench\": \"compile_sweep\",\n  \"workloads\": [\n";
+  for (int k = 0; k < kNumSpecKernels; ++k) {
+    const auto& kernel = kSpecKernels[k];
+    ArtifactCache cache;
+    const auto jobs = PresetSweepJobs(kernel.source);
+    auto cold = CompileBatch(jobs, 0, &cache);
+    const CacheStats cold_stats = cache.stats();
+    auto warm = CompileBatch(jobs, 0, &cache);
+    const CacheStats warm_stats = cache.stats();
+
+    out += StrFormat("    {\"name\": \"%s\",\n", kernel.name);
+    AppendSweepJson(&out, "cold", cold, cold_stats);
+    out += ",\n";
+    AppendSweepJson(&out, "warm", warm, warm_stats);
+    out += StrFormat("\n    }%s\n", k + 1 == kNumSpecKernels ? "" : ",");
+  }
+  out += "  ]\n}\n";
+  fputs(out.c_str(), stdout);
+}
+
+// google-benchmark registrations: wall time of the full sweep per kernel,
+// cold (fresh cache), shared (one batch through one cache), and warm
+// (pre-populated cache), plus per-stage counters from the last run.
+void BM_SweepCold(benchmark::State& state) {
+  const auto& kernel = kSpecKernels[state.range(0)];
+  const auto jobs = PresetSweepJobs(kernel.source);
+  for (auto _ : state) {
+    auto outcomes = CompileBatch(jobs, 0);
+    benchmark::DoNotOptimize(outcomes);
+  }
+  state.SetLabel(std::string(kernel.name) + "/cold");
+}
+
+void BM_SweepShared(benchmark::State& state) {
+  const auto& kernel = kSpecKernels[state.range(0)];
+  const auto jobs = PresetSweepJobs(kernel.source);
+  double front_end_ms = 0;
+  for (auto _ : state) {
+    ArtifactCache cache;
+    auto outcomes = CompileBatch(jobs, 0, &cache);
+    front_end_ms = StageMsSum(outcomes, StageId::kParse) +
+                   StageMsSum(outcomes, StageId::kSema) +
+                   StageMsSum(outcomes, StageId::kIrGen);
+    benchmark::DoNotOptimize(outcomes);
+  }
+  state.SetLabel(std::string(kernel.name) + "/shared");
+  state.counters["front_end_ms"] = front_end_ms;
+}
+
+void BM_SweepWarm(benchmark::State& state) {
+  const auto& kernel = kSpecKernels[state.range(0)];
+  const auto jobs = PresetSweepJobs(kernel.source);
+  ArtifactCache cache;
+  CompileBatch(jobs, 0, &cache);  // populate
+  for (auto _ : state) {
+    auto outcomes = CompileBatch(jobs, 0, &cache);
+    benchmark::DoNotOptimize(outcomes);
+  }
+  const CacheStats cs = cache.stats();
+  state.SetLabel(std::string(kernel.name) + "/warm");
+  state.counters["cache_hits"] = static_cast<double>(cs.hits);
+  state.counters["cache_misses"] = static_cast<double>(cs.misses);
+}
+
+}  // namespace
+}  // namespace confllvm
+
+BENCHMARK(confllvm::BM_SweepCold)
+    ->DenseRange(0, confllvm::workloads::kNumSpecKernels - 1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(confllvm::BM_SweepShared)
+    ->DenseRange(0, confllvm::workloads::kNumSpecKernels - 1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(confllvm::BM_SweepWarm)
+    ->DenseRange(0, confllvm::workloads::kNumSpecKernels - 1)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  confllvm::PrintJson();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

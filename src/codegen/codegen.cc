@@ -1,9 +1,11 @@
 #include "src/codegen/codegen.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstring>
 #include <map>
 #include <set>
+#include <thread>
 
 #include "src/analysis/liveness.h"
 #include "src/codegen/regalloc.h"
@@ -986,7 +988,7 @@ class FuncEmitter {
 }  // namespace
 
 Binary GenerateCode(const IrModule& mod, const CodegenOptions& opts, DiagEngine* diags,
-                    CodegenStats* stats) {
+                    CodegenStats* stats, unsigned jobs) {
   Binary bin;
   bin.scheme = opts.scheme;
   bin.cfi = opts.cfi;
@@ -1015,17 +1017,60 @@ Binary GenerateCode(const IrModule& mod, const CodegenOptions& opts, DiagEngine*
   }
 
   // Emit every function, then lay them out and resolve cross-function
-  // fixups.
+  // fixups. Emission is per-function pure (liveness, regalloc, and selection
+  // read only the module and their own function), so it shards across
+  // worker threads; each shard accumulates into its own CodegenStats and a
+  // per-function DiagEngine, merged in function order below so the result —
+  // pendings, stats, and diagnostics — is identical for any worker count.
   struct FuncBlob {
     std::vector<Pending> pendings;
+    CodegenStats stats;
+    DiagEngine diags;
   };
-  std::vector<FuncBlob> blobs;
-  for (const IrFunction& f : mod.functions) {
-    FuncEmitter emitter(mod, f, opts, diags, stats);
-    FuncBlob blob;
+  std::vector<FuncBlob> blobs(mod.functions.size());
+  unsigned n = jobs != 0 ? jobs : std::thread::hardware_concurrency();
+  if (n == 0) {
+    n = 1;
+  }
+  n = static_cast<unsigned>(std::min<size_t>(
+      n, mod.functions.empty() ? 1 : mod.functions.size()));
+  auto emit_one = [&](size_t i) {
+    FuncBlob& blob = blobs[i];
+    FuncEmitter emitter(mod, mod.functions[i], opts, &blob.diags, &blob.stats);
     blob.pendings = emitter.Run();
-    blobs.push_back(std::move(blob));
-
+  };
+  if (n <= 1) {
+    for (size_t i = 0; i < mod.functions.size(); ++i) {
+      emit_one(i);
+    }
+  } else {
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= mod.functions.size()) {
+          return;
+        }
+        emit_one(i);
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (unsigned t = 0; t < n; ++t) {
+      threads.emplace_back(worker);
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+  for (size_t i = 0; i < mod.functions.size(); ++i) {
+    const IrFunction& f = mod.functions[i];
+    if (stats != nullptr) {
+      stats->Accumulate(blobs[i].stats);
+    }
+    if (diags != nullptr) {
+      diags->Append(blobs[i].diags);
+    }
     BinFunction bf;
     bf.name = f.name;
     bf.taint_bits = f.taints.Encode();

@@ -50,10 +50,28 @@ struct CodegenStats {
   uint64_t private_spills = 0;
   uint64_t functions_emitted = 0;
   uint64_t code_words = 0;  // final size of Binary::code
+
+  // Folds one shard's counters in (sharded emission keeps per-function
+  // stats and merges them in function order).
+  void Accumulate(const CodegenStats& other) {
+    bnd_checks_emitted += other.bnd_checks_emitted;
+    bnd_checks_coalesced += other.bnd_checks_coalesced;
+    bnd_checks_elided_stack += other.bnd_checks_elided_stack;
+    magic_words += other.magic_words;
+    private_spills += other.private_spills;
+    functions_emitted += other.functions_emitted;
+    code_words += other.code_words;
+  }
 };
 
+// Emits every function of `mod` and lays the results out into one Binary.
+// `jobs` shards the per-function emission across worker threads (0 =
+// hardware concurrency, 1 = sequential): functions are emitted independently
+// into per-function instruction lists, per-shard statistics are merged in
+// function order, and the layout/fixup pass stays sequential — so the
+// output is bit-identical for every jobs value.
 Binary GenerateCode(const IrModule& mod, const CodegenOptions& opts, DiagEngine* diags,
-                    CodegenStats* stats = nullptr);
+                    CodegenStats* stats = nullptr, unsigned jobs = 1);
 
 }  // namespace confllvm
 

@@ -1,0 +1,232 @@
+#include "src/driver/artifact_cache.h"
+
+#include <algorithm>
+
+#include "src/support/strings.h"
+
+namespace confllvm {
+
+namespace {
+
+size_t ApproxBytes(const TypeSyntax* t);
+size_t ApproxBytes(const Expr* e);
+size_t ApproxBytes(const Stmt* s);
+
+size_t ApproxBytes(const TypeSyntax* t) {
+  if (t == nullptr) {
+    return 0;
+  }
+  size_t n = sizeof(TypeSyntax) + t->pointers.size() + t->array_dims.size() * 8;
+  n += ApproxBytes(t->fn_ret.get());
+  for (const auto& p : t->fn_params) {
+    n += ApproxBytes(p.get());
+  }
+  return n;
+}
+
+size_t ApproxBytes(const Expr* e) {
+  if (e == nullptr) {
+    return 0;
+  }
+  size_t n = sizeof(Expr) + e->str_value.size() + e->name.size();
+  n += ApproxBytes(e->lhs.get()) + ApproxBytes(e->rhs.get());
+  for (const auto& a : e->args) {
+    n += ApproxBytes(a.get());
+  }
+  n += ApproxBytes(e->type_syntax.get());
+  return n;
+}
+
+size_t ApproxBytes(const Stmt* s) {
+  if (s == nullptr) {
+    return 0;
+  }
+  size_t n = sizeof(Stmt) + s->decl_name.size();
+  n += ApproxBytes(s->expr.get()) + ApproxBytes(s->decl_init.get()) +
+       ApproxBytes(s->cond.get()) + ApproxBytes(s->step.get());
+  n += ApproxBytes(s->decl_type.get());
+  n += ApproxBytes(s->for_init.get()) + ApproxBytes(s->then_stmt.get()) +
+       ApproxBytes(s->else_stmt.get()) + ApproxBytes(s->body.get());
+  for (const auto& sub : s->stmts) {
+    n += ApproxBytes(sub.get());
+  }
+  return n;
+}
+
+}  // namespace
+
+size_t ApproxBytes(const Program& p) {
+  size_t n = sizeof(Program);
+  for (const StructDecl& sd : p.structs) {
+    n += sizeof(StructDecl);
+    for (const FieldDecl& f : sd.fields) {
+      n += sizeof(FieldDecl) + ApproxBytes(f.type.get());
+    }
+  }
+  for (const GlobalDecl& g : p.globals) {
+    n += sizeof(GlobalDecl) + ApproxBytes(g.type.get()) + ApproxBytes(g.init.get());
+  }
+  for (const FuncDecl& f : p.functions) {
+    n += sizeof(FuncDecl) + ApproxBytes(f.ret_type.get()) + ApproxBytes(f.body.get());
+    for (const ParamDecl& pd : f.params) {
+      n += sizeof(ParamDecl) + ApproxBytes(pd.type.get());
+    }
+  }
+  return n;
+}
+
+size_t ApproxBytes(const TypedProgram& tp) {
+  size_t n = ApproxBytes(*tp.ast);
+  n += tp.owned_symbols.size() * sizeof(Symbol);
+  n += tp.expr_info.size() * (sizeof(const Expr*) + sizeof(ExprInfo));
+  n += tp.decl_sym.size() * (sizeof(const Stmt*) + sizeof(Symbol*));
+  n += tp.functions.size() * sizeof(FunctionSema);
+  return n;
+}
+
+size_t ApproxBytes(const IrModule& m) {
+  size_t n = sizeof(IrModule);
+  for (const IrFunction& f : m.functions) {
+    n += sizeof(IrFunction) + f.vregs.size() * sizeof(VRegInfo) +
+         f.slots.size() * sizeof(FrameSlot);
+    for (const BasicBlock& bb : f.blocks) {
+      n += sizeof(BasicBlock) + bb.instrs.size() * sizeof(Instr);
+    }
+  }
+  for (const IrGlobal& g : m.globals) {
+    n += sizeof(IrGlobal) + g.init.size() + g.relocs.size() * 12;
+  }
+  n += m.imports.size() * sizeof(IrImport);
+  return n;
+}
+
+size_t ApproxBytes(const Binary& b) {
+  size_t n = sizeof(Binary) + b.code.size() * 8;
+  n += b.functions.size() * sizeof(BinFunction);
+  for (const BinGlobal& g : b.globals) {
+    n += sizeof(BinGlobal) + g.init.size();
+  }
+  n += b.imports.size() * sizeof(BinImport);
+  n += b.magic_sites.size() * sizeof(MagicSite);
+  n += b.global_refs.size() * sizeof(GlobalRef);
+  return n;
+}
+
+size_t ApproxBytes(const LoadedProgram& p) {
+  return ApproxBytes(p.binary) + p.decoded.size() * sizeof(DecodedSlot) +
+         p.global_addr.size() * 8 + sizeof(RegionMap);
+}
+
+uint64_t CacheStats::PrefixShares() const {
+  return hits_by_stage[static_cast<size_t>(StageId::kParse)] +
+         hits_by_stage[static_cast<size_t>(StageId::kSema)] +
+         hits_by_stage[static_cast<size_t>(StageId::kIrGen)];
+}
+
+std::string CacheStats::ToRow() const {
+  return StrFormat(
+      "  cache: hits=%llu misses=%llu bytes=%zu prefix-shares=%llu "
+      "evictions=%llu\n",
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(misses), bytes_retained,
+      static_cast<unsigned long long>(PrefixShares()),
+      static_cast<unsigned long long>(evictions));
+}
+
+std::shared_ptr<const StageArtifact> ArtifactCache::Probe(const std::string& key,
+                                                          StageId stage) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.artifact == nullptr) {
+    return nullptr;
+  }
+  it->second.tick = ++tick_;
+  ++stats_.hits;
+  ++stats_.hits_by_stage[StageIndex(stage)];
+  return it->second.artifact;
+}
+
+std::shared_ptr<const StageArtifact> ArtifactCache::Acquire(const std::string& key,
+                                                            StageId stage) {
+  std::unique_lock<std::mutex> lock(mu_);
+  bool waited = false;
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      // True miss: register the caller as producer.
+      Entry e;
+      e.in_flight = true;
+      entries_.emplace(key, std::move(e));
+      ++stats_.misses;
+      ++stats_.misses_by_stage[StageIndex(stage)];
+      return nullptr;
+    }
+    if (it->second.artifact != nullptr) {
+      it->second.tick = ++tick_;
+      ++stats_.hits;
+      ++stats_.hits_by_stage[StageIndex(stage)];
+      return it->second.artifact;
+    }
+    // In flight: wait for the producer to Put or Abandon, then re-examine.
+    // One shared cv serves every key, so a waiter can wake on unrelated
+    // Puts; count the *acquire* as shared once, not each spurious wakeup.
+    if (!waited) {
+      ++stats_.shared_waits;
+      waited = true;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void ArtifactCache::Put(const std::string& key, StageArtifact artifact) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[key];
+  const size_t bytes = artifact.bytes;
+  e.artifact = std::make_shared<const StageArtifact>(std::move(artifact));
+  e.in_flight = false;
+  e.tick = ++tick_;
+  stats_.bytes_retained += bytes;
+  ++stats_.insertions;
+  EvictLockedToCap();
+  cv_.notify_all();
+}
+
+void ArtifactCache::Abandon(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.artifact == nullptr) {
+    entries_.erase(it);
+  }
+  // A waiter (if any) retries, finds no entry, and becomes the producer.
+  cv_.notify_all();
+}
+
+void ArtifactCache::EvictLockedToCap() {
+  if (max_bytes_ == 0) {
+    return;
+  }
+  while (stats_.bytes_retained > max_bytes_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.artifact == nullptr) {
+        continue;  // in flight — a producer owns this slot
+      }
+      if (victim == entries_.end() || it->second.tick < victim->second.tick) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) {
+      return;  // nothing evictable
+    }
+    stats_.bytes_retained -= victim->second.artifact->bytes;
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+CacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace confllvm

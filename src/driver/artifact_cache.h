@@ -1,0 +1,152 @@
+// Content-addressed cache of staged compilation artifacts.
+//
+// Every cacheable Stage derives a CacheKey from a content hash of the source
+// plus exactly the BuildConfig fields the stage (and its upstream prefix)
+// reads, so artifacts are shared whenever the inputs genuinely coincide:
+// the Parse/Sema/IrGen prefix is identical across the whole eight-preset
+// §7.1 sweep, the Opt artifact is shared per OptLevel, and only
+// Codegen/Load differ per instrumentation config. The cache is the engine
+// behind both warm rebuilds (an unchanged stage is restored by deep-cloning
+// its cached artifact) and CompileBatch front-end sharing.
+//
+// Concurrency: all operations are thread-safe. Lookups are *single-flight* —
+// when several batch workers miss on the same key simultaneously, exactly
+// one becomes the producer (Acquire returns null; the caller must Put or
+// Abandon) while the rest block until the artifact lands. That is what
+// guarantees "Parse/Sema/IrGen run once per source" even though all eight
+// preset jobs start at the same instant.
+//
+// Eviction: least-recently-used under an optional byte cap. Entries store
+// rough byte estimates; readers holding a shared_ptr keep an evicted
+// artifact alive until they finish restoring from it.
+//
+// ConfVerify is deliberately *not* cached: a verified-at-some-point binary
+// is not a verified binary. The Verify stage re-runs on every rebuild, warm
+// or cold, matching the paper's distrust-the-compiler posture.
+#ifndef CONFLLVM_SRC_DRIVER_ARTIFACT_CACHE_H_
+#define CONFLLVM_SRC_DRIVER_ARTIFACT_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/driver/pipeline.h"
+
+namespace confllvm {
+
+// Aggregate cache counters. Per-stage arrays are indexed by StageId.
+struct CacheStats {
+  static constexpr size_t kNumStages = 7;
+
+  uint64_t hits = 0;    // lookups served from a stored artifact
+  uint64_t misses = 0;  // lookups that made the caller the producer
+  uint64_t shared_waits = 0;  // hits that waited on an in-flight producer
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  size_t bytes_retained = 0;  // current artifact bytes (post-eviction)
+
+  uint64_t hits_by_stage[kNumStages] = {};
+  uint64_t misses_by_stage[kNumStages] = {};
+
+  // Hits on the Parse/Sema/IrGen prefix: how many stage executions batch
+  // mode avoided by sharing the front end.
+  uint64_t PrefixShares() const;
+
+  // Renders the `confcc --cache-stats` row appended to the --time-passes
+  // table: hits, misses, bytes retained, prefix-share count.
+  std::string ToRow() const;
+};
+
+// One stage's cached output. Exactly the artifact member matching `stage` is
+// set; the stats snapshots carry the counters a warm build could no longer
+// recompute (the solver ran in a skipped stage).
+struct StageArtifact {
+  StageId stage = StageId::kParse;
+  std::shared_ptr<const Program> ast;            // kParse
+  std::shared_ptr<const TypedProgram> typed;     // kSema
+  std::shared_ptr<const IrModule> ir;            // kIrGen / kOpt
+  std::shared_ptr<const Binary> binary;          // kCodegen
+  std::shared_ptr<const LoadedProgram> prog;     // kLoad
+  QualSolverStats solver;   // valid from kSema onward
+  CodegenStats codegen;     // valid from kCodegen onward
+  // Every diagnostic the producing pipeline emitted from its start through
+  // this stage (warnings/notes only — errors abandon instead of publishing).
+  // Compilation is deterministic, so this list is a function of the key and
+  // each stage's list extends its predecessor's; restores replay exactly
+  // the not-yet-seen tail so warm builds report the same warnings cold
+  // builds do.
+  std::vector<Diagnostic> diags;
+  // The producer's exact source text. Keys are 64-bit FNV chains — fast but
+  // not collision-resistant — so every restore compares this against the
+  // consuming invocation's source and treats a mismatch as a miss: a key
+  // collision can waste a lookup, never substitute another program's
+  // artifacts.
+  std::shared_ptr<const std::string> source;
+  size_t bytes = 0;         // rough retained-size estimate
+};
+
+class ArtifactCache {
+ public:
+  // `max_bytes` caps retained artifact bytes (LRU eviction); 0 = unbounded.
+  explicit ArtifactCache(size_t max_bytes = 0) : max_bytes_(max_bytes) {}
+
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  // Non-blocking lookup; null on miss or while the key is still in flight.
+  // Counts a hit (and refreshes LRU) only when an artifact is returned —
+  // probing misses are free, so speculative deepest-artifact probes don't
+  // distort the accounting. `stage` attributes the hit in the per-stage
+  // counters.
+  std::shared_ptr<const StageArtifact> Probe(const std::string& key, StageId stage);
+
+  // Single-flight lookup. Returns the artifact, blocking while another
+  // thread computes it. On a true miss the caller is registered as the
+  // producer and null is returned: the caller MUST follow up with Put (on
+  // success) or Abandon (on failure) for this key.
+  std::shared_ptr<const StageArtifact> Acquire(const std::string& key, StageId stage);
+
+  // Publishes the producer's artifact and wakes waiters. May immediately
+  // evict older entries (or, if `artifact` alone exceeds the cap, the new
+  // entry itself) to honour max_bytes.
+  void Put(const std::string& key, StageArtifact artifact);
+
+  // Releases a producer registration without publishing; one waiter (if
+  // any) is promoted to producer and retries.
+  void Abandon(const std::string& key);
+
+  CacheStats stats() const;
+  size_t max_bytes() const { return max_bytes_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const StageArtifact> artifact;  // null while in flight
+    bool in_flight = false;
+    uint64_t tick = 0;  // LRU stamp
+  };
+
+  static size_t StageIndex(StageId id) { return static_cast<size_t>(id); }
+  void EvictLockedToCap();
+
+  const size_t max_bytes_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::string, Entry> entries_;
+  uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+// Rough retained-size estimators used for Entry byte accounting (exposed for
+// the eviction tests).
+size_t ApproxBytes(const Program& p);
+size_t ApproxBytes(const TypedProgram& tp);
+size_t ApproxBytes(const IrModule& m);
+size_t ApproxBytes(const Binary& b);
+size_t ApproxBytes(const LoadedProgram& p);
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_DRIVER_ARTIFACT_CACHE_H_

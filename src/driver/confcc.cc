@@ -75,8 +75,9 @@ BuildConfig BuildConfig::For(BuildPreset preset) {
 
 std::unique_ptr<CompiledProgram> Compile(const std::string& source,
                                          const BuildConfig& config, DiagEngine* diags,
-                                         PipelineStats* stats) {
+                                         PipelineStats* stats, ArtifactCache* cache) {
   CompilerInvocation inv(source, config, diags);
+  inv.set_cache(cache);
   const bool ok = RunStandardPipeline(&inv);
   if (stats != nullptr) {
     *stats = inv.stats();

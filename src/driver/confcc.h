@@ -54,6 +54,11 @@ struct BuildConfig {
   CodegenOptions codegen;
   LoadOptions load;
   AllocPolicy alloc_policy = AllocPolicy::kCustom;
+  // Worker threads for function-sharded codegen emission (0 = hardware
+  // concurrency). Pure parallelism knob: emission is per-function and the
+  // layout pass is sequential, so the binary is bit-identical for any value
+  // — which is also why this field is excluded from artifact-cache keys.
+  unsigned codegen_jobs = 1;
 
   static BuildConfig For(BuildPreset preset);
 };
@@ -69,11 +74,15 @@ struct CompiledProgram {
 // Compiles MiniC source under `config` by running the standard staged
 // pipeline (see src/driver/pipeline.h). Returns nullptr with diagnostics in
 // `diags` on any front-end/type/qualifier error. When `stats` is non-null it
-// receives the invocation's per-stage statistics.
+// receives the invocation's per-stage statistics. When `cache` is non-null
+// the compile runs incrementally through the artifact cache: unchanged
+// stages are restored from cached artifacts instead of re-executing.
 struct PipelineStats;
+class ArtifactCache;
 std::unique_ptr<CompiledProgram> Compile(const std::string& source,
                                          const BuildConfig& config, DiagEngine* diags,
-                                         PipelineStats* stats = nullptr);
+                                         PipelineStats* stats = nullptr,
+                                         ArtifactCache* cache = nullptr);
 
 // Convenience: compile + construct a trusted lib matching the config's
 // allocator policy. (The Vm is constructed by the caller so tests can pass

@@ -7,8 +7,10 @@
 #include <cstdio>
 #include <thread>
 
+#include "src/driver/artifact_cache.h"
 #include "src/ir/irgen.h"
 #include "src/lang/parser.h"
+#include "src/support/strings.h"
 
 namespace confllvm {
 
@@ -29,6 +31,102 @@ std::string Fmt(const char* fmt, ...) {
   return buf;
 }
 
+// ---- Cache keys ----
+//
+// Each stage's key is an FNV-1a hash chained over the source content hash
+// and exactly the config fields the stage (plus its upstream prefix) reads.
+// Parse/Sema/IrGen never see OptLevel or instrumentation options, so their
+// keys — and therefore their cached artifacts — are shared across the whole
+// eight-preset sweep.
+
+class KeyHasher {
+ public:
+  KeyHasher& Add(const std::string& s) {
+    for (const char c : s) {
+      Byte(static_cast<uint8_t>(c));
+    }
+    Byte(0xff);  // length separator
+    return *this;
+  }
+  KeyHasher& Add(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      Byte(static_cast<uint8_t>(v >> (i * 8)));
+    }
+    return *this;
+  }
+  KeyHasher& Add(bool b) { return Add(static_cast<uint64_t>(b ? 1 : 0)); }
+
+  // "<stage>:<hex64>" — the prefix keeps keys self-describing in logs and
+  // cheap to attribute in tests.
+  std::string Finish(const char* stage) const {
+    return std::string(stage) + ":" + Hex(state_);
+  }
+
+  // Raw digest, for callers that memoize a hash rather than form a key
+  // (CompilerInvocation::SourceHash) — one FNV definition in the file.
+  uint64_t raw() const { return state_; }
+
+ private:
+  void Byte(uint8_t b) {
+    state_ ^= b;
+    state_ *= 1099511628211ull;  // FNV-1a 64 prime
+  }
+  uint64_t state_ = 14695981039346656037ull;  // FNV-1a 64 offset basis
+};
+
+std::string ParseKey(const CompilerInvocation& inv) {
+  return KeyHasher().Add(inv.SourceHash()).Finish("parse");
+}
+
+std::string SemaKey(const CompilerInvocation& inv) {
+  const SemaOptions& s = inv.config().sema;
+  return KeyHasher()
+      .Add(ParseKey(inv))
+      .Add(static_cast<uint64_t>(s.implicit_flows))
+      .Add(s.all_private)
+      .Finish("sema");
+}
+
+std::string IrGenKey(const CompilerInvocation& inv) {
+  // IR generation reads nothing from the config beyond what sema consumed.
+  return KeyHasher().Add(SemaKey(inv)).Finish("irgen");
+}
+
+std::string OptKey(const CompilerInvocation& inv) {
+  return KeyHasher()
+      .Add(IrGenKey(inv))
+      .Add(static_cast<uint64_t>(inv.config().opt_level))
+      .Add(PassScheduleFingerprint(inv.config().opt_level))
+      .Finish("opt");
+}
+
+std::string CodegenKey(const CompilerInvocation& inv) {
+  const CodegenOptions& c = inv.config().codegen;
+  // Note: BuildConfig::codegen_jobs is deliberately absent — sharding is
+  // bit-transparent.
+  return KeyHasher()
+      .Add(OptKey(inv))
+      .Add(static_cast<uint64_t>(c.scheme))
+      .Add(c.cfi)
+      .Add(c.separate_stacks)
+      .Add(c.confllvm_abi)
+      .Add(c.mpx_coalesce)
+      .Add(c.mpx_guard_disp_opt)
+      .Add(c.mpx_elide_stack_checks)
+      .Add(c.emit_chkstk)
+      .Finish("codegen");
+}
+
+std::string LoadKey(const CompilerInvocation& inv) {
+  const LoadOptions& l = inv.config().load;
+  return KeyHasher()
+      .Add(CodegenKey(inv))
+      .Add(l.separate_t_memory)
+      .Add(l.unified_bounds)
+      .Add(l.magic_seed)
+      .Finish("load");
+}
+
 // ---- Concrete stages ----
 
 class ParseStage : public Stage {
@@ -37,6 +135,9 @@ class ParseStage : public Stage {
   bool Run(CompilerInvocation* inv) override {
     inv->ast = Parse(inv->source(), &inv->diags());
     return !inv->diags().HasErrors();
+  }
+  std::string CacheKey(const CompilerInvocation& inv) const override {
+    return ParseKey(inv);
   }
 };
 
@@ -51,6 +152,9 @@ class SemaStage : public Stage {
     inv->stats().solver = inv->typed->solver_stats;
     return true;
   }
+  std::string CacheKey(const CompilerInvocation& inv) const override {
+    return SemaKey(inv);
+  }
 };
 
 class IrGenStage : public Stage {
@@ -59,6 +163,9 @@ class IrGenStage : public Stage {
   bool Run(CompilerInvocation* inv) override {
     inv->ir = GenerateIr(*inv->typed, &inv->diags());
     return inv->ir != nullptr;
+  }
+  std::string CacheKey(const CompilerInvocation& inv) const override {
+    return IrGenKey(inv);
   }
 };
 
@@ -73,6 +180,9 @@ class OptStage : public Stage {
     OptimizeModule(inv->ir.get(), level_, &inv->stats().passes);
     return true;
   }
+  std::string CacheKey(const CompilerInvocation& inv) const override {
+    return OptKey(inv);
+  }
 
  private:
   OptLevel level_;
@@ -80,16 +190,20 @@ class OptStage : public Stage {
 
 class CodegenStage : public Stage {
  public:
-  explicit CodegenStage(CodegenOptions opts) : opts_(opts) {}
+  CodegenStage(CodegenOptions opts, unsigned jobs) : opts_(opts), jobs_(jobs) {}
   StageId id() const override { return StageId::kCodegen; }
   bool Run(CompilerInvocation* inv) override {
-    inv->binary = std::make_unique<Binary>(
-        GenerateCode(*inv->ir, opts_, &inv->diags(), &inv->stats().codegen));
+    inv->binary = std::make_unique<Binary>(GenerateCode(
+        *inv->ir, opts_, &inv->diags(), &inv->stats().codegen, jobs_));
     return !inv->diags().HasErrors();
+  }
+  std::string CacheKey(const CompilerInvocation& inv) const override {
+    return CodegenKey(inv);
   }
 
  private:
   CodegenOptions opts_;
+  unsigned jobs_;
 };
 
 class LoadStage : public Stage {
@@ -100,6 +214,9 @@ class LoadStage : public Stage {
     inv->prog = LoadBinary(std::move(*inv->binary), opts_, &inv->diags());
     inv->binary.reset();
     return inv->prog != nullptr;
+  }
+  std::string CacheKey(const CompilerInvocation& inv) const override {
+    return LoadKey(inv);
   }
 
  private:
@@ -119,7 +236,100 @@ class VerifyStage : public Stage {
     }
     return true;
   }
+  // No CacheKey override: ConfVerify re-runs on every rebuild, cached or
+  // not — a verified-at-some-point binary is not a verified binary.
 };
+
+// ---- Cache snapshot / restore ----
+//
+// Snapshot deep-clones the stage's output out of the invocation into an
+// immutable artifact; Restore deep-clones a cached artifact back into an
+// invocation. Both directions clone so no invocation ever aliases cache
+// state — that independence is what makes cached and cold builds
+// byte-identical and lets batch workers restore concurrently.
+//
+// `diag_base` is the invocation's diagnostic count when its pipeline
+// started: everything past it was emitted by this pipeline and travels with
+// the artifact, and restores replay only the tail the invocation has not
+// yet produced or replayed (lists for successive stages of one key chain
+// are prefix-extensions of each other, by determinism).
+
+StageArtifact Snapshot(const CompilerInvocation& inv, StageId id,
+                       size_t diag_base) {
+  StageArtifact a;
+  a.stage = id;
+  a.source = std::make_shared<const std::string>(inv.source());
+  const auto& all = inv.diags().diagnostics();
+  a.diags.assign(all.begin() + static_cast<ptrdiff_t>(diag_base), all.end());
+  switch (id) {
+    case StageId::kParse:
+      a.ast = CloneProgram(*inv.ast);
+      a.bytes = ApproxBytes(*a.ast);
+      break;
+    case StageId::kSema:
+      a.typed = inv.typed->Clone();
+      a.solver = inv.stats().solver;
+      a.bytes = ApproxBytes(*a.typed);
+      break;
+    case StageId::kIrGen:
+    case StageId::kOpt:
+      a.ir = inv.ir->Clone();
+      a.solver = inv.stats().solver;
+      a.bytes = ApproxBytes(*a.ir);
+      break;
+    case StageId::kCodegen:
+      a.binary = std::make_shared<const Binary>(*inv.binary);
+      a.solver = inv.stats().solver;
+      a.codegen = inv.stats().codegen;
+      a.bytes = ApproxBytes(*a.binary);
+      break;
+    case StageId::kLoad:
+      a.prog = std::make_shared<const LoadedProgram>(*inv.prog);
+      a.solver = inv.stats().solver;
+      a.codegen = inv.stats().codegen;
+      a.bytes = ApproxBytes(*a.prog);
+      break;
+    case StageId::kVerify:
+      break;  // uncacheable
+  }
+  a.bytes += a.source->size() + a.diags.size() * sizeof(Diagnostic);
+  return a;
+}
+
+void Restore(CompilerInvocation* inv, const StageArtifact& a, size_t diag_base) {
+  const size_t have = inv->diags().diagnostics().size() - diag_base;
+  for (size_t i = have; i < a.diags.size(); ++i) {
+    inv->diags().Add(a.diags[i]);
+  }
+  switch (a.stage) {
+    case StageId::kParse:
+      inv->ast = CloneProgram(*a.ast);
+      break;
+    case StageId::kSema:
+      inv->typed = a.typed->Clone();
+      inv->ast.reset();  // a cold Sema consumes the AST; mirror it
+      inv->stats().solver = a.solver;
+      break;
+    case StageId::kIrGen:
+    case StageId::kOpt:
+      inv->ir = a.ir->Clone();
+      inv->stats().solver = a.solver;
+      break;
+    case StageId::kCodegen:
+      inv->binary = std::make_unique<Binary>(*a.binary);
+      inv->stats().solver = a.solver;
+      inv->stats().codegen = a.codegen;
+      break;
+    case StageId::kLoad:
+      inv->prog = std::make_unique<LoadedProgram>(*a.prog);
+      inv->binary.reset();  // a cold Load consumes the binary; mirror it
+      inv->stats().solver = a.solver;
+      inv->stats().codegen = a.codegen;
+      break;
+    case StageId::kVerify:
+      break;
+  }
+}
 
 }  // namespace
 
@@ -156,6 +366,8 @@ std::string PipelineStats::ToTable() const {
     }
     if (!s.ok) {
       out += "  (failed)";
+    } else if (s.cached) {
+      out += "  (cached)";
     }
     out += "\n";
   }
@@ -195,6 +407,14 @@ CompilerInvocation::CompilerInvocation(std::string source, BuildConfig config,
                                        DiagEngine* diags)
     : source_(std::move(source)), config_(config), diags_(diags) {}
 
+uint64_t CompilerInvocation::SourceHash() const {
+  if (!source_hash_valid_) {
+    source_hash_ = KeyHasher().Add(source_).raw();
+    source_hash_valid_ = true;
+  }
+  return source_hash_;
+}
+
 std::unique_ptr<CompiledProgram> CompilerInvocation::TakeProgram() {
   if (prog == nullptr) {
     return nullptr;
@@ -220,7 +440,7 @@ PassManager PassManager::Standard(const BuildConfig& config, bool verify) {
   pm.AddStage(std::make_unique<SemaStage>());
   pm.AddStage(std::make_unique<IrGenStage>());
   pm.AddStage(std::make_unique<OptStage>(config.opt_level));
-  pm.AddStage(std::make_unique<CodegenStage>(config.codegen));
+  pm.AddStage(std::make_unique<CodegenStage>(config.codegen, config.codegen_jobs));
   pm.AddStage(std::make_unique<LoadStage>(config.load));
   if (verify) {
     pm.AddStage(std::make_unique<VerifyStage>());
@@ -229,19 +449,106 @@ PassManager PassManager::Standard(const BuildConfig& config, bool verify) {
 }
 
 bool PassManager::Run(CompilerInvocation* inv) const {
-  for (const auto& stage : stages_) {
+  ArtifactCache* cache = inv->cache();
+  // Diagnostics the engine already held (borrowed engines may carry prior
+  // compiles' output) are not this pipeline's; everything after this index
+  // is what snapshots capture and restores replay against.
+  const size_t diag_base = inv->diags().diagnostics().size();
+
+  // Incremental fast path: probe for the *deepest* cached artifact along
+  // this schedule and restore it, skipping the entire prefix. A warm
+  // rebuild of an unchanged invocation restores the post-load artifact and
+  // runs nothing (except Verify, which always runs); a config change
+  // restores the last stage whose key survived and recomputes from there.
+  size_t start = 0;
+  if (cache != nullptr) {
+    for (size_t i = stages_.size(); i-- > 0;) {
+      const std::string key = stages_[i]->CacheKey(*inv);
+      if (key.empty()) {
+        continue;
+      }
+      auto artifact = cache->Probe(key, stages_[i]->id());
+      if (artifact == nullptr) {
+        continue;
+      }
+      if (artifact->source != nullptr && *artifact->source != inv->source()) {
+        continue;  // 64-bit key collision: never restore a foreign program
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      Restore(inv, *artifact, diag_base);
+      // One stats row per skipped stage so the --time-passes table still
+      // shows the full schedule; the restore cost lands on the restored
+      // stage's row.
+      for (size_t j = 0; j <= i; ++j) {
+        StageStats s;
+        s.id = stages_[j]->id();
+        s.name = stages_[j]->name();
+        s.ok = true;
+        s.cached = true;
+        s.ms = j == i ? MsSince(t0) : 0;
+        inv->stats().stages.push_back(s);
+        inv->stats().total_ms += s.ms;
+      }
+      start = i + 1;
+      break;
+    }
+  }
+
+  for (size_t i = start; i < stages_.size(); ++i) {
+    Stage& stage = *stages_[i];
     StageStats s;
-    s.id = stage->id();
-    s.name = stage->name();
+    s.id = stage.id();
+    s.name = stage.name();
     // IR sizes are only meaningful while the IR is the live artifact
     // (irgen through codegen); load/verify operate on the binary.
-    const bool track_ir = stage->id() >= StageId::kIrGen &&
-                          stage->id() <= StageId::kCodegen;
+    const bool track_ir =
+        stage.id() >= StageId::kIrGen && stage.id() <= StageId::kCodegen;
     s.ir_instrs_in = track_ir && inv->ir != nullptr ? CountInstrs(*inv->ir) : 0;
     const auto t0 = std::chrono::steady_clock::now();
-    const bool stage_ok = stage->Run(inv);
+
+    const std::string key =
+        cache != nullptr ? stage.CacheKey(*inv) : std::string();
+    bool stage_ok;
+    if (!key.empty()) {
+      // Single-flight: either restore a published artifact (possibly after
+      // waiting out a concurrent producer) or become the producer and
+      // publish what this run computes.
+      auto artifact = cache->Acquire(key, stage.id());
+      if (artifact != nullptr && artifact->source != nullptr &&
+          *artifact->source != inv->source()) {
+        // Key collision with a different source: the slot belongs to the
+        // other program, so run uncached rather than restore or republish.
+        stage_ok = stage.Run(inv);
+      } else if (artifact != nullptr) {
+        Restore(inv, *artifact, diag_base);
+        s.cached = true;
+        stage_ok = true;
+      } else {
+        // Producer: the registration MUST be resolved even if Run or the
+        // snapshot clone throws (e.g. bad_alloc) — otherwise every waiter
+        // on this key blocks forever. The guard abandons on any unwind.
+        struct ProducerGuard {
+          ArtifactCache* cache;
+          const std::string& key;
+          bool resolved = false;
+          ~ProducerGuard() {
+            if (!resolved) {
+              cache->Abandon(key);
+            }
+          }
+        } guard{cache, key};
+        stage_ok = stage.Run(inv);
+        if (stage_ok && !inv->diags().HasErrors()) {
+          cache->Put(key, Snapshot(*inv, stage.id(), diag_base));
+          guard.resolved = true;
+        }
+      }
+    } else {
+      stage_ok = stage.Run(inv);
+    }
+
     s.ms = MsSince(t0);
-    s.ran = true;
+    s.ran = !s.cached;
     s.ok = stage_ok && !inv->diags().HasErrors();
     s.ir_instrs_out = track_ir && inv->ir != nullptr ? CountInstrs(*inv->ir) : 0;
     inv->stats().stages.push_back(s);
@@ -260,7 +567,7 @@ bool RunStandardPipeline(CompilerInvocation* inv, bool verify) {
 // ---- Batch compilation ----
 
 std::vector<BatchOutcome> CompileBatch(const std::vector<BatchJob>& jobs,
-                                       unsigned num_workers) {
+                                       unsigned num_workers, ArtifactCache* cache) {
   std::vector<BatchOutcome> outcomes(jobs.size());
   std::atomic<size_t> next{0};
   auto worker = [&]() {
@@ -273,6 +580,7 @@ std::vector<BatchOutcome> CompileBatch(const std::vector<BatchJob>& jobs,
       BatchOutcome& out = outcomes[i];
       out.label = job.label;
       out.invocation = std::make_unique<CompilerInvocation>(job.source, job.config);
+      out.invocation->set_cache(cache);
       const bool ok = RunStandardPipeline(out.invocation.get(), job.verify);
       if (ok) {
         out.program = out.invocation->TakeProgram();
@@ -302,6 +610,11 @@ std::vector<BatchOutcome> CompileBatch(const std::vector<BatchJob>& jobs,
   return outcomes;
 }
 
+bool WantsVerify(const BuildConfig& config) {
+  return config.codegen.ConfMode() && config.codegen.scheme != Scheme::kNone &&
+         config.codegen.separate_stacks;
+}
+
 std::vector<BatchJob> PresetSweepJobs(const std::string& source, bool verify) {
   std::vector<BatchJob> jobs;
   for (const BuildPreset p : kAllBuildPresets) {
@@ -309,7 +622,7 @@ std::vector<BatchJob> PresetSweepJobs(const std::string& source, bool verify) {
     job.label = PresetName(p);
     job.source = source;
     job.config = BuildConfig::For(p);
-    job.verify = verify;
+    job.verify = verify && WantsVerify(job.config);
     jobs.push_back(std::move(job));
   }
   return jobs;

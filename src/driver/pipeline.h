@@ -19,6 +19,13 @@
 //     per-invocation diagnostics and stats; results are positionally
 //     deterministic and bit-identical to sequential compilation. Used by the
 //     benches to build the eight §7.1 configurations concurrently.
+//
+//   ArtifactCache (src/driver/artifact_cache.h) — optional. When attached to
+//     an invocation, every cacheable stage first consults the cache under its
+//     content-addressed CacheKey; hits are restored by deep-cloning the
+//     cached artifact, misses run the stage and publish a snapshot. This is
+//     the incremental-compilation mode: re-running with a changed config
+//     re-executes only the stages whose keys changed.
 #ifndef CONFLLVM_SRC_DRIVER_PIPELINE_H_
 #define CONFLLVM_SRC_DRIVER_PIPELINE_H_
 
@@ -30,6 +37,8 @@
 #include "src/verifier/verifier.h"
 
 namespace confllvm {
+
+class ArtifactCache;
 
 // ---- Per-stage statistics ----
 
@@ -50,6 +59,9 @@ struct StageStats {
   const char* name = "";
   bool ran = false;
   bool ok = false;
+  // Satisfied from the artifact cache: the stage did not execute; its output
+  // was restored by cloning a cached artifact (`ms` is the restore time).
+  bool cached = false;
   double ms = 0;
   // IR instruction counts entering/leaving the stage; 0 for stages that run
   // before IR exists (parse/sema) or after it is consumed (load/verify).
@@ -82,11 +94,23 @@ class CompilerInvocation {
   CompilerInvocation(std::string source, BuildConfig config, DiagEngine* diags);
 
   const std::string& source() const { return source_; }
+  // FNV-1a 64 content hash of the source, memoized: cache-key chains for
+  // every stage build on this digest, so the source text is walked once per
+  // invocation no matter how many keys are derived.
+  uint64_t SourceHash() const;
   const BuildConfig& config() const { return config_; }
   DiagEngine& diags() { return *diags_; }
   const DiagEngine& diags() const { return *diags_; }
   PipelineStats& stats() { return stats_; }
   const PipelineStats& stats() const { return stats_; }
+
+  // Incremental mode: attach a (caller-owned, possibly shared) artifact
+  // cache. The pipeline then re-runs only the stages whose cache keys
+  // changed relative to what the cache holds — e.g. re-codegen under a new
+  // preset without re-parsing — and publishes what it does compute. Null
+  // (the default) compiles cold with no caching.
+  void set_cache(ArtifactCache* cache) { cache_ = cache; }
+  ArtifactCache* cache() const { return cache_; }
 
   // Intermediate artifacts, populated as stages run and retained so a failed
   // or partial invocation can be inspected by tests and tools. Exception:
@@ -109,6 +133,9 @@ class CompilerInvocation {
   std::unique_ptr<DiagEngine> owned_diags_;
   DiagEngine* diags_;
   PipelineStats stats_;
+  ArtifactCache* cache_ = nullptr;
+  mutable uint64_t source_hash_ = 0;
+  mutable bool source_hash_valid_ = false;
 };
 
 // ---- Stages ----
@@ -122,6 +149,16 @@ class Stage {
   virtual const char* name() const { return StageName(id()); }
   // Returns false to abort the pipeline (diagnostics explain why).
   virtual bool Run(CompilerInvocation* inv) = 0;
+  // Content-addressed key for this stage's output: a hash chained over the
+  // source text and exactly the config fields this stage and its upstream
+  // prefix read. Two invocations with equal keys produce byte-identical
+  // artifacts. Empty (the default) marks the stage uncacheable — it always
+  // executes (Verify stays uncacheable on purpose: ConfVerify re-checks
+  // every rebuild).
+  virtual std::string CacheKey(const CompilerInvocation& inv) const {
+    (void)inv;
+    return {};
+  }
 };
 
 class PassManager {
@@ -173,11 +210,26 @@ struct BatchOutcome {
 // each with its own DiagEngine and PipelineStats. outcome[i] always
 // corresponds to jobs[i], and every outcome is bit-identical to what a
 // sequential compile of the same job produces.
+//
+// With a non-null `cache`, all jobs compile through the shared artifact
+// cache: single-flight keyed lookups mean a preset sweep of one source runs
+// Parse/Sema/IrGen exactly once and clones the cached front-end artifacts
+// into the other seven jobs, without changing any output byte.
 std::vector<BatchOutcome> CompileBatch(const std::vector<BatchJob>& jobs,
-                                       unsigned num_workers = 0);
+                                       unsigned num_workers = 0,
+                                       ArtifactCache* cache = nullptr);
+
+// True when `config` builds a binary ConfVerify is expected to accept: the
+// ConfLLVM ABI with a bounds scheme and separate stacks. Base-like presets,
+// the check-free ablations, and the single-stack OurMPX-Sep ablation
+// (private data on the public stack by design) are outside the verifier's
+// threat model. Shared by PresetSweepJobs and the confcc sweep so the CI
+// path and the tested path can never gate differently.
+bool WantsVerify(const BuildConfig& config);
 
 // One BatchJob per BuildPreset for `source`, labelled with PresetName — the
-// §7.1/§7.2 build-configuration sweep.
+// §7.1/§7.2 build-configuration sweep. `verify` requests ConfVerify for
+// every preset satisfying WantsVerify.
 std::vector<BatchJob> PresetSweepJobs(const std::string& source,
                                       bool verify = false);
 

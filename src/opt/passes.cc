@@ -397,6 +397,15 @@ std::vector<FunctionPass> PassesForLevel(OptLevel level) {
   return out;
 }
 
+std::string PassScheduleFingerprint(OptLevel level) {
+  std::string out;
+  for (const FunctionPass& p : PassesForLevel(level)) {
+    out += p.name;
+    out += ';';
+  }
+  return out;
+}
+
 uint64_t OptimizeFunction(IrFunction* f, const std::vector<FunctionPass>& passes,
                           std::vector<PassRunStats>* stats) {
   if (stats != nullptr && stats->size() != passes.size()) {

@@ -14,6 +14,7 @@
 #ifndef CONFLLVM_SRC_OPT_PASSES_H_
 #define CONFLLVM_SRC_OPT_PASSES_H_
 
+#include <string>
 #include <vector>
 
 #include "src/ir/ir.h"
@@ -44,6 +45,12 @@ const std::vector<FunctionPass>& AllFunctionPasses();
 
 // The subset of AllFunctionPasses() scheduled at `level`, in schedule order.
 std::vector<FunctionPass> PassesForLevel(OptLevel level);
+
+// Stable fingerprint of the schedule at `level` (the pass names in order).
+// Folded into the Opt stage's artifact-cache key so editing the registry —
+// adding a pass, reordering, gating one behind a different min_level —
+// invalidates every cached post-opt artifact.
+std::string PassScheduleFingerprint(OptLevel level);
 
 // Per-pass aggregate counters for one OptimizeModule/pipeline run. Parallel
 // index with the pass list that produced it.

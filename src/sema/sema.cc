@@ -1117,4 +1117,62 @@ std::unique_ptr<TypedProgram> RunSema(std::unique_ptr<Program> ast,
   return Checker(std::move(ast), options, diags).Run();
 }
 
+std::unique_ptr<TypedProgram> TypedProgram::Clone() const {
+  auto out = std::make_unique<TypedProgram>();
+  AstCloneMap ast_map;
+  out->ast = CloneProgram(*ast, &ast_map);
+  TypeCloneMaps type_maps;
+  out->types = types->Clone(&type_maps);
+  out->options = options;
+  out->num_qual_vars = num_qual_vars;
+  out->num_constraints = num_constraints;
+  out->solver_stats = solver_stats;
+
+  std::unordered_map<const Symbol*, Symbol*> sym_map;
+  out->owned_symbols.reserve(owned_symbols.size());
+  for (const auto& s : owned_symbols) {
+    auto ns = std::make_unique<Symbol>(*s);
+    ns->type = RemapQType(s->type, type_maps);
+    ns->sig = CloneFnSig(s->sig, &type_maps);
+    sym_map[s.get()] = ns.get();
+    out->owned_symbols.push_back(std::move(ns));
+  }
+  auto remap_sym = [&sym_map](Symbol* s) -> Symbol* {
+    return s == nullptr ? nullptr : sym_map.at(s);
+  };
+
+  out->expr_info.reserve(expr_info.size());
+  for (const auto& [expr, info] : expr_info) {
+    ExprInfo ni = info;
+    ni.type = RemapQType(info.type, type_maps);
+    ni.sym = remap_sym(info.sym);
+    ni.callee = remap_sym(info.callee);
+    out->expr_info.emplace(ast_map.exprs.at(expr), std::move(ni));
+  }
+  out->decl_sym.reserve(decl_sym.size());
+  for (const auto& [stmt, sym] : decl_sym) {
+    out->decl_sym.emplace(ast_map.stmts.at(stmt), remap_sym(sym));
+  }
+  for (Symbol* g : globals) {
+    out->globals.push_back(remap_sym(g));
+  }
+  for (Symbol* t : trusted_imports) {
+    out->trusted_imports.push_back(remap_sym(t));
+  }
+  out->functions.reserve(functions.size());
+  for (const FunctionSema& f : functions) {
+    FunctionSema nf;
+    nf.decl = ast_map.funcs.at(f.decl);
+    nf.sym = remap_sym(f.sym);
+    for (Symbol* p : f.params) {
+      nf.params.push_back(remap_sym(p));
+    }
+    for (Symbol* l : f.locals) {
+      nf.locals.push_back(remap_sym(l));
+    }
+    out->functions.push_back(std::move(nf));
+  }
+  return out;
+}
+
 }  // namespace confllvm

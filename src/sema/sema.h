@@ -87,6 +87,14 @@ struct TypedProgram {
   size_t num_constraints = 0;
   QualSolverStats solver_stats;
 
+  // Deep-copies the checked program: the AST, the TypeContext, and every
+  // symbol are duplicated and all cross-references (expr side tables, decl
+  // bindings, signature sharing) are remapped onto the clones. The result is
+  // fully independent of *this — IR generation may run on both concurrently —
+  // which is what lets the artifact cache hand one cached sema result to many
+  // pipeline invocations (src/driver/artifact_cache.h).
+  std::unique_ptr<TypedProgram> Clone() const;
+
   const ExprInfo& Info(const Expr* e) const { return expr_info.at(e); }
   const FunctionSema* FindFunction(const std::string& name) const {
     for (const auto& f : functions) {

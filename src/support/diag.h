@@ -60,6 +60,25 @@ class DiagEngine {
   // True if any diagnostic message contains `needle` (test helper).
   bool Contains(const std::string& needle) const;
 
+  // Appends one already-built diagnostic, keeping the severity counters
+  // consistent (cache replay and engine merging).
+  void Add(const Diagnostic& d) {
+    if (d.severity == DiagSeverity::kError) {
+      ++num_errors_;
+    } else if (d.severity == DiagSeverity::kWarning) {
+      ++num_warnings_;
+    }
+    diags_.push_back(d);
+  }
+
+  // Appends every diagnostic of `other`, preserving order. Used to merge
+  // per-shard engines back into the caller's in a deterministic order.
+  void Append(const DiagEngine& other) {
+    for (const Diagnostic& d : other.diags_) {
+      Add(d);
+    }
+  }
+
   void Clear() {
     diags_.clear();
     num_errors_ = 0;

@@ -136,6 +136,55 @@ TEST_P(AllPresets, ByteIdenticalToLegacyPath) {
   EXPECT_EQ(new_cycles, legacy_cycles);
 }
 
+// ---- Sharded codegen determinism ----
+
+TEST_P(AllPresets, ShardedCodegenBitIdentical) {
+  // Function-parallel emission must be bit-transparent: any --jobs value
+  // produces the same binary, magic sites, and emission statistics as a
+  // sequential run.
+  BuildConfig sequential = BuildConfig::For(GetParam());
+  sequential.codegen_jobs = 1;
+  BuildConfig sharded = sequential;
+  sharded.codegen_jobs = 4;
+
+  DiagEngine d1, d2;
+  PipelineStats s1, s2;
+  auto a = Compile(kRichSource, sequential, &d1, &s1);
+  auto b = Compile(kRichSource, sharded, &d2, &s2);
+  ASSERT_NE(a, nullptr) << d1.ToString();
+  ASSERT_NE(b, nullptr) << d2.ToString();
+  EXPECT_EQ(a->prog->binary.code, b->prog->binary.code);
+  EXPECT_EQ(a->prog->binary.magic_sites.size(), b->prog->binary.magic_sites.size());
+  EXPECT_EQ(a->codegen_stats.bnd_checks_emitted, b->codegen_stats.bnd_checks_emitted);
+  EXPECT_EQ(a->codegen_stats.bnd_checks_coalesced,
+            b->codegen_stats.bnd_checks_coalesced);
+  EXPECT_EQ(a->codegen_stats.magic_words, b->codegen_stats.magic_words);
+  EXPECT_EQ(a->codegen_stats.private_spills, b->codegen_stats.private_spills);
+  EXPECT_EQ(a->codegen_stats.code_words, b->codegen_stats.code_words);
+}
+
+TEST(ShardedCodegen, DirectGenerateCodeAnyWorkerCount) {
+  const BuildConfig config = BuildConfig::For(BuildPreset::kOurMpx);
+  DiagEngine diags;
+  auto ast = Parse(kRichSource, &diags);
+  auto typed = RunSema(std::move(ast), config.sema, &diags);
+  ASSERT_NE(typed, nullptr) << diags.ToString();
+  auto ir = GenerateIr(*typed, &diags);
+  ASSERT_NE(ir, nullptr);
+  OptimizeModule(ir.get(), config.opt_level);
+
+  CodegenStats ref_stats;
+  Binary ref = GenerateCode(*ir, config.codegen, &diags, &ref_stats, /*jobs=*/1);
+  for (const unsigned jobs : {2u, 3u, 8u, 0u /* hardware */}) {
+    CodegenStats stats;
+    DiagEngine d;
+    Binary bin = GenerateCode(*ir, config.codegen, &d, &stats, jobs);
+    EXPECT_EQ(bin.code, ref.code) << "jobs=" << jobs;
+    EXPECT_EQ(stats.code_words, ref_stats.code_words) << "jobs=" << jobs;
+    EXPECT_EQ(stats.functions_emitted, ref_stats.functions_emitted);
+  }
+}
+
 // ---- Stage ordering and per-stage stats ----
 
 TEST(PipelineStages, StandardScheduleOrderAndStats) {

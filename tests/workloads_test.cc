@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include "bench/workloads.h"
+#include "src/driver/artifact_cache.h"
 #include "src/driver/confcc.h"
+#include "src/driver/pipeline.h"
 #include "src/verifier/verifier.h"
 
 namespace confllvm {
@@ -93,6 +95,39 @@ const char* AppSource(const std::string& name) {
   if (name == "ldap") return workloads::kLdap;
   if (name == "privado") return workloads::kPrivado;
   return workloads::kMerkle;
+}
+
+// The CI preset sweep with ConfVerify wired in (ROADMAP "ConfVerify in the
+// sweep"): every example workload batch-compiles under all eight presets
+// through the shared artifact cache, and every fully-instrumented preset
+// carries a Verify stage whose result must be clean — including on cached
+// rebuilds, where the front-end artifacts are restored rather than rebuilt.
+TEST_P(Apps, PresetSweepVerifiesEveryInstrumentedPreset) {
+  const char* src = AppSource(GetParam().name);
+  ArtifactCache cache;
+  const auto jobs = PresetSweepJobs(src, /*verify=*/true);
+  ASSERT_EQ(jobs.size(), 8u);
+  size_t verified = 0;
+  for (int round = 0; round < 2; ++round) {  // cold sweep, then cached sweep
+    auto outcomes = CompileBatch(jobs, /*num_workers=*/4, &cache);
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      SCOPED_TRACE(outcomes[i].label + (round == 0 ? " cold" : " warm"));
+      ASSERT_TRUE(outcomes[i].ok) << outcomes[i].invocation->diags().ToString();
+      if (jobs[i].verify) {
+        ASSERT_NE(outcomes[i].invocation->verify_result, nullptr);
+        EXPECT_TRUE(outcomes[i].invocation->verify_result->ok)
+            << outcomes[i].invocation->verify_result->ErrorText();
+        ++verified;
+      }
+    }
+  }
+  // The fully-instrumented secure presets carry ConfVerify: OurMPX and
+  // OurSeg. OurCFI lacks a bounds scheme, and OurMPX-Sep intentionally puts
+  // private data on the public stack (ConfVerify rightly rejects it).
+  EXPECT_EQ(verified, 2u * 2u);
+  // Warm rebuilds came from the cache, yet every instrumented binary was
+  // re-verified above.
+  EXPECT_GT(cache.stats().hits, 0u);
 }
 
 TEST_P(Apps, RunsUnderAllConfigsAndVerifies) {

@@ -4,15 +4,22 @@
 //
 //   confcc [--preset=OurMPX|all] [--entry=main] [--args=1,2,3] [--verify]
 //          [--disasm] [--stats] [--time-passes] [--jobs=N] [--all-private]
+//          [--incremental] [--cache-stats] [--cache-bytes=N]
 //          file.mc
 //
 // --preset=all batch-compiles every §7.1/§7.2 configuration concurrently
 // (--jobs workers) through CompileBatch and reports one line per preset.
+// --incremental routes compilation through the artifact cache, sharing the
+// Parse/Sema/IrGen prefix across the sweep; --cache-stats appends the cache
+// counters (hits, misses, bytes retained, prefix shares) to the
+// --time-passes table; --cache-bytes caps retained artifact bytes (LRU).
+// In single-preset mode --jobs=N shards per-function codegen emission.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "src/driver/artifact_cache.h"
 #include "src/driver/confcc.h"
 #include "src/driver/pipeline.h"
 #include "src/verifier/verifier.h"
@@ -35,7 +42,8 @@ int Usage() {
   fprintf(stderr,
           "usage: confcc [--preset=P|all] [--entry=F] [--args=a,b,...] [--verify]\n"
           "              [--disasm] [--stats] [--time-passes] [--jobs=N]\n"
-          "              [--all-private] file.mc\n"
+          "              [--all-private] [--incremental] [--cache-stats]\n"
+          "              [--cache-bytes=N] file.mc\n"
           "presets: Base BaseOA Our1Mem OurBare OurCFI OurMPX OurMPX-Sep OurSeg\n");
   return 2;
 }
@@ -51,7 +59,13 @@ struct Options {
   bool time_passes = false;
   unsigned jobs = 0;  // 0 = hardware concurrency
   bool all_private = false;
+  bool incremental = false;   // compile through the artifact cache
+  bool cache_stats = false;   // print the cache counters row (implies cache)
+  size_t cache_bytes = 0;     // artifact-cache byte cap, 0 = unbounded
   std::string file;
+
+  // A byte cap only makes sense with a cache, so --cache-bytes implies one.
+  bool UseCache() const { return incremental || cache_stats || cache_bytes != 0; }
 };
 
 BuildConfig ConfigFor(BuildPreset preset, const Options& opt) {
@@ -117,13 +131,17 @@ int RunSweep(const std::string& source, const Options& opt) {
     job.label = PresetName(p);
     job.source = source;
     job.config = ConfigFor(p, opt);
-    // ConfVerify targets fully-instrumented binaries; skip for Base-like
-    // presets even under --verify (mirrors the paper's threat model).
-    job.verify = opt.verify && job.config.codegen.ConfMode() &&
-                 job.config.codegen.scheme != Scheme::kNone;
+    // ConfVerify targets fully-instrumented secure binaries; skip for
+    // Base-like presets and the single-stack OurMPX-Sep ablation even under
+    // --verify (mirrors the paper's threat model).
+    job.verify = opt.verify && WantsVerify(job.config);
     jobs.push_back(std::move(job));
   }
-  auto outcomes = CompileBatch(jobs, opt.jobs);
+  std::unique_ptr<ArtifactCache> cache;
+  if (opt.UseCache()) {
+    cache = std::make_unique<ArtifactCache>(opt.cache_bytes);
+  }
+  auto outcomes = CompileBatch(jobs, opt.jobs, cache.get());
 
   int failures = 0;
   fprintf(stderr, "%-12s%8s%10s%10s%12s%14s\n", "preset", "ok", "ms", "words",
@@ -156,6 +174,9 @@ int RunSweep(const std::string& source, const Options& opt) {
       fprintf(stderr, "-- %s --\n%s", out.label.c_str(), ps.ToTable().c_str());
     }
   }
+  if (opt.cache_stats && cache != nullptr) {
+    fputs(cache->stats().ToRow().c_str(), stderr);
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -183,6 +204,12 @@ int main(int argc, char** argv) {
       }
     } else if (a.rfind("--jobs=", 0) == 0) {
       opt.jobs = static_cast<unsigned>(strtoul(a.substr(7).c_str(), nullptr, 0));
+    } else if (a.rfind("--cache-bytes=", 0) == 0) {
+      opt.cache_bytes = strtoull(a.substr(14).c_str(), nullptr, 0);
+    } else if (a == "--incremental") {
+      opt.incremental = true;
+    } else if (a == "--cache-stats") {
+      opt.cache_stats = true;
     } else if (a == "--verify") {
       opt.verify = true;
     } else if (a == "--disasm") {
@@ -215,11 +242,24 @@ int main(int argc, char** argv) {
     return RunSweep(buf.str(), opt);
   }
 
-  CompilerInvocation inv(buf.str(), ConfigFor(opt.preset, opt));
+  BuildConfig config = ConfigFor(opt.preset, opt);
+  // Single-preset mode: --jobs shards per-function codegen emission (0 =
+  // hardware concurrency, matching the sweep's worker semantics; output is
+  // bit-identical for any value).
+  config.codegen_jobs = opt.jobs;
+  std::unique_ptr<ArtifactCache> cache;
+  if (opt.UseCache()) {
+    cache = std::make_unique<ArtifactCache>(opt.cache_bytes);
+  }
+  CompilerInvocation inv(buf.str(), config);
+  inv.set_cache(cache.get());
   const bool ok = RunStandardPipeline(&inv);
   fputs(inv.diags().ToString().c_str(), stderr);
   if (opt.time_passes) {
     fputs(inv.stats().ToTable().c_str(), stderr);
+  }
+  if (opt.cache_stats && cache != nullptr) {
+    fputs(cache->stats().ToRow().c_str(), stderr);
   }
   if (!ok) {
     return 1;

@@ -1,0 +1,167 @@
+// Execution-throughput benchmark: host-side interpreter speed of the two VM
+// engines over the fig5 SPEC kernel suite.
+//
+// Every runtime figure in this reproduction is produced by simulating
+// millions of vISA instructions, so the interpreter's host MIPS bounds how
+// many workloads/presets/iterations the benches can afford. This bench pits
+// the reference stepper against the fast engine (ExecImage + token-threaded
+// dispatch + flat region memory) on identical binaries and emits one JSON
+// document on stdout for BENCH_*.json harvesting:
+//   per workload × preset: simulated instrs/cycles (must match between
+//   engines — the bench fails otherwise), wall ms and host MIPS per engine,
+//   and the ref→fast speedup; plus a geomean/min summary.
+//
+// Needs no google-benchmark: it is a plain executable so CI can always run
+// it. Timing is min-of-N over fresh sessions (the D-cache model is part of
+// the simulation, so each measured run starts from a cold Vm).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/workloads.h"
+#include "src/driver/artifact_cache.h"
+#include "src/support/strings.h"
+
+namespace confllvm {
+namespace {
+
+using workloads::kNumSpecKernels;
+using workloads::kSpecKernels;
+
+constexpr BuildPreset kPresets[] = {
+    BuildPreset::kBase,   BuildPreset::kBaseOA, BuildPreset::kOurBare,
+    BuildPreset::kOurCFI, BuildPreset::kOurMpx, BuildPreset::kOurSeg,
+};
+constexpr int kRepeats = 5;
+
+struct EngineRun {
+  bool ok = false;
+  double wall_ms = 0;  // min over kRepeats
+  uint64_t instrs = 0;
+  uint64_t cycles = 0;
+};
+
+// One engine's timed run of `main` on a fresh session. The shared cache
+// makes the per-repeat recompile a restore, and the ExecImage is built in
+// the Vm constructor, so the timer brackets only Vm::Call.
+bool MeasureOnce(const char* src, BuildPreset preset, VmEngine engine,
+                 ArtifactCache* cache, EngineRun* out) {
+  DiagEngine diags;
+  auto compiled = Compile(src, BuildConfig::For(preset), &diags, nullptr, cache);
+  if (compiled == nullptr) {
+    fprintf(stderr, "compile failed under %s:\n%s", PresetName(preset),
+            diags.ToString().c_str());
+    return false;
+  }
+  VmOptions opts;
+  opts.engine = engine;
+  auto s = MakeSessionFor(std::move(compiled), opts);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto r = s->vm->Call("main", {});
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!r.ok) {
+    fprintf(stderr, "%s/%s: main fault: %s\n", PresetName(preset),
+            EngineName(engine), r.fault_msg.c_str());
+    return false;
+  }
+  out->ok = true;
+  out->instrs = r.instrs;
+  out->cycles = r.cycles;
+  out->wall_ms = std::min(
+      out->wall_ms, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  return true;
+}
+
+// Repeats are interleaved ref/fast so host noise (throttling, neighbours)
+// drifts across both engines equally; min-of-N per engine.
+bool MeasurePair(const char* src, BuildPreset preset, ArtifactCache* cache,
+                 EngineRun* ref, EngineRun* fast) {
+  ref->wall_ms = 1e300;
+  fast->wall_ms = 1e300;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    if (!MeasureOnce(src, preset, VmEngine::kRef, cache, ref) ||
+        !MeasureOnce(src, preset, VmEngine::kFast, cache, fast)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double Mips(const EngineRun& r) {
+  return r.wall_ms <= 0 ? 0 : static_cast<double>(r.instrs) / (r.wall_ms * 1e3);
+}
+
+int Run() {
+  std::string out = StrFormat(
+      "{\n  \"bench\": \"exec_throughput\",\n  \"repeats\": %d,\n"
+      "  \"workloads\": [\n",
+      kRepeats);
+  double log_speedup_sum = 0;
+  double min_speedup = 1e300;
+  double total_ref_ms = 0;
+  double total_fast_ms = 0;
+  int rows = 0;
+  bool all_match = true;
+
+  for (int k = 0; k < kNumSpecKernels; ++k) {
+    const auto& kernel = kSpecKernels[k];
+    ArtifactCache cache;  // shared front end across presets and repeats
+    out += StrFormat("    {\"name\": \"%s\", \"presets\": [\n", kernel.name);
+    const size_t npresets = sizeof(kPresets) / sizeof(kPresets[0]);
+    for (size_t c = 0; c < npresets; ++c) {
+      const BuildPreset preset = kPresets[c];
+      EngineRun ref;
+      EngineRun fast;
+      if (!MeasurePair(kernel.source, preset, &cache, &ref, &fast)) {
+        return 1;
+      }
+      const bool match = ref.cycles == fast.cycles && ref.instrs == fast.instrs;
+      all_match = all_match && match;
+      const double speedup = fast.wall_ms <= 0 ? 0 : ref.wall_ms / fast.wall_ms;
+      log_speedup_sum += std::log(speedup);
+      min_speedup = std::min(min_speedup, speedup);
+      total_ref_ms += ref.wall_ms;
+      total_fast_ms += fast.wall_ms;
+      ++rows;
+      out += StrFormat(
+          "      {\"preset\": \"%s\", \"sim_instrs\": %llu, "
+          "\"sim_cycles\": %llu, \"cycles_match\": %s, "
+          "\"ref\": {\"wall_ms\": %.3f, \"mips\": %.1f}, "
+          "\"fast\": {\"wall_ms\": %.3f, \"mips\": %.1f}, "
+          "\"speedup\": %.2f}%s\n",
+          PresetName(preset), static_cast<unsigned long long>(fast.instrs),
+          static_cast<unsigned long long>(fast.cycles), match ? "true" : "false",
+          ref.wall_ms, Mips(ref), fast.wall_ms, Mips(fast), speedup,
+          c + 1 == npresets ? "" : ",");
+    }
+    out += StrFormat("    ]}%s\n", k + 1 == kNumSpecKernels ? "" : ",");
+  }
+
+  const double geomean = rows == 0 ? 0 : std::exp(log_speedup_sum / rows);
+  const double total = total_fast_ms <= 0 ? 0 : total_ref_ms / total_fast_ms;
+  out += StrFormat(
+      "  ],\n  \"summary\": {\"rows\": %d, \"geomean_speedup\": %.2f, "
+      "\"suite_speedup\": %.2f, \"min_speedup\": %.2f, "
+      "\"total_ref_ms\": %.1f, \"total_fast_ms\": %.1f, "
+      "\"all_cycles_match\": %s}\n}\n",
+      rows, geomean, total, min_speedup, total_ref_ms, total_fast_ms,
+      all_match ? "true" : "false");
+  fputs(out.c_str(), stdout);
+  fprintf(stderr,
+          "exec_throughput: %d rows, suite speedup %.2fx (geomean %.2fx, "
+          "min %.2fx), cycles %s\n",
+          rows, total, geomean, min_speedup,
+          all_match ? "identical" : "DIVERGED");
+  // Differing simulated cycles mean the engines disagree — fail loudly so CI
+  // treats the bench as a check, not just a report.
+  return all_match ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace confllvm
+
+int main() { return confllvm::Run(); }

@@ -6,6 +6,19 @@
 
 namespace confllvm {
 
+int Binary::FunctionIndex(const std::string& name) const {
+  if (fn_indexed_count_ != functions.size()) {
+    fn_index_.clear();
+    fn_index_.reserve(functions.size());
+    for (size_t i = 0; i < functions.size(); ++i) {
+      fn_index_.emplace(functions[i].name, static_cast<int>(i));
+    }
+    fn_indexed_count_ = functions.size();
+  }
+  const auto it = fn_index_.find(name);
+  return it == fn_index_.end() ? -1 : it->second;
+}
+
 std::string Disassemble(const Binary& bin) {
   std::ostringstream os;
   size_t idx = 0;

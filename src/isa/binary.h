@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/isa/isa.h"
@@ -89,14 +90,16 @@ struct Binary {
   uint64_t magic_call_prefix = 0;
   uint64_t magic_ret_prefix = 0;
 
-  int FunctionIndex(const std::string& name) const {
-    for (size_t i = 0; i < functions.size(); ++i) {
-      if (functions[i].name == name) {
-        return static_cast<int>(i);
-      }
-    }
-    return -1;
-  }
+  // Index of `name` in `functions`, or -1. Backed by a lazily (re)built
+  // name→index map so per-call lookups (SetupThread, EntryWordOf) are O(1);
+  // the map is rebuilt whenever functions have been appended since the last
+  // build. First match wins on duplicate names, like the linear scan it
+  // replaced. Not thread-safe (like all mutation of a Binary).
+  int FunctionIndex(const std::string& name) const;
+
+ private:
+  mutable std::unordered_map<std::string, int> fn_index_;
+  mutable size_t fn_indexed_count_ = ~size_t{0};  // functions.size() at build
 };
 
 // Disassembles the full code image (one line per word; data words are shown

@@ -1,0 +1,365 @@
+// ExecImage: the fast engine's flattened view of a LoadedProgram.
+//
+// The reference stepper re-derives everything per executed instruction: it
+// bounds-checks the pc, tests `optional<MInstr>::has_value()`, switches on
+// the opcode, recomputes the segment base and the SegAccessCost, and
+// re-resolves jump targets. Mirroring ConfLLVM's own discipline of paying
+// for protection at load time (hardware fast paths, §7), ExecImage does all
+// of that ONCE per LoadedProgram: every code word becomes a dense
+// ExecRecord with a pre-resolved handler id, precomputed base cost,
+// pre-resolved fallthrough/branch word indices, and the segment base baked
+// in. Data words (magic words, movimm64 payloads) become explicit trap
+// records, so the hot loop needs no validity checks at all.
+//
+// The image is immutable and derived purely from the program's decoded code,
+// region map and code words, so clones of a LoadedProgram share one image.
+#ifndef CONFLLVM_SRC_VM_EXEC_IMAGE_H_
+#define CONFLLVM_SRC_VM_EXEC_IMAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/isa/isa.h"
+
+namespace confllvm {
+
+struct LoadedProgram;
+
+// ---- fused superinstruction pairs ----
+//
+// Interpreter throughput is bounded by the serial record-fetch chain (pc ->
+// record -> fields -> next pc), not by handler work, so the ExecImage fuses
+// frequent straight-line pairs into one handler: the pair executes both
+// instructions off a single record fetch and dispatch
+// while replicating the reference engine's inter-instruction bookkeeping
+// exactly (cycle budget and instruction-limit checks between the elements,
+// per-element instrs/cycles, fault pcs). Fusing only rewrites the FIRST
+// element's handler; the second keeps its own record, so jumps into it
+// behave as before, and pairs chain (A+B fused, C+D fused, ...).
+//
+// The X-macro lists below are the single source of truth: they generate the
+// handler enum (here), the label table and bodies (vm_fast.cc), and the
+// fusion lookup table (exec_image.cc), so the three can never get out of
+// sync. "Simple" ops are registers-only, fixed-cost, and cannot fault.
+//
+// The second element's operands are PACKED into the first record's unused
+// memory-operand fields (base/index/scale/size/seg_base/disp/target) at
+// build time, so a fused pair costs a single record load — the serial
+// record-fetch chain, not the indirect branch, is what bounds interpreter
+// throughput. The first element's own operand fields stay untouched: when a
+// mid-pair budget/instr-limit boundary could hit, the pair handler bails to
+// the first element's base handler, which re-runs the exact per-instruction
+// checks. (Lea is excluded from fusion: it owns the fields pairs repurpose.)
+#define CONFLLVM_PAIRS_SS(Y) /* simple -> simple */ \
+  Y(MovImm, MovImm) Y(MovImm, Mov) Y(MovImm, Add) Y(MovImm, Sub) \
+  Y(MovImm, Mul) Y(MovImm, AddImm) Y(MovImm, And) Y(MovImm, Or) \
+  Y(MovImm, Xor) Y(MovImm, Shl) Y(MovImm, Shr) Y(Mov, MovImm) \
+  Y(Mov, Mov) Y(Mov, Add) Y(Mov, Sub) Y(Mov, Mul) \
+  Y(Mov, AddImm) Y(Mov, And) Y(Mov, Or) Y(Mov, Xor) \
+  Y(Mov, Shl) Y(Mov, Shr) Y(Add, MovImm) Y(Add, Mov) \
+  Y(Add, Add) Y(Add, Sub) Y(Add, Mul) Y(Add, AddImm) \
+  Y(Add, And) Y(Add, Or) Y(Add, Xor) Y(Add, Shl) \
+  Y(Add, Shr) Y(Sub, MovImm) Y(Sub, Mov) Y(Sub, Add) \
+  Y(Sub, Sub) Y(Sub, Mul) Y(Sub, AddImm) Y(Sub, And) \
+  Y(Sub, Or) Y(Sub, Xor) Y(Sub, Shl) Y(Sub, Shr) \
+  Y(Mul, MovImm) Y(Mul, Mov) Y(Mul, Add) Y(Mul, Sub) \
+  Y(Mul, Mul) Y(Mul, AddImm) Y(Mul, And) Y(Mul, Or) \
+  Y(Mul, Xor) Y(Mul, Shl) Y(Mul, Shr) Y(AddImm, MovImm) \
+  Y(AddImm, Mov) Y(AddImm, Add) Y(AddImm, Sub) Y(AddImm, Mul) \
+  Y(AddImm, AddImm) Y(AddImm, And) Y(AddImm, Or) Y(AddImm, Xor) \
+  Y(AddImm, Shl) Y(AddImm, Shr) Y(And, MovImm) Y(And, Mov) \
+  Y(And, Add) Y(And, Sub) Y(And, Mul) Y(And, AddImm) \
+  Y(And, And) Y(And, Or) Y(And, Xor) Y(And, Shl) \
+  Y(And, Shr) Y(Or, MovImm) Y(Or, Mov) Y(Or, Add) \
+  Y(Or, Sub) Y(Or, Mul) Y(Or, AddImm) Y(Or, And) \
+  Y(Or, Or) Y(Or, Xor) Y(Or, Shl) Y(Or, Shr) \
+  Y(Xor, MovImm) Y(Xor, Mov) Y(Xor, Add) Y(Xor, Sub) \
+  Y(Xor, Mul) Y(Xor, AddImm) Y(Xor, And) Y(Xor, Or) \
+  Y(Xor, Xor) Y(Xor, Shl) Y(Xor, Shr) Y(Shl, MovImm) \
+  Y(Shl, Mov) Y(Shl, Add) Y(Shl, Sub) Y(Shl, Mul) \
+  Y(Shl, AddImm) Y(Shl, And) Y(Shl, Or) Y(Shl, Xor) \
+  Y(Shl, Shl) Y(Shl, Shr) Y(Shr, MovImm) Y(Shr, Mov) \
+  Y(Shr, Add) Y(Shr, Sub) Y(Shr, Mul) Y(Shr, AddImm) \
+  Y(Shr, And) Y(Shr, Or) Y(Shr, Xor) Y(Shr, Shl) \
+  Y(Shr, Shr) Y(MovImm, CmpEq) Y(MovImm, CmpNe) Y(MovImm, CmpLt) \
+  Y(MovImm, CmpLe) Y(MovImm, CmpGt) Y(MovImm, CmpGe) Y(Mov, CmpEq) \
+  Y(Mov, CmpNe) Y(Mov, CmpLt) Y(Mov, CmpLe) Y(Mov, CmpGt) \
+  Y(Mov, CmpGe) Y(Add, CmpEq) Y(Add, CmpNe) Y(Add, CmpLt) \
+  Y(Add, CmpLe) Y(Add, CmpGt) Y(Add, CmpGe) Y(Sub, CmpEq) \
+  Y(Sub, CmpNe) Y(Sub, CmpLt) Y(Sub, CmpLe) Y(Sub, CmpGt) \
+  Y(Sub, CmpGe) Y(Mul, CmpEq) Y(Mul, CmpNe) Y(Mul, CmpLt) \
+  Y(Mul, CmpLe) Y(Mul, CmpGt) Y(Mul, CmpGe) Y(AddImm, CmpEq) \
+  Y(AddImm, CmpNe) Y(AddImm, CmpLt) Y(AddImm, CmpLe) Y(AddImm, CmpGt) \
+  Y(AddImm, CmpGe) Y(And, CmpEq) Y(And, CmpNe) Y(And, CmpLt) \
+  Y(And, CmpLe) Y(And, CmpGt) Y(And, CmpGe) Y(Or, CmpEq) \
+  Y(Or, CmpNe) Y(Or, CmpLt) Y(Or, CmpLe) Y(Or, CmpGt) \
+  Y(Or, CmpGe) Y(Xor, CmpEq) Y(Xor, CmpNe) Y(Xor, CmpLt) \
+  Y(Xor, CmpLe) Y(Xor, CmpGt) Y(Xor, CmpGe) Y(Shl, CmpEq) \
+  Y(Shl, CmpNe) Y(Shl, CmpLt) Y(Shl, CmpLe) Y(Shl, CmpGt) \
+  Y(Shl, CmpGe) Y(Shr, CmpEq) Y(Shr, CmpNe) Y(Shr, CmpLt) \
+  Y(Shr, CmpLe) Y(Shr, CmpGt) Y(Shr, CmpGe) Y(CmpEq, MovImm) \
+  Y(CmpEq, Mov) Y(CmpEq, Add) Y(CmpNe, MovImm) Y(CmpNe, Mov) \
+  Y(CmpNe, Add) Y(CmpLt, MovImm) Y(CmpLt, Mov) Y(CmpLt, Add) \
+  Y(CmpLe, MovImm) Y(CmpLe, Mov) Y(CmpLe, Add) Y(CmpGt, MovImm) \
+  Y(CmpGt, Mov) Y(CmpGt, Add) Y(CmpGe, MovImm) Y(CmpGe, Mov) \
+  Y(CmpGe, Add)
+#define CONFLLVM_PAIRS_SJ(Y) /* simple -> jmp */ \
+  Y(MovImm) Y(Mov) Y(Add) Y(Sub) \
+  Y(Mul) Y(AddImm) Y(And) Y(Or) \
+  Y(Xor) Y(Shl) Y(Shr)
+#define CONFLLVM_PAIRS_JS(Y) /* jmp -> simple (across the edge) */ \
+  Y(MovImm) Y(Mov) Y(Add) Y(Sub) \
+  Y(Mul) Y(AddImm) Y(And) Y(Or) \
+  Y(Xor) Y(Shl) Y(Shr)
+#define CONFLLVM_PAIRS_CB(Y) /* compare -> conditional branch */             \
+  Y(CmpEq, Jnz) Y(CmpNe, Jnz) Y(CmpLt, Jnz) Y(CmpLe, Jnz)                    \
+  Y(CmpGt, Jnz) Y(CmpGe, Jnz)                                                \
+  Y(CmpEq, Jz) Y(CmpNe, Jz) Y(CmpLt, Jz) Y(CmpLe, Jz)                        \
+  Y(CmpGt, Jz) Y(CmpGe, Jz)
+#define CONFLLVM_PAIRS_BB(Y) /* cond branch whose fallthrough is a jmp */    \
+  Y(Jnz) Y(Jz)
+#define CONFLLVM_PAIRS_SM(Y) /* simple -> load/store */ \
+  Y(MovImm, Load) Y(Mov, Load) Y(Add, Load) Y(Sub, Load) \
+  Y(Mul, Load) Y(AddImm, Load) Y(And, Load) Y(Or, Load) \
+  Y(Xor, Load) Y(Shl, Load) Y(Shr, Load) Y(MovImm, Store) \
+  Y(Mov, Store) Y(Add, Store) Y(Sub, Store) Y(Mul, Store) \
+  Y(AddImm, Store) Y(And, Store) Y(Or, Store) Y(Xor, Store) \
+  Y(Shl, Store) Y(Shr, Store)
+#define CONFLLVM_PAIRS_MS(Y) /* load/store -> simple */ \
+  Y(Load, MovImm) Y(Load, Mov) Y(Load, Add) Y(Load, Sub) \
+  Y(Load, Mul) Y(Load, AddImm) Y(Load, And) Y(Load, Or) \
+  Y(Load, Xor) Y(Load, Shl) Y(Load, Shr) Y(Store, MovImm) \
+  Y(Store, Mov) Y(Store, Add) Y(Store, Sub) Y(Store, Mul) \
+  Y(Store, AddImm) Y(Store, And) Y(Store, Or) Y(Store, Xor) \
+  Y(Store, Shl) Y(Store, Shr)
+#define CONFLLVM_PAIRS_BM(Y) /* upper bounds check -> the guarded access */  \
+  Y(BndcuR, Load) Y(BndcuR, Store)
+#define CONFLLVM_PAIRS_FF(Y) /* float arithmetic chains */                   \
+  Y(FAdd, FAdd) Y(FAdd, FSub) Y(FAdd, FMul)                                  \
+  Y(FSub, FAdd) Y(FSub, FSub) Y(FSub, FMul)                                  \
+  Y(FMul, FAdd) Y(FMul, FSub) Y(FMul, FMul)
+#define CONFLLVM_PAIRS_FSM(Y) /* float arith -> float load/store */          \
+  Y(FAdd, FLoad) Y(FSub, FLoad) Y(FMul, FLoad)                               \
+  Y(FAdd, FStore) Y(FSub, FStore) Y(FMul, FStore)
+#define CONFLLVM_PAIRS_BS(Y) /* cond branch -> fallthrough simple */ \
+  Y(Jnz, MovImm) Y(Jnz, Mov) Y(Jnz, Add) Y(Jnz, Sub) \
+  Y(Jnz, Mul) Y(Jnz, AddImm) Y(Jnz, And) Y(Jnz, Or) \
+  Y(Jnz, Xor) Y(Jnz, Shl) Y(Jnz, Shr) Y(Jz, MovImm) \
+  Y(Jz, Mov) Y(Jz, Add) Y(Jz, Sub) Y(Jz, Mul) \
+  Y(Jz, AddImm) Y(Jz, And) Y(Jz, Or) Y(Jz, Xor) \
+  Y(Jz, Shl) Y(Jz, Shr)
+#define CONFLLVM_PAIRS_SFM(Y) /* int simple -> float load/store */ \
+  Y(MovImm, FLoad) Y(Mov, FLoad) Y(Add, FLoad) Y(Sub, FLoad) \
+  Y(Mul, FLoad) Y(AddImm, FLoad) Y(And, FLoad) Y(Or, FLoad) \
+  Y(Xor, FLoad) Y(Shl, FLoad) Y(Shr, FLoad) Y(MovImm, FStore) \
+  Y(Mov, FStore) Y(Add, FStore) Y(Sub, FStore) Y(Mul, FStore) \
+  Y(AddImm, FStore) Y(And, FStore) Y(Or, FStore) Y(Xor, FStore) \
+  Y(Shl, FStore) Y(Shr, FStore)
+#define CONFLLVM_PAIRS_FMI(Y) /* float load/store -> int simple */ \
+  Y(FLoad, MovImm) Y(FLoad, Mov) Y(FLoad, Add) Y(FLoad, Sub) \
+  Y(FLoad, Mul) Y(FLoad, AddImm) Y(FLoad, And) Y(FLoad, Or) \
+  Y(FLoad, Xor) Y(FLoad, Shl) Y(FLoad, Shr) Y(FStore, MovImm) \
+  Y(FStore, Mov) Y(FStore, Add) Y(FStore, Sub) Y(FStore, Mul) \
+  Y(FStore, AddImm) Y(FStore, And) Y(FStore, Or) Y(FStore, Xor) \
+  Y(FStore, Shl) Y(FStore, Shr)
+#define CONFLLVM_PAIRS_FAS(Y) /* float arith -> int simple */ \
+  Y(FAdd, MovImm) Y(FAdd, Mov) Y(FAdd, Add) Y(FAdd, Sub) \
+  Y(FAdd, Mul) Y(FAdd, AddImm) Y(FAdd, And) Y(FAdd, Or) \
+  Y(FAdd, Xor) Y(FAdd, Shl) Y(FAdd, Shr) Y(FSub, MovImm) \
+  Y(FSub, Mov) Y(FSub, Add) Y(FSub, Sub) Y(FSub, Mul) \
+  Y(FSub, AddImm) Y(FSub, And) Y(FSub, Or) Y(FSub, Xor) \
+  Y(FSub, Shl) Y(FSub, Shr) Y(FMul, MovImm) Y(FMul, Mov) \
+  Y(FMul, Add) Y(FMul, Sub) Y(FMul, Mul) Y(FMul, AddImm) \
+  Y(FMul, And) Y(FMul, Or) Y(FMul, Xor) Y(FMul, Shl) \
+  Y(FMul, Shr)
+#define CONFLLVM_PAIRS_SFA(Y) /* int simple -> float arith */ \
+  Y(MovImm, FAdd) Y(MovImm, FSub) Y(MovImm, FMul) Y(Mov, FAdd) \
+  Y(Mov, FSub) Y(Mov, FMul) Y(Add, FAdd) Y(Add, FSub) \
+  Y(Add, FMul) Y(Sub, FAdd) Y(Sub, FSub) Y(Sub, FMul) \
+  Y(Mul, FAdd) Y(Mul, FSub) Y(Mul, FMul) Y(AddImm, FAdd) \
+  Y(AddImm, FSub) Y(AddImm, FMul) Y(And, FAdd) Y(And, FSub) \
+  Y(And, FMul) Y(Or, FAdd) Y(Or, FSub) Y(Or, FMul) \
+  Y(Xor, FAdd) Y(Xor, FSub) Y(Xor, FMul) Y(Shl, FAdd) \
+  Y(Shl, FSub) Y(Shl, FMul) Y(Shr, FAdd) Y(Shr, FSub) \
+  Y(Shr, FMul)
+#define CONFLLVM_PAIRS_SIF(Y) /* imm/reg -> float-bit materialize */ \
+  Y(MovImm, MovIF) Y(Mov, MovIF)
+#define CONFLLVM_PAIRS_SN(Y) /* CFI magic materialization: imm -> not/neg */ \
+  Y(MovImm, Not) Y(Mov, Not) Y(MovImm, Neg)
+#define CONFLLVM_PAIRS_PS(Y) /* pop -> simple (CFI return heads) */          \
+  Y(MovImm) Y(Mov) Y(Add) Y(Sub)                                             \
+  Y(Mul) Y(AddImm) Y(And) Y(Or)                                              \
+  Y(Xor) Y(Shl) Y(Shr)
+#define CONFLLVM_PAIRS_LC(Y) /* loadcode -> magic compare */                 \
+  Y(CmpEq) Y(CmpNe)
+#define CONFLLVM_PAIRS_BT(Y) /* cond branch -> its TAKEN (backward) arm */   \
+  Y(JnzT, MovImm) Y(JnzT, Mov) Y(JnzT, Add) Y(JnzT, Sub)                     \
+  Y(JnzT, Mul) Y(JnzT, AddImm) Y(JnzT, And) Y(JnzT, Or)                      \
+  Y(JnzT, Xor) Y(JnzT, Shl) Y(JnzT, Shr)                                     \
+  Y(JzT, MovImm) Y(JzT, Mov) Y(JzT, Add) Y(JzT, Sub)                         \
+  Y(JzT, Mul) Y(JzT, AddImm) Y(JzT, And) Y(JzT, Or)                          \
+  Y(JzT, Xor) Y(JzT, Shl) Y(JzT, Shr)
+#define CONFLLVM_PAIRS_FMS(Y) /* float load/store -> float arith */          \
+  Y(FLoad, FAdd) Y(FLoad, FSub) Y(FLoad, FMul)                               \
+  Y(FStore, FAdd) Y(FStore, FSub) Y(FStore, FMul)
+
+// Handler ids for the token-threaded dispatch loop. Condition codes are
+// specialized into per-condition handlers (kHCmpEq + cc).
+enum ExecHandler : uint16_t {
+  kHExecData = 0,  // data / magic / continuation word: kExecData fault
+  kHInvalid,       // decoded kInvalid op (unreachable via the loader)
+  kHMovImm,        // also kMovImm64: the payload is pre-materialized in imm
+  kHMov,
+  kHAdd,
+  kHSub,
+  kHMul,
+  kHDiv,
+  kHRem,
+  kHAnd,
+  kHOr,
+  kHXor,
+  kHShl,
+  kHShr,
+  kHAddImm,
+  kHNeg,
+  kHNot,
+  kHCmpEq,  // kHCmpEq + (uint16_t)cc
+  kHCmpNe,
+  kHCmpLt,
+  kHCmpLe,
+  kHCmpGt,
+  kHCmpGe,
+  kHLoad,
+  kHStore,
+  kHFLoad,
+  kHFStore,
+  kHLea,
+  kHPush,
+  kHPop,
+  kHJmp,
+  kHJnz,
+  kHJz,
+  kHCall,
+  kHICall,
+  kHRet,
+  kHJmpReg,
+  kHLoadCode,
+  kHBndclR,
+  kHBndcuR,
+  kHBndclM,
+  kHBndcuM,
+  kHChkstk,
+  kHTrap,
+  kHCallExt,
+  kHHalt,
+  kHFAdd,
+  kHFSub,
+  kHFMul,
+  kHFDiv,
+  kHFNeg,
+  kHFCmpEq,  // kHFCmpEq + (uint16_t)cc
+  kHFCmpNe,
+  kHFCmpLt,
+  kHFCmpLe,
+  kHFCmpGt,
+  kHFCmpGe,
+  kHCvtIF,
+  kHCvtFI,
+  kHMovIF,
+  kHFMov,
+  kHNop,
+  kNumBaseHandlers,
+
+  // Fused pair handlers (order mirrors vm_fast.cc's label table by sharing
+  // the list macros above).
+  kHFusedFirst = kNumBaseHandlers,
+#define CONFLLVM_YP(a, b) kHP_##a##_##b,
+#define CONFLLVM_YJ(a) kHP_##a##_Jmp,
+#define CONFLLVM_YT(b) kHP_Jmp_##b,
+  CONFLLVM_PAIRS_SS(CONFLLVM_YP)
+  CONFLLVM_PAIRS_SJ(CONFLLVM_YJ)
+  CONFLLVM_PAIRS_JS(CONFLLVM_YT)
+  CONFLLVM_PAIRS_CB(CONFLLVM_YP)
+  CONFLLVM_PAIRS_BB(CONFLLVM_YJ)
+  CONFLLVM_PAIRS_SM(CONFLLVM_YP)
+  CONFLLVM_PAIRS_MS(CONFLLVM_YP)
+  CONFLLVM_PAIRS_BM(CONFLLVM_YP)
+  CONFLLVM_PAIRS_FF(CONFLLVM_YP)
+  CONFLLVM_PAIRS_FSM(CONFLLVM_YP)
+  CONFLLVM_PAIRS_FMS(CONFLLVM_YP)
+  CONFLLVM_PAIRS_BS(CONFLLVM_YP)
+  CONFLLVM_PAIRS_SFM(CONFLLVM_YP)
+  CONFLLVM_PAIRS_FMI(CONFLLVM_YP)
+  CONFLLVM_PAIRS_FAS(CONFLLVM_YP)
+  CONFLLVM_PAIRS_SFA(CONFLLVM_YP)
+  CONFLLVM_PAIRS_SIF(CONFLLVM_YP)
+  CONFLLVM_PAIRS_SN(CONFLLVM_YP)
+#define CONFLLVM_YS(b) kHP_Pop_##b,
+  CONFLLVM_PAIRS_PS(CONFLLVM_YS)
+#undef CONFLLVM_YS
+#define CONFLLVM_YL(b) kHP_LoadCode_##b,
+  CONFLLVM_PAIRS_LC(CONFLLVM_YL)
+#undef CONFLLVM_YL
+  kHP_Not_LoadCode,
+  kHP_AddImm_JmpReg,
+  CONFLLVM_PAIRS_BT(CONFLLVM_YP)
+#undef CONFLLVM_YP
+#undef CONFLLVM_YJ
+#undef CONFLLVM_YT
+  kHP_BndclR_BndcuR,
+  kHP_Add_BndclR,
+  kHP_Pop_Pop,
+  kHP_Push_Push,
+  // Fused triples: the full MPX sandwich bndcl;bndcu;access on one pointer
+  // register and one bounds register (the hot pattern of every OurMPX row).
+  kHT_BndBnd_Load,
+  kHT_BndBnd_Store,
+  kHT_BndBnd_FLoad,
+  kHT_BndBnd_FStore,
+  kNumExecHandlers,
+};
+
+// One code word, flattened. 40 bytes; a record never straddles more than
+// one 64-byte line boundary.
+struct ExecRecord {
+  uint16_t handler = kHExecData;
+  uint8_t rd = kNoMReg;
+  uint8_t rs1 = kNoMReg;
+  uint8_t rs2 = kNoMReg;
+  uint8_t base = kNoMReg;   // memory-operand base register (31 reads as 0)
+  uint8_t index = kNoMReg;  // memory-operand index register
+  uint8_t scale = 0;
+  uint8_t seg = 0;       // non-zero: mask base/index to their low 32 bits
+  uint8_t size = 8;      // access size in bytes (1 or 8)
+  uint8_t acc_cost = 2;  // SegAccessCost for loads/stores; base cost else
+  uint8_t bnd = 0;
+  uint32_t next = 0;    // pre-resolved fallthrough word index
+  uint32_t target = 0;  // pre-resolved branch/call target / import index
+  int32_t disp = 0;
+  int64_t imm = 0;       // sign-extended imm32, or the movimm64 payload
+  uint64_t seg_base = 0;  // fs/gs base for segment-prefixed operands
+};
+
+// Segment-prefixed pointer accesses pay one extra cycle for the 32-bit
+// sub-register addressing constraint (paper §3); rsp-based frame accesses
+// need no extra work (rsp is already in-segment by chkstk). Shared by the
+// reference stepper (per access) and the ExecImage builder (per word, once).
+inline uint64_t SegAccessCost(const MemOperand& m) {
+  return (m.seg != Seg::kNone && m.base != kRegSp) ? 3 : 2;
+}
+
+struct ExecImage {
+  std::vector<ExecRecord> recs;  // one per code word
+  std::vector<uint64_t> code;    // private copy for kLoadCode (CFI reads)
+
+  size_t size() const { return recs.size(); }
+};
+
+// Flattens `prog` (its decoded slots, region map and code image) into an
+// ExecImage. Pure function of the program's content.
+std::shared_ptr<const ExecImage> BuildExecImage(const LoadedProgram& prog);
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_VM_EXEC_IMAGE_H_

@@ -1,10 +1,20 @@
-// Sparse paged memory with explicit mapping. Accesses to unmapped addresses
-// fault — this is how guard zones (paper Figure 3) stop segment-scheme
-// escapes and wild pointers.
+// Guest memory with explicit mapping. Accesses to unmapped addresses fault —
+// this is how guard zones (paper Figure 3) stop segment-scheme escapes and
+// wild pointers.
+//
+// Two backings share one address space:
+//  * flat regions — contiguous host buffers registered once at Vm
+//    construction for U's pub/prv partitions and T's region. Translation is
+//    an O(1) range check, so the execution engines can turn a guest access
+//    into a single host load/store; guard zones fall out as range misses.
+//  * sparse pages — the fallback for anything mapped outside a flat region
+//    (and for flat registration failures when a huge region cannot be
+//    reserved), keeping the original demand-paged semantics.
 #ifndef CONFLLVM_SRC_VM_MEMORY_H_
 #define CONFLLVM_SRC_VM_MEMORY_H_
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <unordered_map>
@@ -15,24 +25,69 @@ class Memory {
  public:
   static constexpr uint64_t kPageSize = 4096;
 
-  // Marks [base, base+size) mapped (zero-filled on first touch).
+  // Registers [base, base+size) as a zero-filled contiguous host buffer.
+  // Falls back to page mapping when the buffer cannot be reserved. calloc
+  // gives lazily-committed zero pages, so large regions cost address space,
+  // not resident memory.
+  void MapFlat(uint64_t base, uint64_t size) {
+    if (size == 0) {
+      return;
+    }
+    if (num_flat_ < kMaxFlatRegions) {
+      void* data = calloc(size, 1);
+      if (data != nullptr) {
+        flat_[num_flat_++] = {base, size, static_cast<uint8_t*>(data)};
+        return;
+      }
+    }
+    Map(base, size);
+  }
+
+  // Marks [base, base+size) page-mapped (zero-filled on first touch). A zero
+  // size maps nothing; an end address past 2^64 is clamped to the top.
   void Map(uint64_t base, uint64_t size) {
-    const uint64_t first = base / kPageSize;
-    const uint64_t last = (base + size + kPageSize - 1) / kPageSize;
-    for (uint64_t p = first; p < last; ++p) {
+    if (size == 0) {
+      return;
+    }
+    const uint64_t last_addr = LastAddr(base, size);
+    for (uint64_t p = base / kPageSize; p <= last_addr / kPageSize; ++p) {
       pages_.try_emplace(p);  // nullptr until touched
     }
   }
 
   bool IsMapped(uint64_t addr, uint64_t size) const {
-    const uint64_t first = addr / kPageSize;
-    const uint64_t last = (addr + size + kPageSize - 1) / kPageSize;
-    for (uint64_t p = first; p < last; ++p) {
-      if (pages_.find(p) == pages_.end()) {
+    if (size == 0) {
+      return true;
+    }
+    // Byte-exact walk: flat regions cover their exact ranges (they need not
+    // be page-aligned); anything else must fall on a mapped page.
+    uint64_t last_addr = LastAddr(addr, size);
+    while (true) {
+      uint64_t next;
+      if (const FlatRegion* r = FlatRegionAt(addr)) {
+        next = LastAddr(r->base, r->size);
+      } else if (pages_.find(addr / kPageSize) != pages_.end()) {
+        next = addr / kPageSize * kPageSize + (kPageSize - 1);
+      } else {
         return false;
       }
+      if (next >= last_addr) {
+        return true;
+      }
+      addr = next + 1;
     }
-    return true;
+  }
+
+  // O(1) host pointer for [addr, addr+len) when it lies fully inside one
+  // flat region; nullptr otherwise. The execution engines' fast path.
+  uint8_t* FlatPtr(uint64_t addr, uint64_t len) {
+    for (uint32_t i = 0; i < num_flat_; ++i) {
+      const uint64_t off = addr - flat_[i].base;
+      if (off < flat_[i].size && len <= flat_[i].size - off) {
+        return flat_[i].data + off;
+      }
+    }
+    return nullptr;
   }
 
   // Scalar access (size 1 or 8). Returns false on unmapped access.
@@ -60,13 +115,13 @@ class Memory {
   bool ReadBytes(uint64_t addr, void* dst, uint64_t len) {
     uint8_t* out = static_cast<uint8_t*>(dst);
     while (len > 0) {
-      uint8_t* page = PageFor(addr);
-      if (page == nullptr) {
+      uint64_t avail = 0;
+      uint8_t* block = BlockFor(addr, &avail);
+      if (block == nullptr) {
         return false;
       }
-      const uint64_t off = addr % kPageSize;
-      const uint64_t n = std::min(len, kPageSize - off);
-      memcpy(out, page + off, n);
+      const uint64_t n = std::min(len, avail);
+      memcpy(out, block, n);
       addr += n;
       out += n;
       len -= n;
@@ -77,13 +132,13 @@ class Memory {
   bool WriteBytes(uint64_t addr, const void* src, uint64_t len) {
     const uint8_t* in = static_cast<const uint8_t*>(src);
     while (len > 0) {
-      uint8_t* page = PageFor(addr);
-      if (page == nullptr) {
+      uint64_t avail = 0;
+      uint8_t* block = BlockFor(addr, &avail);
+      if (block == nullptr) {
         return false;
       }
-      const uint64_t off = addr % kPageSize;
-      const uint64_t n = std::min(len, kPageSize - off);
-      memcpy(page + off, in, n);
+      const uint64_t n = std::min(len, avail);
+      memcpy(block, in, n);
       addr += n;
       in += n;
       len -= n;
@@ -93,20 +148,70 @@ class Memory {
 
   bool Fill(uint64_t addr, uint8_t value, uint64_t len) {
     while (len > 0) {
-      uint8_t* page = PageFor(addr);
-      if (page == nullptr) {
+      uint64_t avail = 0;
+      uint8_t* block = BlockFor(addr, &avail);
+      if (block == nullptr) {
         return false;
       }
-      const uint64_t off = addr % kPageSize;
-      const uint64_t n = std::min(len, kPageSize - off);
-      memset(page + off, value, n);
+      const uint64_t n = std::min(len, avail);
+      memset(block, value, n);
       addr += n;
       len -= n;
     }
     return true;
   }
 
+  Memory() = default;
+  Memory(const Memory&) = delete;
+  Memory& operator=(const Memory&) = delete;
+  ~Memory() {
+    for (uint32_t i = 0; i < num_flat_; ++i) {
+      free(flat_[i].data);
+    }
+  }
+
  private:
+  static constexpr uint32_t kMaxFlatRegions = 4;
+
+  struct FlatRegion {
+    uint64_t base = 0;
+    uint64_t size = 0;
+    uint8_t* data = nullptr;
+  };
+
+  // Inclusive end of [base, base+size), clamped when base+size wraps 2^64.
+  static uint64_t LastAddr(uint64_t base, uint64_t size) {
+    return size - 1 > ~0ull - base ? ~0ull : base + size - 1;
+  }
+
+  const FlatRegion* FlatRegionAt(uint64_t addr) const {
+    for (uint32_t i = 0; i < num_flat_; ++i) {
+      if (addr - flat_[i].base < flat_[i].size) {
+        return &flat_[i];
+      }
+    }
+    return nullptr;
+  }
+
+  // Host pointer for `addr` plus the contiguous bytes available behind it
+  // (to the end of the flat region or page); nullptr when unmapped.
+  uint8_t* BlockFor(uint64_t addr, uint64_t* avail) {
+    for (uint32_t i = 0; i < num_flat_; ++i) {
+      const uint64_t off = addr - flat_[i].base;
+      if (off < flat_[i].size) {
+        *avail = flat_[i].size - off;
+        return flat_[i].data + off;
+      }
+    }
+    uint8_t* page = PageFor(addr);
+    if (page == nullptr) {
+      return nullptr;
+    }
+    const uint64_t off = addr % kPageSize;
+    *avail = kPageSize - off;
+    return page + off;
+  }
+
   uint8_t* PageFor(uint64_t addr) {
     const uint64_t p = addr / kPageSize;
     if (p == last_page_num_ && last_page_ != nullptr) {
@@ -125,6 +230,8 @@ class Memory {
     return last_page_;
   }
 
+  FlatRegion flat_[kMaxFlatRegions];
+  uint32_t num_flat_ = 0;
   std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
   uint64_t last_page_num_ = ~0ull;
   uint8_t* last_page_ = nullptr;
@@ -140,19 +247,65 @@ class CacheModel {
   static constexpr uint32_t kWays = 4;
   static constexpr uint64_t kMissPenalty = 24;
 
-  // Returns extra cycles (0 on hit).
+  // Returns extra cycles (0 on hit). This is the reference implementation
+  // (full associative scan), used by the reference execution engine.
   uint64_t Access(uint64_t addr) {
+    last_line_ = ~0ull;  // keep AccessFast's memo conservative if mixed
     const uint64_t line = addr >> kLineBits;
     const uint32_t set = static_cast<uint32_t>(line) & (kSets - 1);
     const uint64_t tag = line / kSets;
     for (uint32_t w = 0; w < kWays; ++w) {
       if (valid_[set][w] && tags_[set][w] == tag) {
         lru_[set][w] = ++tick_;
+        mru_[set] = static_cast<uint8_t>(w);
         ++hits_;
         return 0;
       }
     }
-    // Miss: replace LRU way.
+    return Miss(set, tag);
+  }
+
+  // Behaviour-identical fast path for the fast engine (same hit/miss stream,
+  // counters, and every future victim choice — the differential tests hold
+  // the two accessors to the same observable state machine):
+  //  * same-line memo — the most recently touched line is always resident
+  //    and already the newest entry of its set, so a repeat touch is a
+  //    guaranteed hit; refreshing its LRU stamp is skippable because stamps
+  //    are only ever *compared* and it already holds its set's maximum;
+  //  * MRU way — a tag lives in at most one way (insertions only happen on
+  //    miss), so probing the way touched last answers most of the rest.
+  uint64_t AccessFast(uint64_t addr) {
+    const uint64_t line = addr >> kLineBits;
+    if (line == last_line_) {
+      ++hits_;
+      return 0;
+    }
+    last_line_ = line;
+    const uint32_t set = static_cast<uint32_t>(line) & (kSets - 1);
+    const uint64_t tag = line / kSets;
+    const uint32_t m = mru_[set];
+    if (valid_[set][m] && tags_[set][m] == tag) {
+      lru_[set][m] = ++tick_;
+      ++hits_;
+      return 0;
+    }
+    for (uint32_t w = 0; w < kWays; ++w) {
+      if (valid_[set][w] && tags_[set][w] == tag) {
+        lru_[set][w] = ++tick_;
+        mru_[set] = static_cast<uint8_t>(w);
+        ++hits_;
+        return 0;
+      }
+    }
+    return Miss(set, tag);
+  }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  // Replace the LRU way of `set` with `tag`.
+  uint64_t Miss(uint32_t set, uint64_t tag) {
     uint32_t victim = 0;
     for (uint32_t w = 1; w < kWays; ++w) {
       if (!valid_[set][w]) {
@@ -166,17 +319,16 @@ class CacheModel {
     valid_[set][victim] = true;
     tags_[set][victim] = tag;
     lru_[set][victim] = ++tick_;
+    mru_[set] = static_cast<uint8_t>(victim);
     ++misses_;
     return kMissPenalty;
   }
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-
- private:
   uint64_t tags_[kSets][kWays] = {};
   uint64_t lru_[kSets][kWays] = {};
   bool valid_[kSets][kWays] = {};
+  uint8_t mru_[kSets] = {};
+  uint64_t last_line_ = ~0ull;
   uint64_t tick_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

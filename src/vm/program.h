@@ -5,12 +5,15 @@
 #define CONFLLVM_SRC_VM_PROGRAM_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "src/isa/binary.h"
 
 namespace confllvm {
+
+struct ExecImage;
 
 // Concrete addresses of every mapped area (paper Figure 3).
 struct RegionMap {
@@ -63,6 +66,15 @@ struct LoadedProgram {
   // Loader configuration mirrored for the VM / trusted runtime.
   bool separate_t_memory = true;  // false: Our1Mem (no stack/gs switch)
   bool unified_bounds = false;    // OurMPX-Sep: both bnds cover all of U
+
+  // Fast-engine execution image, built lazily (under a lock) by the first
+  // Vm that selects VmEngine::kFast on THIS LoadedProgram instance and
+  // shared by later Vms of the same instance. It is a pure function of the
+  // fields above, so copies inherit it when present — but artifact-cache
+  // restores copy from a master that never ran, so each restored program
+  // builds its own image on first fast-engine use. Mutating binary.code or
+  // decoded after an image exists requires resetting this pointer.
+  std::shared_ptr<const ExecImage> exec_image;
 
   uint64_t EntryWordOf(const std::string& name) const {
     const int i = binary.FunctionIndex(name);

@@ -4,22 +4,25 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <mutex>
 
 #include "src/isa/layout.h"
 #include "src/support/strings.h"
+#include "src/vm/exec_image.h"
 
 namespace confllvm {
 
 namespace {
 constexpr uint64_t kClobber = 0xDEADDEADDEADDEADull;
-
-// Segment-prefixed pointer accesses pay one extra cycle for the 32-bit
-// sub-register addressing constraint (paper §3); rsp-based frame accesses
-// need no extra work (rsp is already in-segment by chkstk).
-uint64_t SegAccessCost(const MemOperand& m) {
-  return (m.seg != Seg::kNone && m.base != kRegSp) ? 3 : 2;
-}
 }  // namespace
+
+const char* EngineName(VmEngine e) {
+  switch (e) {
+    case VmEngine::kRef: return "ref";
+    case VmEngine::kFast: return "fast";
+  }
+  return "?";
+}
 
 const char* FaultName(VmFault f) {
   switch (f) {
@@ -40,14 +43,36 @@ const char* FaultName(VmFault f) {
 Vm::Vm(LoadedProgram* prog, TrustedCallout* trusted, VmOptions opts)
     : prog_(prog), trusted_(trusted), opts_(opts) {
   // Materialize the loader's region map: map usable areas (guards stay
-  // unmapped) and write global initializers.
+  // unmapped) and write global initializers. Under the fast engine the
+  // regions — fixed for the Vm's lifetime — get contiguous flat backing, so
+  // every in-region access translates in O(1) and guard zones fall out as
+  // range misses; the reference engine keeps the seed's demand-paged
+  // backing. Either way a single Memory holds the data, so the generic
+  // accessors (trusted natives, tests) always see the same bytes.
   const RegionMap& m = prog_->map;
-  mem_.Map(m.pub_base, m.pub_size);
+  const bool flat = opts_.engine == VmEngine::kFast;
+  const auto map_region = [&](uint64_t base, uint64_t size) {
+    if (flat) {
+      mem_.MapFlat(base, size);
+    } else {
+      mem_.Map(base, size);
+    }
+  };
+  map_region(m.pub_base, m.pub_size);
   if (m.prv_size != 0 && m.prv_base != m.pub_base) {
-    mem_.Map(m.prv_base, m.prv_size);
+    map_region(m.prv_base, m.prv_size);
   }
   if (m.t_size != 0) {
-    mem_.Map(m.t_base, m.t_size);
+    map_region(m.t_base, m.t_size);
+  }
+  if (opts_.engine == VmEngine::kFast) {
+    // Guarded: Vms may be constructed concurrently on one shared program.
+    static std::mutex image_mu;
+    std::lock_guard<std::mutex> lock(image_mu);
+    if (prog_->exec_image == nullptr) {
+      prog_->exec_image = BuildExecImage(*prog_);
+    }
+    image_ = prog_->exec_image.get();
   }
   for (size_t g = 0; g < prog_->binary.globals.size(); ++g) {
     const BinGlobal& bg = prog_->binary.globals[g];
@@ -142,25 +167,39 @@ Vm::CallResult Vm::Finish(const ThreadCtx& t) const {
   r.ok = t.halted && t.fault == VmFault::kNone;
   r.fault = t.fault;
   r.fault_msg = t.fault_msg;
+  r.fault_pc = t.fault_pc;
   r.ret = t.regs[kRegRet];
   r.cycles = t.cycles;
   r.instrs = t.instrs;
   return r;
 }
 
+void Vm::RunSlice(ThreadCtx* t, uint64_t budget) {
+  if (opts_.engine == VmEngine::kFast) {
+    RunSliceFast(t, budget);
+  } else {
+    RunSliceRef(t, budget);
+  }
+}
+
+void Vm::RunSliceRef(ThreadCtx* t, uint64_t budget) {
+  const uint64_t start = t->cycles;
+  while (!t->halted && t->fault == VmFault::kNone && t->cycles - start < budget) {
+    // `>=` so max_instrs is exact: instruction max_instrs+1 never runs.
+    if (t->instrs >= opts_.max_instrs) {
+      Fault(t, VmFault::kInstrLimit, "instruction limit exceeded");
+      break;
+    }
+    Step(t);
+  }
+}
+
 Vm::CallResult Vm::Call(const std::string& fn, const std::vector<uint64_t>& args) {
   ThreadCtx t;
   bool ok = false;
   SetupThread(&t, 0, fn, args, &ok);
-  if (!ok) {
-    return Finish(t);
-  }
-  while (!t.halted && t.fault == VmFault::kNone) {
-    if (t.instrs > opts_.max_instrs) {
-      Fault(&t, VmFault::kInstrLimit, "instruction limit exceeded");
-      break;
-    }
-    Step(&t);
+  if (ok) {
+    RunSlice(&t, kNoBudget);
   }
   return Finish(t);
 }
@@ -191,13 +230,7 @@ Vm::ParallelResult Vm::RunParallel(const std::vector<ThreadSpec>& specs) {
       }
       ++in_wave;
       const uint64_t start = t.cycles;
-      while (runnable(t) && t.cycles - start < opts_.quantum) {
-        if (t.instrs > opts_.max_instrs) {
-          Fault(&t, VmFault::kInstrLimit, "instruction limit exceeded");
-          break;
-        }
-        Step(&t);
-      }
+      RunSlice(&t, opts_.quantum);
       wave_wall = std::max(wave_wall, t.cycles - start);
       any = true;
     }

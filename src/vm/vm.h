@@ -76,10 +76,23 @@ struct VmStats {
   uint64_t cache_miss_cycles = 0;
 };
 
+// Which interpreter runs vISA. Both are bit-identical in observable
+// behaviour (CallResult, VmStats, fault kind/pc/message, memory effects,
+// cycle counts); kFast trades a one-time ExecImage build per LoadedProgram
+// for a several-times-faster hot loop (see ARCHITECTURE.md "Execution
+// engine"). tests/vm_engine_test.cc enforces the equivalence.
+enum class VmEngine : uint8_t {
+  kRef,   // the original per-step decoder switch — the semantic reference
+  kFast,  // token-threaded dispatch over a pre-flattened ExecImage
+};
+
+const char* EngineName(VmEngine e);
+
 struct VmOptions {
   uint32_t num_cores = 4;
   uint64_t quantum = 20000;          // cycles per scheduling slice
-  uint64_t max_instrs = 4000000000;  // per Call safety limit
+  uint64_t max_instrs = 4000000000;  // per Call limit, enforced exactly
+  VmEngine engine = VmEngine::kFast;
 };
 
 class Vm;
@@ -99,6 +112,7 @@ class Vm {
     bool ok = false;
     VmFault fault = VmFault::kNone;
     std::string fault_msg;
+    uint64_t fault_pc = 0;  // code word index of the faulting instruction
     uint64_t ret = 0;
     uint64_t cycles = 0;
     uint64_t instrs = 0;
@@ -139,6 +153,20 @@ class Vm {
   }
 
  private:
+  static constexpr uint64_t kNoBudget = ~0ull;
+
+  // Runs `t` until it halts/faults, `budget` cycles elapse, or max_instrs
+  // trips — dispatching to the engine selected in VmOptions. Both engines
+  // stop at exactly the same instruction for any budget, which is what keeps
+  // RunParallel's wave accounting identical across engines.
+  void RunSlice(ThreadCtx* t, uint64_t budget);
+  void RunSliceRef(ThreadCtx* t, uint64_t budget);
+  void RunSliceFast(ThreadCtx* t, uint64_t budget);  // vm_fast.cc
+  // kBounded=false compiles the budget check out of the dispatch loop for
+  // unbounded Vm::Call runs; the bounded variant serves RunParallel quanta.
+  template <bool kBounded>
+  void RunSliceFastImpl(ThreadCtx* t, uint64_t budget);
+
   bool Step(ThreadCtx* t);  // false when halted or faulted
   void Fault(ThreadCtx* t, VmFault f, const std::string& msg);
   uint64_t Ea(const ThreadCtx& t, const MemOperand& m) const;
@@ -154,6 +182,7 @@ class Vm {
   Memory mem_;
   CacheModel cache_;
   VmStats stats_;
+  const ExecImage* image_ = nullptr;  // set iff engine == kFast
 };
 
 }  // namespace confllvm

@@ -1,0 +1,522 @@
+// Engine-differential tests: the fast execution engine (token-threaded
+// dispatch over an ExecImage, flat region memory) must be bit-identical in
+// observable behaviour to the reference stepper — CallResult (return value,
+// fault kind/pc/message), VmStats (every counter), cache-model hit/miss
+// streams, trusted-library side effects — for every workload under all
+// eight presets, on success AND on every fault path. Plus unit tests for
+// the satellite fixes that ride along: exact max_instrs enforcement,
+// Memory::Map end-address overflow, and the O(1) function-name index.
+#include <gtest/gtest.h>
+
+#include "bench/workloads.h"
+#include "src/driver/artifact_cache.h"
+#include "src/driver/confcc.h"
+#include "src/isa/layout.h"
+#include "src/runtime/loader.h"
+#include "src/vm/exec_image.h"
+
+namespace confllvm {
+namespace {
+
+using workloads::kNumSpecKernels;
+using workloads::kSpecKernels;
+
+VmOptions EngineOpts(VmEngine e) {
+  VmOptions o;
+  o.engine = e;
+  return o;
+}
+
+void ExpectSameResult(const Vm::CallResult& ref, const Vm::CallResult& fast) {
+  EXPECT_EQ(ref.ok, fast.ok);
+  EXPECT_EQ(ref.fault, fast.fault)
+      << FaultName(ref.fault) << " vs " << FaultName(fast.fault);
+  EXPECT_EQ(ref.fault_msg, fast.fault_msg);
+  EXPECT_EQ(ref.fault_pc, fast.fault_pc);
+  EXPECT_EQ(ref.ret, fast.ret);
+  EXPECT_EQ(ref.cycles, fast.cycles);
+  EXPECT_EQ(ref.instrs, fast.instrs);
+}
+
+void ExpectSameStats(Vm& ref, Vm& fast) {
+  const VmStats& a = ref.stats();
+  const VmStats& b = fast.stats();
+  EXPECT_EQ(a.instrs, b.instrs);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.check_instrs, b.check_instrs);
+  EXPECT_EQ(a.check_cycles, b.check_cycles);
+  EXPECT_EQ(a.cfi_instrs, b.cfi_instrs);
+  EXPECT_EQ(a.trusted_cycles, b.trusted_cycles);
+  EXPECT_EQ(a.trusted_calls, b.trusted_calls);
+  EXPECT_EQ(a.loads, b.loads);
+  EXPECT_EQ(a.stores, b.stores);
+  EXPECT_EQ(a.cache_miss_cycles, b.cache_miss_cycles);
+  EXPECT_EQ(ref.cache().hits(), fast.cache().hits());
+  EXPECT_EQ(ref.cache().misses(), fast.cache().misses());
+}
+
+// Compiles `src` once per engine (through a shared cache so the binaries are
+// byte-identical) and returns the two sessions.
+struct EnginePair {
+  std::unique_ptr<Session> ref;
+  std::unique_ptr<Session> fast;
+};
+
+EnginePair MakePair(const std::string& src, BuildPreset preset,
+                    ArtifactCache* cache = nullptr) {
+  EnginePair p;
+  DiagEngine d1;
+  DiagEngine d2;
+  const BuildConfig config = BuildConfig::For(preset);
+  p.ref = MakeSessionFor(Compile(src, config, &d1, nullptr, cache),
+                         EngineOpts(VmEngine::kRef));
+  p.fast = MakeSessionFor(Compile(src, config, &d2, nullptr, cache),
+                          EngineOpts(VmEngine::kFast));
+  EXPECT_NE(p.ref, nullptr) << d1.ToString();
+  EXPECT_NE(p.fast, nullptr) << d2.ToString();
+  return p;
+}
+
+// Runs the same call on both engines and checks full observational equality.
+void DiffCall(EnginePair* p, const std::string& fn,
+              const std::vector<uint64_t>& args) {
+  const auto ref = p->ref->vm->Call(fn, args);
+  const auto fast = p->fast->vm->Call(fn, args);
+  ExpectSameResult(ref, fast);
+  ExpectSameStats(*p->ref->vm, *p->fast->vm);
+}
+
+// ---- the tentpole guarantee: every workload × every preset ----
+
+class SpecKernelDiff : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(All, SpecKernelDiff,
+                         ::testing::Range(0, kNumSpecKernels),
+                         [](const auto& info) {
+                           return kSpecKernels[info.param].name;
+                         });
+
+TEST_P(SpecKernelDiff, IdenticalUnderAllPresets) {
+  const auto& kernel = kSpecKernels[GetParam()];
+  ArtifactCache cache;  // share the front end across the 16 compiles
+  for (BuildPreset preset : kAllBuildPresets) {
+    SCOPED_TRACE(PresetName(preset));
+    auto p = MakePair(kernel.source, preset, &cache);
+    ASSERT_NE(p.ref, nullptr);
+    ASSERT_NE(p.fast, nullptr);
+    DiffCall(&p, "main", {});
+  }
+}
+
+struct AppCase {
+  const char* name;
+};
+
+class AppDiff : public ::testing::TestWithParam<AppCase> {};
+INSTANTIATE_TEST_SUITE_P(All, AppDiff,
+                         ::testing::Values(AppCase{"nginx"}, AppCase{"ldap"},
+                                           AppCase{"privado"},
+                                           AppCase{"merkle"}),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST_P(AppDiff, IdenticalUnderAllPresets) {
+  const std::string name = GetParam().name;
+  const char* src = name == "nginx"     ? workloads::kNginx
+                    : name == "ldap"    ? workloads::kLdap
+                    : name == "privado" ? workloads::kPrivado
+                                        : workloads::kMerkle;
+  ArtifactCache cache;
+  for (BuildPreset preset : kAllBuildPresets) {
+    SCOPED_TRACE(PresetName(preset));
+    auto p = MakePair(src, preset, &cache);
+    ASSERT_NE(p.ref, nullptr);
+    ASSERT_NE(p.fast, nullptr);
+    if (name == "nginx") {
+      for (Session* s : {p.ref.get(), p.fast.get()}) {
+        s->tlib->AddFile("index.html", std::string(1024, 'x'));
+        for (int i = 0; i < 4; ++i) {
+          s->tlib->PushRx(0, "GET index.html\n");
+        }
+      }
+    }
+    DiffCall(&p, "main", {});
+    // Trusted-library side effects must agree too.
+    EXPECT_EQ(p.ref->tlib->SentBytes(0), p.fast->tlib->SentBytes(0));
+    EXPECT_EQ(p.ref->tlib->log(), p.fast->tlib->log());
+    EXPECT_EQ(p.ref->tlib->declassified(), p.fast->tlib->declassified());
+  }
+}
+
+TEST(EngineDiff, MultiCallSequencePreservesCacheModelState) {
+  // Back-to-back calls on one Vm: the D-cache model carries state across
+  // calls, so the second call's cycle count depends on the first — both
+  // engines must agree call by call.
+  auto p = MakePair(workloads::kMerkle, BuildPreset::kOurMpx);
+  ASSERT_NE(p.ref, nullptr);
+  ASSERT_NE(p.fast, nullptr);
+  DiffCall(&p, "merkle_build", {64});
+  DiffCall(&p, "merkle_read_all", {0, 64});
+  DiffCall(&p, "merkle_read_all", {0, 64});
+}
+
+TEST(EngineDiff, RunParallelWaveAccountingIdentical) {
+  const char* src = R"(
+    int spin(int n) {
+      int s = 0;
+      for (int i = 0; i < n; i = i + 1) { s = s + i * i; }
+      return s;
+    })";
+  for (BuildPreset preset : {BuildPreset::kBase, BuildPreset::kOurMpx}) {
+    SCOPED_TRACE(PresetName(preset));
+    VmOptions base;
+    base.num_cores = 2;
+    base.quantum = 500;  // tiny slices: many waves, mid-block preemptions
+    DiagEngine d1, d2;
+    VmOptions ro = base;
+    ro.engine = VmEngine::kRef;
+    VmOptions fo = base;
+    fo.engine = VmEngine::kFast;
+    auto ref = MakeSession(src, preset, &d1, ro);
+    auto fast = MakeSession(src, preset, &d2, fo);
+    ASSERT_NE(ref, nullptr) << d1.ToString();
+    ASSERT_NE(fast, nullptr) << d2.ToString();
+    std::vector<Vm::ThreadSpec> specs;
+    for (uint64_t n : {1000u, 3000u, 500u, 2000u, 1500u}) {
+      specs.push_back({"spin", {n}});
+    }
+    const auto r = ref->vm->RunParallel(specs);
+    const auto f = fast->vm->RunParallel(specs);
+    EXPECT_EQ(r.ok, f.ok);
+    EXPECT_EQ(r.wall_cycles, f.wall_cycles);
+    ASSERT_EQ(r.per_thread.size(), f.per_thread.size());
+    for (size_t i = 0; i < r.per_thread.size(); ++i) {
+      SCOPED_TRACE(i);
+      ExpectSameResult(r.per_thread[i], f.per_thread[i]);
+    }
+    ExpectSameStats(*ref->vm, *fast->vm);
+  }
+}
+
+// ---- fault paths: identical VmFault, fault_pc, and message ----
+
+struct FaultCase {
+  const char* name;
+  const char* src;
+  const char* entry;
+  std::vector<uint64_t> args;
+  BuildPreset preset;
+  VmFault want;
+};
+
+const char* kWildStore = R"(
+    int poke(int x) {
+      char *p = (char*)x;
+      p[0] = 1;
+      return 0;
+    })";
+
+const char* kHijack = R"(
+    int gadget(int x) { return x * 3; }
+    int dispatch(int target) {
+      int (*f)(int) = (int (*)(int))target;
+      return f(7);
+    })";
+
+class FaultDiff : public ::testing::TestWithParam<FaultCase> {};
+INSTANTIATE_TEST_SUITE_P(
+    All, FaultDiff,
+    ::testing::Values(
+        FaultCase{"div_zero", "int f(int x) { return 10 / x; }", "f", {0},
+                  BuildPreset::kOurMpx, VmFault::kDivZero},
+        FaultCase{"rem_zero", "int f(int x) { return 10 % x; }", "f", {0},
+                  BuildPreset::kOurSeg, VmFault::kDivZero},
+        FaultCase{"bnd_violation_mpx", kWildStore, "poke", {8},
+                  BuildPreset::kOurMpx, VmFault::kBndViolation},
+        FaultCase{"unmapped_base", kWildStore, "poke", {8}, BuildPreset::kBase,
+                  VmFault::kUnmapped},
+        // 200 MiB is past OurSeg's carved working set but inside the 4 GiB
+        // segment: the classic in-segment guard-space fault.
+        FaultCase{"unmapped_seg_guard", kWildStore, "poke", {200 * 1024 * 1024},
+                  BuildPreset::kOurSeg, VmFault::kUnmapped},
+        FaultCase{"trusted_check",
+                  R"(private void *prv_malloc(int n);
+                     int send(int fd, char *buf, int n);
+                     int leak() {
+                       private char *p = (private char*)prv_malloc(32);
+                       send(0, (char*)(int)p, 32);
+                       return 0;
+                     })",
+                  "leak", {}, BuildPreset::kOurMpx, VmFault::kTrustedCheck},
+        FaultCase{"chkstk_runaway_recursion",
+                  "int f(int n) { return f(n) + 1; }", "f", {1},
+                  BuildPreset::kOurMpx, VmFault::kChkstk}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST_P(FaultDiff, IdenticalFaultOnBothEngines) {
+  const FaultCase& c = GetParam();
+  auto p = MakePair(c.src, c.preset);
+  ASSERT_NE(p.ref, nullptr);
+  ASSERT_NE(p.fast, nullptr);
+  const auto ref = p.ref->vm->Call(c.entry, c.args);
+  const auto fast = p.fast->vm->Call(c.entry, c.args);
+  EXPECT_FALSE(ref.ok);
+  EXPECT_EQ(ref.fault, c.want) << FaultName(ref.fault) << ": " << ref.fault_msg;
+  ExpectSameResult(ref, fast);
+  ExpectSameStats(*p.ref->vm, *p.fast->vm);
+}
+
+TEST(FaultDiffExtra, CfiTrapOnMidFunctionIndirectCall) {
+  auto p = MakePair(kHijack, BuildPreset::kOurMpx);
+  ASSERT_NE(p.ref, nullptr);
+  ASSERT_NE(p.fast, nullptr);
+  const uint64_t mid = CodeAddr(p.ref->compiled->prog->EntryWordOf("gadget") + 3);
+  ASSERT_EQ(mid, CodeAddr(p.fast->compiled->prog->EntryWordOf("gadget") + 3));
+  const auto ref = p.ref->vm->Call("dispatch", {mid});
+  const auto fast = p.fast->vm->Call("dispatch", {mid});
+  EXPECT_EQ(ref.fault, VmFault::kCfiTrap) << ref.fault_msg;
+  ExpectSameResult(ref, fast);
+  ExpectSameStats(*p.ref->vm, *p.fast->vm);
+}
+
+TEST(FaultDiffExtra, BadJumpOnIndirectCallOutsideCode) {
+  // Base has no CFI: the icall itself must reject the non-code target.
+  auto p = MakePair(kHijack, BuildPreset::kBase);
+  ASSERT_NE(p.ref, nullptr);
+  ASSERT_NE(p.fast, nullptr);
+  const uint64_t heap = p.ref->compiled->prog->map.pub_heap + 64;
+  const auto ref = p.ref->vm->Call("dispatch", {heap});
+  const auto fast = p.fast->vm->Call("dispatch", {heap});
+  EXPECT_EQ(ref.fault, VmFault::kBadJump) << ref.fault_msg;
+  ExpectSameResult(ref, fast);
+}
+
+TEST(FaultDiffExtra, ExecDataOnIndirectCallIntoDataWord) {
+  // Under Base the icall only checks the code range, so aiming it at a
+  // movimm64 payload word executes a data word.
+  const char* src = R"(
+    int gadget(int x) { return x + 1000000000000; }
+    int dispatch(int target) {
+      int (*f)(int) = (int (*)(int))target;
+      return f(7);
+    })";
+  auto p = MakePair(src, BuildPreset::kBase);
+  ASSERT_NE(p.ref, nullptr);
+  ASSERT_NE(p.fast, nullptr);
+  const auto& decoded = p.ref->compiled->prog->decoded;
+  uint64_t data_word = 0;
+  for (size_t i = 0; i < decoded.size(); ++i) {
+    if (!decoded[i].instr.has_value()) {
+      data_word = i;
+      break;
+    }
+  }
+  ASSERT_NE(data_word, 0u) << "expected a movimm64 payload word";
+  const auto ref = p.ref->vm->Call("dispatch", {CodeAddr(data_word)});
+  const auto fast = p.fast->vm->Call("dispatch", {CodeAddr(data_word)});
+  EXPECT_EQ(ref.fault, VmFault::kExecData) << ref.fault_msg;
+  ExpectSameResult(ref, fast);
+  ExpectSameStats(*p.ref->vm, *p.fast->vm);
+}
+
+TEST(FaultDiffExtra, BadJumpOnSmashedReturnAddress) {
+  // Overwrite the saved return address with a non-code value under Base:
+  // the plain ret must fault with bad-jump, identically on both engines.
+  const char* src = R"(
+    int smash(int off, int fake) {
+      char buf[8];
+      int *ra = (int*)(buf + off);
+      *ra = fake;
+      return 1;
+    })";
+  auto p = MakePair(src, BuildPreset::kBase);
+  ASSERT_NE(p.ref, nullptr);
+  ASSERT_NE(p.fast, nullptr);
+  bool faulted = false;
+  for (uint64_t off = 8; off <= 48; off += 8) {
+    SCOPED_TRACE(off);
+    const auto ref = p.ref->vm->Call("smash", {off, 0x1234});
+    const auto fast = p.fast->vm->Call("smash", {off, 0x1234});
+    ExpectSameResult(ref, fast);
+    faulted = faulted || ref.fault == VmFault::kBadJump;
+  }
+  EXPECT_TRUE(faulted) << "no offset reached the saved return address";
+  ExpectSameStats(*p.ref->vm, *p.fast->vm);
+}
+
+TEST(FaultDiffExtra, BadJumpOnJmpReg) {
+  // jmpreg only appears inside compiler-emitted CFI return sequences, so a
+  // hostile target needs a hand-assembled binary: f loads a bad address and
+  // jumpregs to it.
+  for (const uint64_t bad :
+       {uint64_t{0x1234}, kCodeBase + 7, kCodeBase + 8 * 1000000}) {
+    SCOPED_TRACE(bad);
+    Vm::CallResult results[2];
+    VmStats stats[2];
+    int i = 0;
+    for (VmEngine e : {VmEngine::kRef, VmEngine::kFast}) {
+      Binary bin;
+      MInstr mov{};
+      mov.op = Op::kMovImm64;
+      mov.rd = 1;
+      mov.imm64 = static_cast<int64_t>(bad);
+      Encode(mov, &bin.code);
+      MInstr jr{};
+      jr.op = Op::kJmpReg;
+      jr.rs1 = 1;
+      Encode(jr, &bin.code);
+      bin.functions.push_back({"f", 0, 0, 0});
+      DiagEngine diags;
+      auto prog = LoadBinary(std::move(bin), LoadOptions{}, &diags);
+      ASSERT_NE(prog, nullptr) << diags.ToString();
+      TrustedLib tlib;
+      Vm vm(prog.get(), &tlib, EngineOpts(e));
+      results[i] = vm.Call("f", {});
+      stats[i] = vm.stats();
+      ++i;
+    }
+    EXPECT_EQ(results[0].fault, VmFault::kBadJump)
+        << results[0].fault_msg;
+    ExpectSameResult(results[0], results[1]);
+    EXPECT_EQ(stats[0].instrs, stats[1].instrs);
+    EXPECT_EQ(stats[0].cycles, stats[1].cycles);
+  }
+}
+
+// ---- satellite: exact max_instrs enforcement ----
+
+TEST(MaxInstrs, EnforcedExactlyOnBothEngines) {
+  const char* spin = "int f() { int i = 0; while (i >= 0) { i = i + 1; } return i; }";
+  for (VmEngine e : {VmEngine::kRef, VmEngine::kFast}) {
+    SCOPED_TRACE(EngineName(e));
+    VmOptions o = EngineOpts(e);
+    o.max_instrs = 777;
+    DiagEngine d;
+    auto s = MakeSession(spin, BuildPreset::kOurMpx, &d, o);
+    ASSERT_NE(s, nullptr) << d.ToString();
+    const auto r = s->vm->Call("f", {});
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.fault, VmFault::kInstrLimit);
+    // Exactly max_instrs instructions ran — not one more.
+    EXPECT_EQ(r.instrs, 777u);
+  }
+}
+
+TEST(MaxInstrs, LimitEqualToProgramLengthIsNotAFault) {
+  const char* src = "int f() { return 41; }";
+  DiagEngine d;
+  auto probe = MakeSession(src, BuildPreset::kBase, &d);
+  ASSERT_NE(probe, nullptr) << d.ToString();
+  const auto full = probe->vm->Call("f", {});
+  ASSERT_TRUE(full.ok);
+  for (VmEngine e : {VmEngine::kRef, VmEngine::kFast}) {
+    SCOPED_TRACE(EngineName(e));
+    VmOptions exact = EngineOpts(e);
+    exact.max_instrs = full.instrs;
+    DiagEngine d2;
+    auto s = MakeSession(src, BuildPreset::kBase, &d2, exact);
+    ASSERT_NE(s, nullptr);
+    EXPECT_TRUE(s->vm->Call("f", {}).ok);
+
+    VmOptions short_by_one = EngineOpts(e);
+    short_by_one.max_instrs = full.instrs - 1;
+    DiagEngine d3;
+    auto s2 = MakeSession(src, BuildPreset::kBase, &d3, short_by_one);
+    ASSERT_NE(s2, nullptr);
+    const auto r = s2->vm->Call("f", {});
+    EXPECT_EQ(r.fault, VmFault::kInstrLimit);
+    EXPECT_EQ(r.instrs, full.instrs - 1);
+  }
+}
+
+// ---- satellite: Memory::Map / IsMapped edge cases ----
+
+TEST(MemoryMap, ZeroSizeMapsNothing) {
+  Memory m;
+  m.Map(0x10000, 0);
+  EXPECT_FALSE(m.IsMapped(0x10000, 1));
+  uint64_t v = 0;
+  EXPECT_FALSE(m.Read(0x10000, 8, &v));
+  EXPECT_TRUE(m.IsMapped(0x10000, 0));  // vacuously: nothing to check
+}
+
+TEST(MemoryMap, EndAddressOverflowClampsToTop) {
+  Memory m;
+  const uint64_t base = ~0ull - 3 * Memory::kPageSize + 1;
+  // base + size wraps past 2^64; the map must clamp, not wrap to a tiny
+  // (or empty) page range.
+  m.Map(base, 8 * Memory::kPageSize);
+  EXPECT_TRUE(m.IsMapped(base, 3 * Memory::kPageSize));
+  EXPECT_TRUE(m.IsMapped(~0ull - 8, 8));
+  uint64_t v = 0;
+  EXPECT_TRUE(m.Write(base, 8, 0x1122334455667788ull));
+  EXPECT_TRUE(m.Read(base, 8, &v));
+  EXPECT_EQ(v, 0x1122334455667788ull);
+  EXPECT_FALSE(m.IsMapped(base - Memory::kPageSize, 8));
+}
+
+TEST(MemoryMap, FlatRegionsBackRangesAndFaultOutside) {
+  Memory m;
+  m.MapFlat(0x40000000, 0x10000);
+  EXPECT_TRUE(m.IsMapped(0x40000000, 0x10000));
+  EXPECT_FALSE(m.IsMapped(0x40000000 + 0x10000, 1));
+  uint64_t v = ~0ull;
+  EXPECT_TRUE(m.Read(0x40000000, 8, &v));
+  EXPECT_EQ(v, 0u);  // zero-filled
+  EXPECT_TRUE(m.Write(0x4000fff8, 8, 42));
+  ASSERT_NE(m.FlatPtr(0x4000fff8, 8), nullptr);
+  EXPECT_EQ(m.FlatPtr(0x4000fff9, 8), nullptr);  // crosses the region end
+  // An 8-byte access straddling the region end fails like a guard hit.
+  EXPECT_FALSE(m.Read(0x4000fffc, 8, &v));
+  // Paged and flat mappings coexist.
+  m.Map(0x80000000, 0x1000);
+  EXPECT_TRUE(m.Write(0x80000000, 8, 7));
+  EXPECT_TRUE(m.Read(0x80000000, 8, &v));
+  EXPECT_EQ(v, 7u);
+}
+
+// ---- satellite: function-name index ----
+
+TEST(FunctionIndex, FindsAllAndTracksAppends) {
+  Binary bin;
+  for (int i = 0; i < 100; ++i) {
+    bin.functions.push_back({"fn" + std::to_string(i),
+                             static_cast<uint32_t>(i), 0, 0});
+  }
+  EXPECT_EQ(bin.FunctionIndex("fn0"), 0);
+  EXPECT_EQ(bin.FunctionIndex("fn99"), 99);
+  EXPECT_EQ(bin.FunctionIndex("nope"), -1);
+  // Appending after a lookup must invalidate the lazily built index.
+  bin.functions.push_back({"late", 100, 0, 0});
+  EXPECT_EQ(bin.FunctionIndex("late"), 100);
+  // Duplicate names resolve to the first definition, like the old scan.
+  bin.functions.push_back({"fn0", 101, 0, 0});
+  EXPECT_EQ(bin.FunctionIndex("fn0"), 0);
+}
+
+// ---- ExecImage construction ----
+
+TEST(ExecImage, SharedAcrossVmsOfOneProgram) {
+  DiagEngine d;
+  auto s = MakeSession("int main() { return 7; }", BuildPreset::kOurMpx, &d);
+  ASSERT_NE(s, nullptr);
+  ASSERT_NE(s->compiled->prog->exec_image, nullptr);
+  const ExecImage* img = s->compiled->prog->exec_image.get();
+  EXPECT_EQ(img->recs.size(), s->compiled->prog->decoded.size());
+  TrustedLib tlib2;
+  Vm second(s->compiled->prog.get(), &tlib2, EngineOpts(VmEngine::kFast));
+  EXPECT_EQ(s->compiled->prog->exec_image.get(), img);  // no rebuild
+}
+
+TEST(ExecImage, RefEngineDoesNotBuildOne)
+{
+  DiagEngine d;
+  auto s = MakeSession("int main() { return 7; }", BuildPreset::kOurMpx, &d,
+                       EngineOpts(VmEngine::kRef));
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->compiled->prog->exec_image, nullptr);
+  EXPECT_EQ(s->vm->Call("main", {}).ret, 7u);
+}
+
+}  // namespace
+}  // namespace confllvm

@@ -5,10 +5,13 @@
 //   confcc [--preset=OurMPX|all] [--entry=main] [--args=1,2,3] [--verify]
 //          [--disasm] [--stats] [--time-passes] [--jobs=N] [--all-private]
 //          [--incremental] [--cache-stats] [--cache-bytes=N]
-//          file.mc
+//          [--engine=ref|fast] file.mc
 //
 // --preset=all batch-compiles every §7.1/§7.2 configuration concurrently
 // (--jobs workers) through CompileBatch and reports one line per preset.
+// --engine selects the VM interpreter: the reference stepper or the
+// token-threaded fast engine (default; observable behaviour is identical —
+// see ARCHITECTURE.md "Execution engine").
 // --incremental routes compilation through the artifact cache, sharing the
 // Parse/Sema/IrGen prefix across the sweep; --cache-stats appends the cache
 // counters (hits, misses, bytes retained, prefix shares) to the
@@ -43,7 +46,7 @@ int Usage() {
           "usage: confcc [--preset=P|all] [--entry=F] [--args=a,b,...] [--verify]\n"
           "              [--disasm] [--stats] [--time-passes] [--jobs=N]\n"
           "              [--all-private] [--incremental] [--cache-stats]\n"
-          "              [--cache-bytes=N] file.mc\n"
+          "              [--cache-bytes=N] [--engine=ref|fast] file.mc\n"
           "presets: Base BaseOA Our1Mem OurBare OurCFI OurMPX OurMPX-Sep OurSeg\n");
   return 2;
 }
@@ -62,6 +65,7 @@ struct Options {
   bool incremental = false;   // compile through the artifact cache
   bool cache_stats = false;   // print the cache counters row (implies cache)
   size_t cache_bytes = 0;     // artifact-cache byte cap, 0 = unbounded
+  VmEngine engine = VmOptions{}.engine;  // --engine=ref|fast
   std::string file;
 
   // A byte cap only makes sense with a cache, so --cache-bytes implies one.
@@ -82,7 +86,9 @@ BuildConfig ConfigFor(BuildPreset preset, const Options& opt) {
 bool RunProgram(std::unique_ptr<CompiledProgram> compiled, const Options& opt,
                 uint64_t* cycles_out, uint64_t* ret_out = nullptr,
                 bool quiet = false) {
-  auto s = MakeSessionFor(std::move(compiled));
+  VmOptions vm_opts;
+  vm_opts.engine = opt.engine;
+  auto s = MakeSessionFor(std::move(compiled), vm_opts);
   auto r = s->vm->Call(opt.entry, opt.args);
   if (!r.ok) {
     fprintf(stderr, "confcc: %s faulted: %s (%s)\n", opt.entry.c_str(),
@@ -206,6 +212,16 @@ int main(int argc, char** argv) {
       opt.jobs = static_cast<unsigned>(strtoul(a.substr(7).c_str(), nullptr, 0));
     } else if (a.rfind("--cache-bytes=", 0) == 0) {
       opt.cache_bytes = strtoull(a.substr(14).c_str(), nullptr, 0);
+    } else if (a.rfind("--engine=", 0) == 0) {
+      const std::string name = a.substr(9);
+      if (name == "ref") {
+        opt.engine = VmEngine::kRef;
+      } else if (name == "fast") {
+        opt.engine = VmEngine::kFast;
+      } else {
+        fprintf(stderr, "unknown engine '%s'\n", name.c_str());
+        return Usage();
+      }
     } else if (a == "--incremental") {
       opt.incremental = true;
     } else if (a == "--cache-stats") {

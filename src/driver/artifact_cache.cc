@@ -2,11 +2,48 @@
 
 #include <algorithm>
 
+#include "src/driver/disk_cache.h"
 #include "src/support/strings.h"
 
 namespace confllvm {
 
 namespace {
+
+// The disk tier is best-effort by contract, and two of its three call sites
+// are delicate: Acquire holds an in-flight producer registration across the
+// disk read (an escaping exception would strand every waiter on that key
+// forever — the caller's ProducerGuard is only installed after Acquire
+// returns), and Put runs after the memory publish (an escaping exception
+// would crash a compile that already succeeded). The tier catches its own
+// failure modes internally; these wrappers are the belt-and-braces layer
+// that turns anything it missed (bad_alloc in a path string, a throwing
+// filesystem call) into a plain miss / failed store / zero evictions.
+
+DiskCacheTier::LoadResult SafeDiskLoad(DiskCacheTier* tier,
+                                       const std::string& key) {
+  try {
+    return tier->Load(key);
+  } catch (...) {
+    return {};
+  }
+}
+
+bool SafeDiskStore(DiskCacheTier* tier, const std::string& key,
+                   const StageArtifact& artifact) {
+  try {
+    return tier->Store(key, artifact);
+  } catch (...) {
+    return false;
+  }
+}
+
+size_t SafeDiskEvict(DiskCacheTier* tier) {
+  try {
+    return tier->EvictToCap();
+  } catch (...) {
+    return 0;
+  }
+}
 
 size_t ApproxBytes(const TypeSyntax* t);
 size_t ApproxBytes(const Expr* e);
@@ -124,39 +161,171 @@ uint64_t CacheStats::PrefixShares() const {
 }
 
 std::string CacheStats::ToRow() const {
-  return StrFormat(
+  std::string row = StrFormat(
       "  cache: hits=%llu misses=%llu bytes=%zu prefix-shares=%llu "
       "evictions=%llu\n",
       static_cast<unsigned long long>(hits),
       static_cast<unsigned long long>(misses), bytes_retained,
       static_cast<unsigned long long>(PrefixShares()),
       static_cast<unsigned long long>(evictions));
+  // Nonzero disk counters mean a disk tier was consulted; memory-only runs
+  // keep the legacy single-row output.
+  if (disk_hits != 0 || disk_misses != 0 || disk_stores != 0 ||
+      disk_evictions != 0 || disk_invalid != 0) {
+    row += StrFormat(
+        "  disk:  hits=%llu misses=%llu stores=%llu evictions=%llu "
+        "invalid=%llu\n",
+        static_cast<unsigned long long>(disk_hits),
+        static_cast<unsigned long long>(disk_misses),
+        static_cast<unsigned long long>(disk_stores),
+        static_cast<unsigned long long>(disk_evictions),
+        static_cast<unsigned long long>(disk_invalid));
+  }
+  return row;
+}
+
+std::string CacheStats::ToJson() const {
+  std::string hits_json = "[";
+  std::string misses_json = "[";
+  for (size_t i = 0; i < kNumStages; ++i) {
+    const char* sep = i == 0 ? "" : ",";
+    hits_json += StrFormat("%s%llu", sep,
+                           static_cast<unsigned long long>(hits_by_stage[i]));
+    misses_json += StrFormat(
+        "%s%llu", sep, static_cast<unsigned long long>(misses_by_stage[i]));
+  }
+  hits_json += "]";
+  misses_json += "]";
+  return StrFormat(
+      "{\"hits\":%llu,\"misses\":%llu,\"shared_waits\":%llu,"
+      "\"insertions\":%llu,\"evictions\":%llu,\"bytes_retained\":%zu,"
+      "\"prefix_shares\":%llu,"
+      "\"disk_hits\":%llu,\"disk_misses\":%llu,\"disk_stores\":%llu,"
+      "\"disk_evictions\":%llu,\"disk_invalid\":%llu,"
+      "\"hits_by_stage\":%s,\"misses_by_stage\":%s}\n",
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(misses),
+      static_cast<unsigned long long>(shared_waits),
+      static_cast<unsigned long long>(insertions),
+      static_cast<unsigned long long>(evictions), bytes_retained,
+      static_cast<unsigned long long>(PrefixShares()),
+      static_cast<unsigned long long>(disk_hits),
+      static_cast<unsigned long long>(disk_misses),
+      static_cast<unsigned long long>(disk_stores),
+      static_cast<unsigned long long>(disk_evictions),
+      static_cast<unsigned long long>(disk_invalid), hits_json.c_str(),
+      misses_json.c_str());
+}
+
+ArtifactCache::ArtifactCache(size_t max_bytes) : max_bytes_(max_bytes) {}
+
+ArtifactCache::~ArtifactCache() = default;
+
+bool ArtifactCache::AttachDiskTier(DiskCacheOptions options) {
+  auto tier = std::make_unique<DiskCacheTier>(std::move(options));
+  if (!tier->ok()) {
+    return false;
+  }
+  disk_ = std::move(tier);
+  return true;
+}
+
+std::shared_ptr<const StageArtifact> ArtifactCache::PromoteFromDiskLocked(
+    const std::string& key, StageId stage,
+    std::shared_ptr<const StageArtifact> artifact) {
+  Entry& e = entries_[key];
+  if (e.artifact != nullptr) {
+    // Another thread published while this one was reading the disk; its
+    // artifact is equivalent (same key, validated same source) — share it
+    // and drop the duplicate. Still a disk hit: the I/O served this lookup.
+    artifact = e.artifact;
+    e.tick = ++tick_;
+  } else {
+    // Fills either a fresh slot (Probe path) or an in-flight producer slot
+    // this thread registered in Acquire; waiters wake to the artifact.
+    e.artifact = artifact;
+    e.in_flight = false;
+    e.tick = ++tick_;
+    stats_.bytes_retained += artifact->bytes;
+    ++stats_.insertions;
+    // May evict `e` itself when the artifact alone exceeds the cap — do not
+    // touch the entry reference past this point.
+    EvictLockedToCap();
+    cv_.notify_all();
+  }
+  ++stats_.hits;
+  ++stats_.hits_by_stage[StageIndex(stage)];
+  ++stats_.disk_hits;
+  return artifact;
 }
 
 std::shared_ptr<const StageArtifact> ArtifactCache::Probe(const std::string& key,
                                                           StageId stage) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (it->second.artifact == nullptr) {
+        // In flight: a producer in this process is computing (or reading the
+        // disk tier) right now — stay non-blocking and report a miss; the
+        // caller's Acquire will wait it out.
+        return nullptr;
+      }
+      it->second.tick = ++tick_;
+      ++stats_.hits;
+      ++stats_.hits_by_stage[StageIndex(stage)];
+      return it->second.artifact;
+    }
+    if (disk_ == nullptr || !DiskCacheTier::WantsStage(stage)) {
+      return nullptr;
+    }
+  }
+  // Memory miss on a disk-cacheable stage: consult the disk tier outside the
+  // lock (file I/O must not stall unrelated keys). Concurrent probes of the
+  // same key may both read the file; PromoteFromDiskLocked dedups the
+  // in-memory publication.
+  DiskCacheTier::LoadResult r = SafeDiskLoad(disk_.get(), key);
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end() || it->second.artifact == nullptr) {
+  if (r.artifact == nullptr) {
+    ++stats_.disk_misses;
+    if (r.invalid) {
+      ++stats_.disk_invalid;
+    }
     return nullptr;
   }
-  it->second.tick = ++tick_;
-  ++stats_.hits;
-  ++stats_.hits_by_stage[StageIndex(stage)];
-  return it->second.artifact;
+  return PromoteFromDiskLocked(key, stage, std::move(r.artifact));
 }
 
 std::shared_ptr<const StageArtifact> ArtifactCache::Acquire(const std::string& key,
-                                                            StageId stage) {
+                                                            StageId stage,
+                                                            bool skip_disk) {
   std::unique_lock<std::mutex> lock(mu_);
   bool waited = false;
   for (;;) {
     auto it = entries_.find(key);
     if (it == entries_.end()) {
-      // True miss: register the caller as producer.
+      // Memory miss: register the caller as producer, then give the disk
+      // tier one shot before conceding the compute. The registration stays
+      // in place during the disk read, so concurrent same-key Acquires wait
+      // rather than re-reading the file — single-flight covers the disk
+      // exactly as it covers the compute.
       Entry e;
       e.in_flight = true;
       entries_.emplace(key, std::move(e));
+      if (!skip_disk && disk_ != nullptr && DiskCacheTier::WantsStage(stage)) {
+        lock.unlock();
+        DiskCacheTier::LoadResult r = SafeDiskLoad(disk_.get(), key);
+        lock.lock();
+        if (r.artifact != nullptr) {
+          // Not a producer after all: publish and return like a hit. The
+          // caller must NOT Put/Abandon.
+          return PromoteFromDiskLocked(key, stage, std::move(r.artifact));
+        }
+        ++stats_.disk_misses;
+        if (r.invalid) {
+          ++stats_.disk_invalid;
+        }
+      }
       ++stats_.misses;
       ++stats_.misses_by_stage[StageIndex(stage)];
       return nullptr;
@@ -179,16 +348,37 @@ std::shared_ptr<const StageArtifact> ArtifactCache::Acquire(const std::string& k
 }
 
 void ArtifactCache::Put(const std::string& key, StageArtifact artifact) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Entry& e = entries_[key];
-  const size_t bytes = artifact.bytes;
-  e.artifact = std::make_shared<const StageArtifact>(std::move(artifact));
-  e.in_flight = false;
-  e.tick = ++tick_;
-  stats_.bytes_retained += bytes;
-  ++stats_.insertions;
-  EvictLockedToCap();
-  cv_.notify_all();
+  std::shared_ptr<const StageArtifact> published;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& e = entries_[key];
+    const size_t bytes = artifact.bytes;
+    if (e.artifact != nullptr) {
+      // Replacing an equivalent artifact a concurrent disk-tier promotion
+      // published into this producer's slot; swap the byte accounting.
+      stats_.bytes_retained -= e.artifact->bytes;
+    }
+    published = std::make_shared<const StageArtifact>(std::move(artifact));
+    e.artifact = published;
+    e.in_flight = false;
+    e.tick = ++tick_;
+    stats_.bytes_retained += bytes;
+    ++stats_.insertions;
+    EvictLockedToCap();
+    cv_.notify_all();
+  }
+  // Persist to the disk tier outside the lock (waiters are already awake and
+  // unrelated keys must not stall on file I/O); fold the accounting back in
+  // under the lock so stats() snapshots stay coherent.
+  if (disk_ != nullptr && DiskCacheTier::WantsStage(published->stage)) {
+    const bool stored = SafeDiskStore(disk_.get(), key, *published);
+    const size_t evicted = stored ? SafeDiskEvict(disk_.get()) : 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stored) {
+      ++stats_.disk_stores;
+    }
+    stats_.disk_evictions += evicted;
+  }
 }
 
 void ArtifactCache::Abandon(const std::string& key) {
@@ -225,6 +415,12 @@ void ArtifactCache::EvictLockedToCap() {
 }
 
 CacheStats ArtifactCache::stats() const {
+  // One snapshot under the mutex: every counter mutation (including the
+  // disk-tier accounting, which is folded in post-I/O) happens under mu_, so
+  // the copy is internally coherent — hits always equals the sum of
+  // hits_by_stage, bytes_retained matches the retained entries, and a reader
+  // racing live compiles can never observe a torn struct. Guarded by
+  // ArtifactCache.StatsSnapshotIsCoherentUnderConcurrentCompiles.
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
 }

@@ -1,0 +1,406 @@
+#include "src/driver/disk_cache.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <vector>
+
+#include "src/isa/binary.h"
+#include "src/support/bytes.h"
+
+namespace fs = std::filesystem;
+
+namespace confllvm {
+
+namespace {
+
+constexpr const char* kEntrySuffix = ".art";
+
+// The artifact payload (everything Restore needs for a Codegen-stage
+// artifact; see Snapshot in src/driver/pipeline.cc).
+std::vector<uint8_t> SerializePayload(const StageArtifact& a) {
+  ByteWriter w;
+  w.Str(a.source != nullptr ? *a.source : std::string());
+  w.U32(static_cast<uint32_t>(a.diags.size()));
+  for (const Diagnostic& d : a.diags) {
+    w.U8(static_cast<uint8_t>(d.severity));
+    w.U32(d.loc.line);
+    w.U32(d.loc.column);
+    w.Str(d.message);
+  }
+  w.U64(a.solver.vars);
+  w.U64(a.solver.constraints);
+  w.U64(a.solver.edges);
+  w.U64(a.solver.propagations);
+  w.U64(a.solver.worklist_pops);
+  w.U64(a.codegen.bnd_checks_emitted);
+  w.U64(a.codegen.bnd_checks_coalesced);
+  w.U64(a.codegen.bnd_checks_elided_stack);
+  w.U64(a.codegen.magic_words);
+  w.U64(a.codegen.private_spills);
+  w.U64(a.codegen.functions_emitted);
+  w.U64(a.codegen.code_words);
+  const std::vector<uint8_t> bin = SerializeBinary(*a.binary);
+  w.U64(bin.size());
+  w.Bytes(bin.data(), bin.size());
+  return w.Take();
+}
+
+std::shared_ptr<const StageArtifact> DeserializePayload(const uint8_t* data,
+                                                        size_t size) {
+  ByteReader r(data, size);
+  auto a = std::make_shared<StageArtifact>();
+  a->stage = StageId::kCodegen;
+  a->source = std::make_shared<const std::string>(r.Str());
+  const uint32_t num_diags = r.U32();
+  if (!r.ok() || num_diags > r.remaining() / (1 + 4 + 4 + 4)) {
+    return nullptr;
+  }
+  a->diags.resize(num_diags);
+  for (Diagnostic& d : a->diags) {
+    const uint8_t sev = r.U8();
+    if (sev > static_cast<uint8_t>(DiagSeverity::kError)) {
+      return nullptr;
+    }
+    d.severity = static_cast<DiagSeverity>(sev);
+    d.loc.line = r.U32();
+    d.loc.column = r.U32();
+    d.message = r.Str();
+  }
+  a->solver.vars = r.U64();
+  a->solver.constraints = r.U64();
+  a->solver.edges = r.U64();
+  a->solver.propagations = r.U64();
+  a->solver.worklist_pops = r.U64();
+  a->codegen.bnd_checks_emitted = r.U64();
+  a->codegen.bnd_checks_coalesced = r.U64();
+  a->codegen.bnd_checks_elided_stack = r.U64();
+  a->codegen.magic_words = r.U64();
+  a->codegen.private_spills = r.U64();
+  a->codegen.functions_emitted = r.U64();
+  a->codegen.code_words = r.U64();
+  const size_t bin_size = r.Count(1);
+  if (!r.ok() || bin_size != r.remaining()) {
+    return nullptr;
+  }
+  std::vector<uint8_t> blob(bin_size);
+  r.Bytes(blob.data(), bin_size);
+  if (!r.AtEnd()) {
+    return nullptr;
+  }
+  Binary bin;
+  if (!DeserializeBinary(blob, &bin)) {
+    return nullptr;
+  }
+  a->binary = std::make_shared<const Binary>(std::move(bin));
+  // Byte accounting mirrors Snapshot() so a promoted artifact weighs the
+  // same in the in-memory LRU as a locally produced one.
+  a->bytes = ApproxBytes(*a->binary) + a->source->size() +
+             a->diags.size() * sizeof(Diagnostic);
+  return a;
+}
+
+bool ReadFileBytes(const fs::path& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return !in.bad();
+}
+
+bool IsEntryFile(const fs::path& p) {
+  return p.extension() == kEntrySuffix;
+}
+
+}  // namespace
+
+uint64_t DiskCacheFingerprint() {
+#if defined(__VERSION__)
+  static const char* const kCompiler = __VERSION__;
+#else
+  static const char* const kCompiler = "unknown-compiler";
+#endif
+  uint64_t h = Fnv1a64(nullptr, 0);
+  const uint32_t version = kDiskCacheFormatVersion;
+  h = Fnv1a64(reinterpret_cast<const uint8_t*>(&version), sizeof version, h);
+  h = Fnv1a64(reinterpret_cast<const uint8_t*>(kCompiler),
+              std::char_traits<char>::length(kCompiler), h);
+  const uint64_t lang = __cplusplus;
+  h = Fnv1a64(reinterpret_cast<const uint8_t*>(&lang), sizeof lang, h);
+  // Shapes of the structs whose fields the payload encodes: growing one
+  // (e.g. a new CodegenStats counter) changes the fingerprint even if the
+  // format version bump is forgotten.
+  const uint64_t shapes[] = {sizeof(Binary), sizeof(Diagnostic),
+                             sizeof(QualSolverStats), sizeof(CodegenStats)};
+  h = Fnv1a64(reinterpret_cast<const uint8_t*>(shapes), sizeof shapes, h);
+  return h;
+}
+
+DiskCacheTier::DiskCacheTier(DiskCacheOptions options)
+    : options_(std::move(options)) {
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  ok_ = !options_.dir.empty() && fs::is_directory(options_.dir, ec) && !ec &&
+        ProbeWritable();
+  if (ok_) {
+    SweepStaleTempFiles();
+  }
+}
+
+bool DiskCacheTier::ProbeWritable() {
+  // An existing directory can still be unwritable (read-only mount, foreign
+  // owner); every store would then fail silently, turning "persistent
+  // cache" into a quiet cold compile. Attach is the one place the user gets
+  // a diagnostic (confcc refuses a broken --cache-dir), so prove
+  // writability the only portable way: create and remove a probe file.
+  static std::atomic<uint64_t> probe_seq{0};
+  const fs::path probe =
+      fs::path(options_.dir) /
+      (".probe.tmp." + std::to_string(::getpid()) + "." +
+       std::to_string(probe_seq.fetch_add(1, std::memory_order_relaxed)));
+  {
+    std::ofstream out(probe, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::remove(probe, ec);
+  return true;
+}
+
+void DiskCacheTier::SweepStaleTempFiles() {
+  // A writer killed between temp-file creation and the rename (OOM, ^C, CI
+  // timeout) orphans its `*.art.tmp.<pid>.<seq>` file; nothing else ever
+  // touches that unique name, and temp files don't count toward the byte
+  // cap, so without this sweep crashes would grow the directory without
+  // bound. Age-gate the removal: any temp file older than an hour cannot
+  // belong to a live in-flight store (stores are milliseconds), while a
+  // younger one might — leave those for the next attach.
+  std::error_code ec;
+  const auto cutoff = fs::file_time_type::clock::now() - std::chrono::hours(1);
+  for (fs::directory_iterator it(options_.dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    std::error_code fec;
+    if (!it->is_regular_file(fec) || fec) {
+      continue;
+    }
+    const std::string name = it->path().filename().string();
+    if (name.find(".art.tmp.") == std::string::npos &&
+        name.find(".probe.tmp.") == std::string::npos) {
+      continue;
+    }
+    const fs::file_time_type mtime = it->last_write_time(fec);
+    if (fec || mtime > cutoff) {
+      continue;
+    }
+    fs::remove(it->path(), fec);
+  }
+}
+
+std::string DiskCacheTier::EntryPath(const std::string& key) const {
+  // Keys are "<stage>:<hex64>"; ':' is the only filesystem-hostile byte.
+  std::string name = key;
+  std::replace(name.begin(), name.end(), ':', '-');
+  // The toolchain fingerprint is part of the address, not just the
+  // manifest: two toolchain versions sharing one cache dir write disjoint
+  // file names and coexist, rather than perpetually quarantining each
+  // other's (valid) entries and never getting a warm hit. The manifest
+  // still carries and checks the fingerprint as defense against renamed or
+  // hand-copied files. Old-toolchain entries age out via LRU eviction.
+  char fp[32];
+  snprintf(fp, sizeof fp, "-%016llx",
+           static_cast<unsigned long long>(DiskCacheFingerprint()));
+  return (fs::path(options_.dir) / (name + fp + kEntrySuffix)).string();
+}
+
+DiskCacheTier::LoadResult DiskCacheTier::Load(const std::string& key) {
+  LoadResult result;
+  if (!ok_) {
+    return result;
+  }
+  const fs::path path = EntryPath(key);
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) {
+    return result;  // plain miss: no entry
+  }
+  std::vector<uint8_t> bytes;
+  // A failed open/read is a *plain miss*, not corruption: the entry may be
+  // perfectly valid and merely unreadable right now (EMFILE under a
+  // parallel sweep, a cross-process eviction racing the exists() check, a
+  // transient mount hiccup). Only an entry whose *bytes* fail validation is
+  // quarantined.
+  try {
+    if (!ReadFileBytes(path, &bytes)) {
+      return result;
+    }
+  } catch (...) {
+    return result;  // e.g. bad_alloc sizing the read buffer
+  }
+  const auto validated = [&] {
+    ByteReader r(bytes.data(), bytes.size());
+    uint8_t magic[sizeof kDiskCacheMagic];
+    r.Bytes(magic, sizeof magic);
+    if (!r.ok() ||
+        std::memcmp(magic, kDiskCacheMagic, sizeof magic) != 0) {
+      return false;
+    }
+    if (r.U32() != kDiskCacheFormatVersion) {
+      return false;
+    }
+    if (r.U64() != DiskCacheFingerprint()) {
+      return false;
+    }
+    const uint8_t stage = r.U8();
+    if (!r.ok() || stage != static_cast<uint8_t>(StageId::kCodegen)) {
+      return false;
+    }
+    if (r.Str() != key || !r.ok()) {
+      return false;
+    }
+    const uint64_t payload_size = r.U64();
+    const uint64_t checksum = r.U64();
+    if (!r.ok() || payload_size != r.remaining()) {
+      return false;  // truncated or padded entry
+    }
+    const uint8_t* payload = bytes.data() + (bytes.size() - payload_size);
+    if (Fnv1a64(payload, payload_size) != checksum) {
+      return false;
+    }
+    result.artifact = DeserializePayload(payload, payload_size);
+    return result.artifact != nullptr;
+  };
+
+  bool ok = false;
+  try {
+    ok = validated();
+  } catch (...) {
+    // Allocation failure mid-decode (the checksum already passed, so the
+    // bytes are fine): a plain miss, not corruption — keep the entry.
+    result.artifact = nullptr;
+    return result;
+  }
+  if (!ok) {
+    // Quarantine: drop the bad entry so the recompute's store replaces it
+    // and later lookups don't re-pay the failed validation.
+    fs::remove(path, ec);
+    result.invalid = true;
+    result.artifact = nullptr;
+    return result;
+  }
+  // Touch for LRU-by-mtime eviction; best-effort.
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  return result;
+}
+
+bool DiskCacheTier::Store(const std::string& key, const StageArtifact& artifact) {
+  if (!ok_ || artifact.stage != StageId::kCodegen ||
+      artifact.binary == nullptr) {
+    return false;
+  }
+  const std::vector<uint8_t> payload = SerializePayload(artifact);
+  ByteWriter w;
+  w.Bytes(kDiskCacheMagic, sizeof kDiskCacheMagic);
+  w.U32(kDiskCacheFormatVersion);
+  w.U64(DiskCacheFingerprint());
+  w.U8(static_cast<uint8_t>(StageId::kCodegen));
+  w.Str(key);
+  w.U64(payload.size());
+  w.U64(Fnv1a64(payload.data(), payload.size()));
+  w.Bytes(payload.data(), payload.size());
+  const std::vector<uint8_t> entry = w.Take();
+
+  // Unique temp name per process × store so concurrent writers (threads or
+  // processes) never collide; the rename publishes atomically.
+  static std::atomic<uint64_t> seq{0};
+  const fs::path final_path = EntryPath(key);
+  const fs::path tmp_path =
+      final_path.string() + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out.write(reinterpret_cast<const char*>(entry.data()),
+              static_cast<std::streamsize>(entry.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp_path, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    return false;
+  }
+  return true;
+}
+
+size_t DiskCacheTier::EvictToCap() {
+  if (!ok_ || options_.max_bytes == 0) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(evict_mu_);
+  struct EntryFile {
+    fs::path path;
+    uintmax_t size;
+    fs::file_time_type mtime;
+  };
+  std::vector<EntryFile> files;
+  uintmax_t total = 0;
+  std::error_code ec;
+  // Explicit increment(ec): the range-for's operator++ throws on iteration
+  // failure (e.g. the directory vanishing mid-build), which must stay a
+  // no-op here, not an exception out of ArtifactCache::Put.
+  for (fs::directory_iterator it(options_.dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const fs::directory_entry& de = *it;
+    std::error_code fec;
+    if (!de.is_regular_file(fec) || fec || !IsEntryFile(de.path())) {
+      continue;
+    }
+    const uintmax_t size = de.file_size(fec);
+    if (fec) {
+      continue;  // raced with a concurrent eviction/replace
+    }
+    const fs::file_time_type mtime = de.last_write_time(fec);
+    if (fec) {
+      continue;
+    }
+    files.push_back({de.path(), size, mtime});
+    total += size;
+  }
+  if (total <= options_.max_bytes) {
+    return 0;
+  }
+  std::sort(files.begin(), files.end(),
+            [](const EntryFile& a, const EntryFile& b) {
+              return a.mtime < b.mtime;
+            });
+  size_t evicted = 0;
+  for (const EntryFile& f : files) {
+    if (total <= options_.max_bytes) {
+      break;
+    }
+    std::error_code rec;
+    if (fs::remove(f.path, rec) && !rec) {
+      total -= std::min<uintmax_t>(total, f.size);
+      ++evicted;
+    }
+  }
+  return evicted;
+}
+
+}  // namespace confllvm

@@ -1,0 +1,127 @@
+// Persistent on-disk tier of the artifact cache: content-hash-named entry
+// files under a cache directory, shared safely by concurrent processes.
+//
+// What is stored: Codegen-stage artifacts only. The Binary is the expensive,
+// serializable product of the whole Parse→Sema→IrGen→Opt→Codegen prefix, so
+// one disk hit skips the entire back end of the compiler on a fresh `confcc`
+// invocation; Load is cheap and deterministic (it re-runs from the restored
+// Binary under the invocation's LoadOptions), front-end artifacts are
+// pointer-rich graphs whose (de)serialization would cost more than the
+// stages they skip, and Verify is never cached by design.
+//
+// Entry file layout (`<stage>-<hex64>-<fingerprint>.art`: the sanitized
+// cache key plus the toolchain fingerprint, so toolchain versions sharing
+// one directory address disjoint files and coexist):
+//
+//   manifest                              payload
+//   ┌──────────────────────────────┐      ┌───────────────────────────┐
+//   │ magic      "CLVMCACH"  8 B   │      │ source text        string │
+//   │ format version         u32   │      │ diagnostics        vector │
+//   │ toolchain fingerprint  u64   │      │ QualSolverStats   5 × u64 │
+//   │ stage id               u8    │      │ CodegenStats      7 × u64 │
+//   │ cache key              string│      │ Binary blob (versioned    │
+//   │ payload size           u64   │      │   SerializeBinary format) │
+//   │ payload checksum       u64   │      └───────────────────────────┘
+//   └──────────────────────────────┘      exactly `payload size` bytes
+//
+// Validation on load, in order: magic, format version, toolchain
+// fingerprint, stage, exact key match, exact payload size, FNV-1a payload
+// checksum, then the bounds-checked payload decode. Any failure is a miss:
+// the bad entry is quarantined (removed) so the recompute's store replaces
+// it, and compilation proceeds from upstream artifacts — corruption can
+// degrade performance, never correctness.
+//
+// Write discipline: serialize to `<entry>.tmp.<pid>.<seq>` in the cache
+// directory, then atomically rename over the final name. Readers therefore
+// see either the previous complete entry or the new complete entry, never a
+// partial write — also across processes racing on one directory.
+//
+// Eviction: when `max_bytes` is set, after each store the tier removes
+// least-recently-used entries (by mtime; loads touch their entry) until the
+// directory's entry bytes fit the cap.
+#ifndef CONFLLVM_SRC_DRIVER_DISK_CACHE_H_
+#define CONFLLVM_SRC_DRIVER_DISK_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/driver/artifact_cache.h"
+
+namespace confllvm {
+
+// Bump whenever the entry layout or any serialized struct changes shape;
+// readers treat any other version as a miss.
+inline constexpr uint32_t kDiskCacheFormatVersion = 1;
+
+// Fixed manifest prefix offsets (the corruption tests patch these fields in
+// place): magic at byte 0, format version at byte 8, fingerprint at byte 12.
+inline constexpr uint8_t kDiskCacheMagic[8] = {'C', 'L', 'V', 'M',
+                                               'C', 'A', 'C', 'H'};
+inline constexpr size_t kDiskCacheVersionOffset = 8;
+inline constexpr size_t kDiskCacheFingerprintOffset = 12;
+
+// Identifies the toolchain that produced an entry: format version chained
+// with the host compiler (__VERSION__), language level, and the encoded
+// struct shapes. A rebuild with a different compiler or an ABI-visible
+// struct change invalidates every existing entry wholesale instead of
+// risking a misdecode.
+uint64_t DiskCacheFingerprint();
+
+class DiskCacheTier {
+ public:
+  explicit DiskCacheTier(DiskCacheOptions options);
+
+  // False when the cache directory could not be created or probed writable;
+  // the tier is then inert (every Load misses, every Store fails).
+  bool ok() const { return ok_; }
+  const std::string& dir() const { return options_.dir; }
+  size_t max_bytes() const { return options_.max_bytes; }
+
+  // The tier persists exactly the Codegen stage (see file comment).
+  static bool WantsStage(StageId stage) { return stage == StageId::kCodegen; }
+
+  struct LoadResult {
+    std::shared_ptr<const StageArtifact> artifact;  // null on any miss
+    // An entry file existed but failed validation and was quarantined.
+    bool invalid = false;
+  };
+  // Reads and fully validates the entry for `key`. A hit touches the entry's
+  // mtime (LRU). Never throws; every failure mode is a miss.
+  LoadResult Load(const std::string& key);
+
+  // Serializes `artifact` (which must be a Codegen artifact) and publishes
+  // it under `key` via temp file + atomic rename. Returns false on any I/O
+  // or serialization failure; a failed store never leaves a partial entry
+  // visible.
+  bool Store(const std::string& key, const StageArtifact& artifact);
+
+  // Removes least-recently-used entries until the directory's entry bytes
+  // fit max_bytes (no-op when unbounded). Returns the number of entries
+  // removed. Serialized internally; safe to call concurrently with stores
+  // and loads.
+  size_t EvictToCap();
+
+  // Absolute path of the entry file for `key` (exposed for the corruption
+  // tests, which patch entries in place).
+  std::string EntryPath(const std::string& key) const;
+
+ private:
+  // Proves the directory writable by creating and removing a probe file —
+  // an existing but read-only dir must fail attach loudly, not degrade to a
+  // silent cold compile.
+  bool ProbeWritable();
+  // Removes orphaned `*.art.tmp.*` / `*.probe.tmp.*` files older than an
+  // hour (writers killed mid-store or mid-probe); called once at attach so
+  // crashed builds can't grow the directory without bound.
+  void SweepStaleTempFiles();
+
+  DiskCacheOptions options_;
+  bool ok_ = false;
+  std::mutex evict_mu_;
+};
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_DRIVER_DISK_CACHE_H_

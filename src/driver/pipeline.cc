@@ -460,7 +460,11 @@ bool PassManager::Run(CompilerInvocation* inv) const {
   // rebuild of an unchanged invocation restores the post-load artifact and
   // runs nothing (except Verify, which always runs); a config change
   // restores the last stage whose key survived and recomputes from there.
+  // Keys this walk probed without finding anything already consulted the
+  // disk tier too; the stage loop below tells Acquire to skip the redundant
+  // re-read (and re-count) of the same absent entry.
   size_t start = 0;
+  std::vector<std::string> probed_missed;
   if (cache != nullptr) {
     for (size_t i = stages_.size(); i-- > 0;) {
       const std::string key = stages_[i]->CacheKey(*inv);
@@ -469,6 +473,7 @@ bool PassManager::Run(CompilerInvocation* inv) const {
       }
       auto artifact = cache->Probe(key, stages_[i]->id());
       if (artifact == nullptr) {
+        probed_missed.push_back(key);
         continue;
       }
       if (artifact->source != nullptr && *artifact->source != inv->source()) {
@@ -513,7 +518,10 @@ bool PassManager::Run(CompilerInvocation* inv) const {
       // Single-flight: either restore a published artifact (possibly after
       // waiting out a concurrent producer) or become the producer and
       // publish what this run computes.
-      auto artifact = cache->Acquire(key, stage.id());
+      const bool probe_disk_missed =
+          std::find(probed_missed.begin(), probed_missed.end(), key) !=
+          probed_missed.end();
+      auto artifact = cache->Acquire(key, stage.id(), probe_disk_missed);
       if (artifact != nullptr && artifact->source != nullptr &&
           *artifact->source != inv->source()) {
         // Key collision with a different source: the slot belongs to the

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/support/bytes.h"
 #include "src/support/strings.h"
 
 namespace confllvm {
@@ -39,6 +40,184 @@ std::string Disassemble(const Binary& bin) {
     idx += consumed;
   }
   return os.str();
+}
+
+// ---- Versioned binary serialization ----
+
+namespace {
+
+// "CLVMBIN\x01" — distinct from the disk-cache entry magic so a Binary blob
+// handed to the artifact-cache reader (or vice versa) is rejected at byte 0.
+constexpr uint8_t kBinaryMagic[8] = {'C', 'L', 'V', 'M', 'B', 'I', 'N', 0x01};
+
+}  // namespace
+
+std::vector<uint8_t> SerializeBinary(const Binary& bin) {
+  ByteWriter w;
+  w.Bytes(kBinaryMagic, sizeof kBinaryMagic);
+  w.U32(kBinaryFormatVersion);
+
+  w.U64(bin.code.size());
+  for (const uint64_t word : bin.code) {
+    w.U64(word);
+  }
+
+  w.U64(bin.functions.size());
+  for (const BinFunction& f : bin.functions) {
+    w.Str(f.name);
+    w.U32(f.entry_word);
+    w.U8(f.taint_bits);
+    w.U32(f.num_params);
+  }
+
+  w.U64(bin.globals.size());
+  for (const BinGlobal& g : bin.globals) {
+    w.Str(g.name);
+    w.U64(g.size);
+    w.U64(g.align);
+    w.Bool(g.is_private);
+    w.U64(g.init.size());
+    w.Bytes(g.init.data(), g.init.size());
+    w.U64(g.relocs.size());
+    for (const auto& [offset, idx] : g.relocs) {
+      w.U64(offset);
+      w.U32(idx);
+    }
+  }
+
+  w.U64(bin.imports.size());
+  for (const BinImport& im : bin.imports) {
+    w.Str(im.name);
+    w.U8(im.taint_bits);
+    w.U32(im.num_params);
+    w.Bool(im.returns_value);
+    w.U64(im.params.size());
+    for (const BinImport::Param& p : im.params) {
+      w.Bool(p.is_pointer);
+      w.Bool(p.pointee_private);
+    }
+  }
+
+  w.U64(bin.magic_sites.size());
+  for (const MagicSite& m : bin.magic_sites) {
+    w.U32(m.word);
+    w.Bool(m.is_ret);
+    w.U8(m.taints);
+    w.Bool(m.inverted);
+  }
+
+  w.U64(bin.global_refs.size());
+  for (const GlobalRef& r : bin.global_refs) {
+    w.U32(r.word);
+    w.U32(r.global_idx);
+    w.I64(r.addend);
+  }
+
+  w.U8(static_cast<uint8_t>(bin.scheme));
+  w.Bool(bin.cfi);
+  w.Bool(bin.separate_stacks);
+  w.U64(bin.magic_call_prefix);
+  w.U64(bin.magic_ret_prefix);
+  return w.Take();
+}
+
+bool DeserializeBinary(const uint8_t* data, size_t size, Binary* out) {
+  ByteReader r(data, size);
+  uint8_t magic[8];
+  r.Bytes(magic, sizeof magic);
+  if (!r.ok() || std::memcmp(magic, kBinaryMagic, sizeof magic) != 0) {
+    return false;
+  }
+  if (r.U32() != kBinaryFormatVersion) {
+    return false;
+  }
+
+  Binary bin;
+  const size_t num_code = r.Count(8);
+  bin.code.resize(num_code);
+  for (size_t i = 0; i < num_code; ++i) {
+    bin.code[i] = r.U64();
+  }
+
+  // Minimum encoded sizes below are the fixed parts of each element (string
+  // length fields included), so a corrupted count fails before any resize.
+  const size_t num_fns = r.Count(4 + 4 + 1 + 4);
+  bin.functions.resize(num_fns);
+  for (size_t i = 0; i < num_fns; ++i) {
+    BinFunction& f = bin.functions[i];
+    f.name = r.Str();
+    f.entry_word = r.U32();
+    f.taint_bits = r.U8();
+    f.num_params = r.U32();
+  }
+
+  const size_t num_globals = r.Count(4 + 8 + 8 + 1 + 8 + 8);
+  bin.globals.resize(num_globals);
+  for (size_t i = 0; i < num_globals; ++i) {
+    BinGlobal& g = bin.globals[i];
+    g.name = r.Str();
+    g.size = r.U64();
+    g.align = r.U64();
+    g.is_private = r.Bool();
+    const size_t init_bytes = r.Count(1);
+    g.init.resize(init_bytes);
+    r.Bytes(g.init.data(), init_bytes);
+    const size_t num_relocs = r.Count(8 + 4);
+    g.relocs.resize(num_relocs);
+    for (auto& [offset, idx] : g.relocs) {
+      offset = r.U64();
+      idx = r.U32();
+    }
+  }
+
+  const size_t num_imports = r.Count(4 + 1 + 4 + 1 + 8);
+  bin.imports.resize(num_imports);
+  for (size_t i = 0; i < num_imports; ++i) {
+    BinImport& im = bin.imports[i];
+    im.name = r.Str();
+    im.taint_bits = r.U8();
+    im.num_params = r.U32();
+    im.returns_value = r.Bool();
+    const size_t num_params = r.Count(2);
+    im.params.resize(num_params);
+    for (BinImport::Param& p : im.params) {
+      p.is_pointer = r.Bool();
+      p.pointee_private = r.Bool();
+    }
+  }
+
+  const size_t num_magic = r.Count(4 + 1 + 1 + 1);
+  bin.magic_sites.resize(num_magic);
+  for (MagicSite& m : bin.magic_sites) {
+    m.word = r.U32();
+    m.is_ret = r.Bool();
+    m.taints = r.U8();
+    m.inverted = r.Bool();
+  }
+
+  const size_t num_refs = r.Count(4 + 4 + 8);
+  bin.global_refs.resize(num_refs);
+  for (GlobalRef& gr : bin.global_refs) {
+    gr.word = r.U32();
+    gr.global_idx = r.U32();
+    gr.addend = r.I64();
+  }
+
+  const uint8_t scheme = r.U8();
+  if (scheme > static_cast<uint8_t>(Scheme::kSeg)) {
+    return false;
+  }
+  bin.scheme = static_cast<Scheme>(scheme);
+  bin.cfi = r.Bool();
+  bin.separate_stacks = r.Bool();
+  bin.magic_call_prefix = r.U64();
+  bin.magic_ret_prefix = r.U64();
+
+  if (!r.AtEnd()) {
+    return false;
+  }
+  *out = std::move(bin);
+  return true;
 }
 
 }  // namespace confllvm

@@ -106,6 +106,32 @@ struct Binary {
 // as raw hex).
 std::string Disassemble(const Binary& bin);
 
+// ---- Versioned binary serialization ----
+//
+// A deterministic little-endian encoding of every Binary field (code words,
+// function/global/import tables, relocations, magic sites, global refs,
+// instrumentation flags, magic prefixes) behind a 12-byte header (magic +
+// format version). Serialization is a pure function of the Binary's
+// contents, so two byte-identical Binaries serialize to byte-identical
+// blobs and Deserialize(Serialize(b)) re-serializes byte-identically — the
+// property the artifact-cache disk tier and `confcc --emit-bin` build on.
+//
+// Bump kBinaryFormatVersion whenever the encoding or any encoded struct
+// changes shape; readers reject any other version.
+
+inline constexpr uint32_t kBinaryFormatVersion = 1;
+
+std::vector<uint8_t> SerializeBinary(const Binary& bin);
+
+// Strict, bounds-checked decoder: returns false (leaving *out unspecified)
+// on a bad magic/version, any truncation or overrun, or trailing garbage —
+// malformed input can never crash, read out of bounds, or drive an
+// allocation larger than the input itself.
+bool DeserializeBinary(const uint8_t* data, size_t size, Binary* out);
+inline bool DeserializeBinary(const std::vector<uint8_t>& blob, Binary* out) {
+  return DeserializeBinary(blob.data(), blob.size(), out);
+}
+
 }  // namespace confllvm
 
 #endif  // CONFLLVM_SRC_ISA_BINARY_H_

@@ -1,0 +1,167 @@
+// Little-endian byte-buffer writer/reader for the versioned on-disk formats
+// (the Binary serializer in src/isa/binary.cc and the artifact-cache disk
+// entries in src/driver/disk_cache.cc).
+//
+// The reader is fail-soft: every accessor bounds-checks against the remaining
+// input and latches ok() == false on the first violation, returning zero
+// values from then on. Callers check ok() at allocation boundaries and once
+// at the end instead of after every read — malformed or truncated input can
+// never read out of bounds, and element counts are validated against the
+// bytes actually remaining before any container is sized, so a corrupted
+// count can never drive an allocation larger than the input itself.
+#ifndef CONFLLVM_SRC_SUPPORT_BYTES_H_
+#define CONFLLVM_SRC_SUPPORT_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace confllvm {
+
+// FNV-1a 64. Used as the disk-entry payload checksum: for equal-length
+// inputs any single-byte difference is guaranteed to change the digest (the
+// state difference survives xor-with-equal-bytes and multiplication by an
+// odd prime), which is exactly the corruption class bit-flip injection
+// produces. Not collision-resistant against adversaries — entries also carry
+// the full key and source text, so a checksum pass never substitutes a
+// foreign artifact.
+inline uint64_t Fnv1a64(const uint8_t* data, size_t size,
+                        uint64_t state = 14695981039346656037ull) {
+  for (size_t i = 0; i < size; ++i) {
+    state ^= data[i];
+    state *= 1099511628211ull;
+  }
+  return state;
+}
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (i * 8)));
+    }
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (i * 8)));
+    }
+  }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void Bytes(const uint8_t* data, size_t size) {
+    if (size == 0) {
+      return;  // empty vectors hand out data() == nullptr
+    }
+    buf_.insert(buf_.end(), data, data + size);
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+  // True when the reader consumed the input exactly, with no violation and
+  // no trailing garbage.
+  bool AtEnd() const { return ok_ && pos_ == size_; }
+
+  uint8_t U8() {
+    if (!Need(1)) {
+      return 0;
+    }
+    return data_[pos_++];
+  }
+  uint32_t U32() {
+    if (!Need(4)) {
+      return 0;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(data_[pos_++]) << (i * 8);
+    }
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) {
+      return 0;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_++]) << (i * 8);
+    }
+    return v;
+  }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  bool Bool() { return U8() != 0; }
+  std::string Str() {
+    const uint32_t len = U32();
+    if (!Need(len)) {
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  void Bytes(uint8_t* out, size_t size) {
+    if (size == 0) {
+      return;  // memcpy/memset forbid null even for zero bytes
+    }
+    if (!Need(size)) {
+      std::memset(out, 0, size);
+      return;
+    }
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+  }
+
+  // Reads a u64 element count and validates it against the bytes remaining:
+  // a count that could not possibly be satisfied (count * min_elem_bytes >
+  // remaining) fails the reader and returns 0, so callers may reserve/resize
+  // to the returned value without an OOM hazard.
+  size_t Count(size_t min_elem_bytes) {
+    const uint64_t n = U64();
+    if (!ok_) {
+      return 0;
+    }
+    if (min_elem_bytes != 0 && n > remaining() / min_elem_bytes) {
+      ok_ = false;
+      return 0;
+    }
+    return static_cast<size_t>(n);
+  }
+
+  void Fail() { ok_ = false; }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || n > size_ - pos_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_SUPPORT_BYTES_H_

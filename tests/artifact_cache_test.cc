@@ -6,6 +6,11 @@
 // to cold sequential builds for all eight presets.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+
 #include "src/driver/artifact_cache.h"
 #include "src/driver/confcc.h"
 #include "src/driver/pipeline.h"
@@ -362,6 +367,53 @@ TEST(ArtifactCache, EvictionPreservesCorrectness) {
     EXPECT_EQ(cp->prog->binary.code, cold->prog->binary.code) << round;
   }
   EXPECT_LE(cache.stats().bytes_retained, 1024u);
+}
+
+// ---- Stats snapshot coherence ----
+
+TEST(ArtifactCache, StatsSnapshotIsCoherentUnderConcurrentCompiles) {
+  // Regression test for the --cache-stats reporting path: stats() must
+  // return one snapshot taken under the cache lock, so a reader racing live
+  // compiles can never observe a torn struct. The invariants below hold for
+  // every coherent snapshot (each hit/miss increments its aggregate and its
+  // per-stage counter under one lock hold) but are routinely violated by a
+  // field-at-a-time read of live state.
+  ArtifactCache cache;
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const CacheStats cs = cache.stats();
+      uint64_t hit_sum = 0;
+      uint64_t miss_sum = 0;
+      for (size_t i = 0; i < CacheStats::kNumStages; ++i) {
+        hit_sum += cs.hits_by_stage[i];
+        miss_sum += cs.misses_by_stage[i];
+      }
+      EXPECT_EQ(cs.hits, hit_sum);
+      EXPECT_EQ(cs.misses, miss_sum);
+      EXPECT_GE(cs.insertions, cs.evictions);
+      // Every producer registration resolves to an insertion (Put) or an
+      // abandon; an in-flight key is still an observed miss, so misses can
+      // only run ahead of insertions, never behind.
+      EXPECT_GE(cs.misses, cs.insertions - std::min<uint64_t>(
+                                               cs.insertions, cs.disk_hits));
+    }
+  });
+  // Churn: three sources × full preset sweeps, all through the one cache.
+  for (int round = 0; round < 3; ++round) {
+    const std::string src =
+        "int main() { return " + std::to_string(7 + round) + "; }";
+    auto outcomes = CompileBatch(PresetSweepJobs(src), /*num_workers=*/4, &cache);
+    for (const auto& out : outcomes) {
+      EXPECT_TRUE(out.ok) << out.invocation->diags().ToString();
+    }
+  }
+  stop.store(true);
+  poller.join();
+
+  const CacheStats final_stats = cache.stats();
+  EXPECT_GT(final_stats.hits, 0u);
+  EXPECT_GT(final_stats.misses, 0u);
 }
 
 // ---- Deep-clone independence ----

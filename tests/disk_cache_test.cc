@@ -1,0 +1,611 @@
+// Tests for the persistent disk tier of the artifact cache
+// (src/driver/disk_cache.h) and the versioned Binary serialization it rides
+// on (src/isa/binary.h):
+//
+//   * round-trip property — Deserialize(Serialize(b)) re-serializes
+//     byte-identically for every fig5 workload × all eight presets, and a
+//     cold-disk → warm-disk build produces a byte-identical Binary and
+//     identical CallResult/VmStats across both execution engines;
+//   * corruption injection — bit flips at every 64-byte stride, truncations,
+//     and stale format versions/fingerprints all degrade to a disk miss that
+//     recompiles correctly and quarantines/overwrites the bad entry;
+//   * concurrency — separate ArtifactCache instances sharing one directory
+//     (the cross-process topology) race on the same key without torn reads,
+//     with at most one observable compute per process.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "bench/workloads.h"
+#include "src/driver/artifact_cache.h"
+#include "src/driver/confcc.h"
+#include "src/driver/disk_cache.h"
+#include "src/driver/pipeline.h"
+#include "src/isa/binary.h"
+#include "src/support/rng.h"
+
+namespace fs = std::filesystem;
+
+namespace confllvm {
+namespace {
+
+using workloads::kNumSpecKernels;
+using workloads::kSpecKernels;
+
+size_t Idx(StageId id) { return static_cast<size_t>(id); }
+
+// A fresh, self-deleting cache directory per test.
+struct TempCacheDir {
+  TempCacheDir() {
+    static std::atomic<int> counter{0};
+    path = (fs::temp_directory_path() /
+            ("confllvm_disk_cache_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1))))
+               .string();
+    fs::create_directories(path);
+  }
+  ~TempCacheDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+std::unique_ptr<ArtifactCache> MakeDiskCache(const std::string& dir,
+                                             size_t disk_bytes = 0) {
+  auto cache = std::make_unique<ArtifactCache>();
+  EXPECT_TRUE(cache->AttachDiskTier({dir, disk_bytes}));
+  return cache;
+}
+
+std::unique_ptr<CompiledProgram> CompileVia(const std::string& src,
+                                            const BuildConfig& config,
+                                            ArtifactCache* cache,
+                                            PipelineStats* stats = nullptr) {
+  DiagEngine diags;
+  auto cp = Compile(src, config, &diags, stats, cache);
+  EXPECT_NE(cp, nullptr) << diags.ToString();
+  return cp;
+}
+
+// The one *.art entry a single-source single-config compile leaves behind.
+std::string SoleEntryPath(const std::string& dir) {
+  std::string found;
+  for (const auto& de : fs::directory_iterator(dir)) {
+    if (de.path().extension() != ".art") {
+      continue;
+    }
+    EXPECT_TRUE(found.empty()) << "more than one cache entry in " << dir;
+    found = de.path().string();
+  }
+  EXPECT_FALSE(found.empty()) << "no cache entry in " << dir;
+  return found;
+}
+
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << path;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+VmOptions EngineOpts(VmEngine e) {
+  VmOptions o;
+  o.engine = e;
+  return o;
+}
+
+void ExpectSameRun(const Vm::CallResult& a, const Vm::CallResult& b) {
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.fault, b.fault);
+  EXPECT_EQ(a.fault_msg, b.fault_msg);
+  EXPECT_EQ(a.fault_pc, b.fault_pc);
+  EXPECT_EQ(a.ret, b.ret);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instrs, b.instrs);
+}
+
+void ExpectSameVmStats(const Vm& a, const Vm& b) {
+  const VmStats& x = a.stats();
+  const VmStats& y = b.stats();
+  EXPECT_EQ(x.instrs, y.instrs);
+  EXPECT_EQ(x.cycles, y.cycles);
+  EXPECT_EQ(x.check_instrs, y.check_instrs);
+  EXPECT_EQ(x.check_cycles, y.check_cycles);
+  EXPECT_EQ(x.cfi_instrs, y.cfi_instrs);
+  EXPECT_EQ(x.trusted_cycles, y.trusted_cycles);
+  EXPECT_EQ(x.trusted_calls, y.trusted_calls);
+  EXPECT_EQ(x.loads, y.loads);
+  EXPECT_EQ(x.stores, y.stores);
+  EXPECT_EQ(x.cache_miss_cycles, y.cache_miss_cycles);
+}
+
+// A small program exercising enough of the Binary surface (globals with
+// initializers and relocations, imports, private data, calls) to make
+// serialization gaps visible, while keeping disk entries small enough that
+// stride-64 corruption sweeps stay cheap.
+const char* kSmallSource = R"(
+  int g_scale = 3;
+  void *pub_malloc(int n);
+  void pub_free(void *p);
+  int scale(int x) { return x * g_scale; }
+  int main() {
+    int *h = (int*)pub_malloc(2 * sizeof(int));
+    h[0] = scale(5);
+    private int secret = 7;
+    private int folded = secret + h[0];
+    h[1] = 4;
+    int r = h[0] + h[1];
+    pub_free((void*)h);
+    return r;
+  })";
+
+// ---- Serialization round trip ----
+
+TEST(BinarySerialization, RoundTripByteIdenticalForEveryWorkloadAndPreset) {
+  for (int k = 0; k < kNumSpecKernels; ++k) {
+    SCOPED_TRACE(kSpecKernels[k].name);
+    ArtifactCache cache;  // share the front end across the eight presets
+    for (const BuildPreset p : kAllBuildPresets) {
+      SCOPED_TRACE(PresetName(p));
+      auto cp = CompileVia(kSpecKernels[k].source, BuildConfig::For(p), &cache);
+      ASSERT_NE(cp, nullptr);
+      const Binary& bin = cp->prog->binary;
+
+      const std::vector<uint8_t> blob = SerializeBinary(bin);
+      Binary decoded;
+      ASSERT_TRUE(DeserializeBinary(blob, &decoded));
+      EXPECT_EQ(SerializeBinary(decoded), blob);
+
+      // Spot-check the fields byte-equality of the blob implies.
+      EXPECT_EQ(decoded.code, bin.code);
+      EXPECT_EQ(decoded.functions.size(), bin.functions.size());
+      EXPECT_EQ(decoded.globals.size(), bin.globals.size());
+      EXPECT_EQ(decoded.imports.size(), bin.imports.size());
+      EXPECT_EQ(decoded.magic_sites.size(), bin.magic_sites.size());
+      EXPECT_EQ(decoded.scheme, bin.scheme);
+      EXPECT_EQ(decoded.cfi, bin.cfi);
+      EXPECT_EQ(decoded.separate_stacks, bin.separate_stacks);
+      EXPECT_EQ(decoded.magic_call_prefix, bin.magic_call_prefix);
+      EXPECT_EQ(decoded.magic_ret_prefix, bin.magic_ret_prefix);
+    }
+  }
+}
+
+TEST(BinarySerialization, RejectsMalformedInput) {
+  ArtifactCache cache;
+  auto cp = CompileVia(kSmallSource, BuildConfig::For(BuildPreset::kOurMpx),
+                       &cache);
+  const std::vector<uint8_t> blob = SerializeBinary(cp->prog->binary);
+  Binary out;
+
+  // Every proper prefix is a truncation and must be rejected.
+  for (size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_FALSE(DeserializeBinary(blob.data(), len, &out)) << "len " << len;
+  }
+  // Trailing garbage is rejected too (strict AtEnd).
+  std::vector<uint8_t> padded = blob;
+  padded.push_back(0);
+  EXPECT_FALSE(DeserializeBinary(padded, &out));
+  // Bad magic and bad version.
+  std::vector<uint8_t> bad = blob;
+  bad[0] ^= 0xff;
+  EXPECT_FALSE(DeserializeBinary(bad, &out));
+  bad = blob;
+  bad[8] ^= 0xff;  // format-version word follows the 8-byte magic
+  EXPECT_FALSE(DeserializeBinary(bad, &out));
+  // The pristine blob still decodes after all that.
+  EXPECT_TRUE(DeserializeBinary(blob, &out));
+}
+
+// ---- Cold-disk → warm-disk equivalence (the tentpole guarantee) ----
+
+TEST(DiskCache, ColdThenWarmSweepSkipsBackendAndIsByteIdentical) {
+  for (int k = 0; k < kNumSpecKernels; ++k) {
+    SCOPED_TRACE(kSpecKernels[k].name);
+    TempCacheDir dir;
+
+    // Cold: empty directory, every artifact computed and persisted.
+    auto cold_cache = MakeDiskCache(dir.path);
+    auto cold = CompileBatch(PresetSweepJobs(kSpecKernels[k].source),
+                             /*num_workers=*/4, cold_cache.get());
+    ASSERT_GT(cold_cache->stats().disk_stores, 0u);
+
+    // Warm: a fresh ArtifactCache instance on the same directory — the
+    // cross-invocation topology ("new confcc process, old cache dir").
+    auto warm_cache = MakeDiskCache(dir.path);
+    auto warm = CompileBatch(PresetSweepJobs(kSpecKernels[k].source),
+                             /*num_workers=*/4, warm_cache.get());
+
+    const CacheStats ws = warm_cache->stats();
+    EXPECT_GT(ws.disk_hits, 0u);
+    // The entire Parse/Sema/IrGen/Opt/Codegen prefix is served from disk:
+    // nothing upstream of Load ever computes on the warm run.
+    EXPECT_EQ(ws.misses_by_stage[Idx(StageId::kParse)], 0u);
+    EXPECT_EQ(ws.misses_by_stage[Idx(StageId::kSema)], 0u);
+    EXPECT_EQ(ws.misses_by_stage[Idx(StageId::kIrGen)], 0u);
+    EXPECT_EQ(ws.misses_by_stage[Idx(StageId::kOpt)], 0u);
+    EXPECT_EQ(ws.misses_by_stage[Idx(StageId::kCodegen)], 0u);
+
+    for (size_t i = 0; i < cold.size(); ++i) {
+      SCOPED_TRACE(cold[i].label);
+      ASSERT_TRUE(cold[i].ok) << cold[i].invocation->diags().ToString();
+      ASSERT_TRUE(warm[i].ok) << warm[i].invocation->diags().ToString();
+
+      // Every stage up to and including codegen restored from cache on the
+      // warm run.
+      const PipelineStats& ps = warm[i].invocation->stats();
+      ASSERT_EQ(ps.stages.size(), 6u);
+      for (size_t s = 0; s <= Idx(StageId::kCodegen); ++s) {
+        EXPECT_TRUE(ps.stages[s].cached) << ps.stages[s].name;
+      }
+
+      // Byte-identical Binary, via the serialized images.
+      EXPECT_EQ(SerializeBinary(warm[i].program->prog->binary),
+                SerializeBinary(cold[i].program->prog->binary));
+
+      // And identical observable execution across both engines: the cold
+      // binary under the reference stepper against the warm binary under
+      // the fast engine (vm_engine_test pins ref == fast per binary).
+      auto cold_s = MakeSessionFor(std::move(cold[i].program),
+                                   EngineOpts(VmEngine::kRef));
+      auto warm_s = MakeSessionFor(std::move(warm[i].program),
+                                   EngineOpts(VmEngine::kFast));
+      ASSERT_NE(cold_s, nullptr);
+      ASSERT_NE(warm_s, nullptr);
+      const auto r_cold = cold_s->vm->Call("main", {});
+      const auto r_warm = warm_s->vm->Call("main", {});
+      ExpectSameRun(r_cold, r_warm);
+      ExpectSameVmStats(*cold_s->vm, *warm_s->vm);
+      EXPECT_TRUE(r_cold.ok) << r_cold.fault_msg;
+    }
+  }
+}
+
+TEST(DiskCache, WarmSingleInvocationRestoresCodegenAndStillVerifies) {
+  TempCacheDir dir;
+  const BuildConfig config = BuildConfig::For(BuildPreset::kOurMpx);
+  auto cold_cache = MakeDiskCache(dir.path);
+  CompileVia(kSmallSource, config, cold_cache.get());
+
+  auto warm_cache = MakeDiskCache(dir.path);
+  CompilerInvocation inv(kSmallSource, config);
+  inv.set_cache(warm_cache.get());
+  ASSERT_TRUE(RunStandardPipeline(&inv, /*verify=*/true))
+      << inv.diags().ToString();
+  const PipelineStats& ps = inv.stats();
+  ASSERT_EQ(ps.stages.size(), 7u);
+  for (size_t s = 0; s <= Idx(StageId::kCodegen); ++s) {
+    EXPECT_TRUE(ps.stages[s].cached) << ps.stages[s].name;
+  }
+  // Load recomputes from the restored Binary; ConfVerify always runs.
+  EXPECT_FALSE(ps.stages[Idx(StageId::kLoad)].cached);
+  EXPECT_TRUE(ps.stages[Idx(StageId::kVerify)].ran);
+  ASSERT_NE(inv.verify_result, nullptr);
+  EXPECT_TRUE(inv.verify_result->ok);
+  EXPECT_EQ(warm_cache->stats().disk_hits, 1u);
+}
+
+TEST(DiskCache, WarmBuildsReplayWarningsAcrossProcessBoundary) {
+  const char* src = R"(
+    int main() {
+      private int secret = 1;
+      if (secret) { return 2; }
+      return 3;
+    })";
+  BuildConfig config = BuildConfig::For(BuildPreset::kOurMpx);
+  config.sema.implicit_flows = ImplicitFlowMode::kWarn;
+  TempCacheDir dir;
+
+  DiagEngine cold_diags;
+  auto cold_cache = MakeDiskCache(dir.path);
+  ASSERT_NE(Compile(src, config, &cold_diags, nullptr, cold_cache.get()),
+            nullptr);
+  ASSERT_GT(cold_diags.num_warnings(), 0u);
+
+  // A fresh cache on the same dir restores codegen from disk; the warning
+  // emitted by the (skipped) front end must replay from the entry payload.
+  DiagEngine warm_diags;
+  auto warm_cache = MakeDiskCache(dir.path);
+  ASSERT_NE(Compile(src, config, &warm_diags, nullptr, warm_cache.get()),
+            nullptr);
+  EXPECT_EQ(warm_diags.num_warnings(), cold_diags.num_warnings());
+  EXPECT_TRUE(warm_diags.Contains("private")) << warm_diags.ToString();
+  EXPECT_EQ(warm_cache->stats().disk_hits, 1u);
+}
+
+// ---- Corruption injection ----
+
+struct CorruptionProbe {
+  std::string entry;
+  std::vector<uint8_t> pristine;
+  std::vector<uint8_t> reference_blob;  // serialized cold Binary
+  BuildConfig config = BuildConfig::For(BuildPreset::kOurMpx);
+};
+
+CorruptionProbe PrimeEntry(const std::string& dir) {
+  CorruptionProbe probe;
+  auto cache = MakeDiskCache(dir);
+  auto cp = CompileVia(kSmallSource, probe.config, cache.get());
+  probe.reference_blob = SerializeBinary(cp->prog->binary);
+  probe.entry = SoleEntryPath(dir);
+  probe.pristine = ReadAll(probe.entry);
+  return probe;
+}
+
+// One corrupted-entry round: a fresh cache instance must treat the entry as
+// a disk miss, quarantine it, recompile to the exact cold Binary, and leave
+// a valid replacement entry behind.
+void ExpectDegradesToRecompute(const CorruptionProbe& probe,
+                               const std::string& dir) {
+  auto cache = MakeDiskCache(dir);
+  auto cp = CompileVia(kSmallSource, probe.config, cache.get());
+  ASSERT_NE(cp, nullptr);
+  EXPECT_EQ(SerializeBinary(cp->prog->binary), probe.reference_blob);
+  const CacheStats cs = cache->stats();
+  EXPECT_EQ(cs.disk_hits, 0u);
+  EXPECT_GE(cs.disk_invalid, 1u);
+  EXPECT_GT(cs.disk_stores, 0u);  // the bad entry was overwritten
+
+  // The overwritten entry is valid again: the next "process" hits.
+  auto again = MakeDiskCache(dir);
+  CompileVia(kSmallSource, probe.config, again.get());
+  EXPECT_EQ(again->stats().disk_hits, 1u);
+  EXPECT_EQ(again->stats().disk_invalid, 0u);
+}
+
+TEST(DiskCache, BitFlipAtEveryStrideDegradesToMissAndRecompiles) {
+  TempCacheDir dir;
+  const CorruptionProbe probe = PrimeEntry(dir.path);
+  ASSERT_GT(probe.pristine.size(), 64u);
+
+  std::vector<size_t> offsets;
+  for (size_t off = 0; off < probe.pristine.size(); off += 64) {
+    offsets.push_back(off);
+  }
+  offsets.push_back(probe.pristine.size() - 1);
+  for (const size_t off : offsets) {
+    SCOPED_TRACE("flip at offset " + std::to_string(off));
+    std::vector<uint8_t> corrupt = probe.pristine;
+    corrupt[off] ^= 0x40;
+    WriteAll(probe.entry, corrupt);
+    ExpectDegradesToRecompute(probe, dir.path);
+  }
+}
+
+TEST(DiskCache, TruncationDegradesToMissAndRecompiles) {
+  TempCacheDir dir;
+  const CorruptionProbe probe = PrimeEntry(dir.path);
+
+  std::vector<size_t> cuts = {0, 1, 7, kDiskCacheVersionOffset,
+                              kDiskCacheFingerprintOffset + 4,
+                              probe.pristine.size() / 2,
+                              probe.pristine.size() - 1};
+  Rng rng(0xd15c);  // a few extra deterministic "random" offsets
+  for (int i = 0; i < 4; ++i) {
+    cuts.push_back(static_cast<size_t>(rng.Below(probe.pristine.size())));
+  }
+  for (const size_t cut : cuts) {
+    SCOPED_TRACE("truncate to " + std::to_string(cut));
+    WriteAll(probe.entry,
+             std::vector<uint8_t>(probe.pristine.begin(),
+                                  probe.pristine.begin() +
+                                      static_cast<ptrdiff_t>(cut)));
+    ExpectDegradesToRecompute(probe, dir.path);
+  }
+}
+
+TEST(DiskCache, StaleFormatVersionOrFingerprintIsMissAndOverwritten) {
+  TempCacheDir dir;
+  const CorruptionProbe probe = PrimeEntry(dir.path);
+
+  // A future format version: entries written by a newer toolchain must not
+  // be decoded by this one.
+  std::vector<uint8_t> stale = probe.pristine;
+  stale[kDiskCacheVersionOffset] =
+      static_cast<uint8_t>(kDiskCacheFormatVersion + 1);
+  WriteAll(probe.entry, stale);
+  ExpectDegradesToRecompute(probe, dir.path);
+
+  // A foreign toolchain fingerprint.
+  stale = probe.pristine;
+  stale[kDiskCacheFingerprintOffset] ^= 0xa5;
+  WriteAll(probe.entry, stale);
+  ExpectDegradesToRecompute(probe, dir.path);
+
+  // The recompute re-wrote a current-version entry.
+  const std::vector<uint8_t> rewritten = ReadAll(probe.entry);
+  ASSERT_GT(rewritten.size(), kDiskCacheFingerprintOffset);
+  EXPECT_EQ(rewritten[kDiskCacheVersionOffset],
+            static_cast<uint8_t>(kDiskCacheFormatVersion));
+}
+
+// ---- Concurrency: separate cache instances sharing one directory ----
+
+TEST(DiskCache, TwoCachesOneDirRaceWithoutTornReads) {
+  TempCacheDir dir;
+  for (int round = 0; round < 6; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const std::string src =
+        "int main() { return " + std::to_string(40 + round) + "; }";
+    const BuildConfig config = BuildConfig::For(BuildPreset::kOurMpx);
+    DiagEngine ref_diags;
+    auto ref = Compile(src, config, &ref_diags);
+    ASSERT_NE(ref, nullptr);
+    const std::vector<uint8_t> ref_blob = SerializeBinary(ref->prog->binary);
+
+    // Each "process" is an independent ArtifactCache on the shared dir and
+    // compiles the same key twice; in-process single-flight plus the disk
+    // tier must yield at most one codegen compute per process, and every
+    // restored artifact must be the true one (a torn read would surface as
+    // a serialization mismatch, a checksum quarantine, or a crash).
+    auto worker = [&](CacheStats* out) {
+      auto cache = MakeDiskCache(dir.path);
+      for (int i = 0; i < 2; ++i) {
+        auto cp = CompileVia(src, config, cache.get());
+        ASSERT_NE(cp, nullptr);
+        EXPECT_EQ(SerializeBinary(cp->prog->binary), ref_blob);
+      }
+      *out = cache->stats();
+    };
+    CacheStats s1, s2;
+    std::thread t1(worker, &s1);
+    std::thread t2(worker, &s2);
+    t1.join();
+    t2.join();
+
+    for (const CacheStats* s : {&s1, &s2}) {
+      // Exactly-once observable compute per process: the second compile hits
+      // memory, and the first either computed or restored from disk.
+      EXPECT_LE(s->misses_by_stage[Idx(StageId::kCodegen)], 1u);
+      EXPECT_EQ(s->disk_invalid, 0u);  // no torn entry was ever visible
+    }
+    // Someone produced the artifact.
+    EXPECT_GE(s1.misses_by_stage[Idx(StageId::kCodegen)] +
+                  s2.misses_by_stage[Idx(StageId::kCodegen)] + s1.disk_hits +
+                  s2.disk_hits,
+              1u);
+
+    // The entry left behind is valid for the next process.
+    auto after = MakeDiskCache(dir.path);
+    CompileVia(src, config, after.get());
+    EXPECT_EQ(after->stats().disk_hits, 1u);
+  }
+}
+
+TEST(DiskCache, ConcurrentStoreAndLoadNeverObservesPartialEntry) {
+  TempCacheDir dir;
+  DiskCacheTier tier({dir.path, 0});
+  ASSERT_TRUE(tier.ok());
+
+  ArtifactCache scratch;
+  auto cp = CompileVia(kSmallSource, BuildConfig::For(BuildPreset::kOurMpx),
+                       &scratch);
+  StageArtifact artifact;
+  artifact.stage = StageId::kCodegen;
+  artifact.binary = std::make_shared<const Binary>(cp->prog->binary);
+  artifact.source = std::make_shared<const std::string>(kSmallSource);
+  artifact.bytes = ApproxBytes(*artifact.binary);
+  const std::vector<uint8_t> ref_blob = SerializeBinary(*artifact.binary);
+  const std::string key = "codegen:0xtest";
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> observed_hits{0};
+  std::thread writer([&] {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_TRUE(tier.Store(key, artifact));
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      DiskCacheTier::LoadResult r = tier.Load(key);
+      EXPECT_FALSE(r.invalid) << "reader observed a torn entry";
+      if (r.artifact != nullptr) {
+        EXPECT_EQ(SerializeBinary(*r.artifact->binary), ref_blob);
+        observed_hits.fetch_add(1);
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_GT(observed_hits.load(), 0u);
+}
+
+TEST(DiskCache, ForeignToolchainEntriesCoexistInsteadOfBeingQuarantined) {
+  // The toolchain fingerprint is part of the entry's file name, so an entry
+  // written by a different toolchain is simply not at this toolchain's
+  // address: a plain miss that leaves the foreign file untouched, not a
+  // quarantine — two versions sharing a cache dir must not perpetually
+  // delete each other's work.
+  TempCacheDir dir;
+  const CorruptionProbe probe = PrimeEntry(dir.path);
+  const std::string foreign = probe.entry + ".foreign-fingerprint.art";
+  fs::rename(probe.entry, foreign);
+
+  auto cache = MakeDiskCache(dir.path);
+  auto cp = CompileVia(kSmallSource, probe.config, cache.get());
+  EXPECT_EQ(SerializeBinary(cp->prog->binary), probe.reference_blob);
+  const CacheStats cs = cache->stats();
+  EXPECT_EQ(cs.disk_hits, 0u);
+  EXPECT_EQ(cs.disk_invalid, 0u);  // a foreign entry is not corruption
+  EXPECT_TRUE(fs::exists(foreign));  // and it survives
+  EXPECT_TRUE(fs::exists(probe.entry));  // own entry stored alongside
+}
+
+TEST(DiskCache, StaleTempFilesAreSweptOnAttachFreshOnesKept) {
+  TempCacheDir dir;
+  // An orphan from a writer killed mid-store, and one young enough to be a
+  // live in-flight write.
+  const fs::path stale = fs::path(dir.path) / "codegen-0xdead.art.tmp.1.0";
+  const fs::path fresh = fs::path(dir.path) / "codegen-0xbeef.art.tmp.2.0";
+  WriteAll(stale.string(), {1, 2, 3});
+  WriteAll(fresh.string(), {4, 5, 6});
+  std::error_code ec;
+  fs::last_write_time(
+      stale, fs::file_time_type::clock::now() - std::chrono::hours(2), ec);
+  ASSERT_FALSE(ec);
+
+  DiskCacheTier tier({dir.path, 0});
+  ASSERT_TRUE(tier.ok());
+  EXPECT_FALSE(fs::exists(stale));
+  EXPECT_TRUE(fs::exists(fresh));
+}
+
+// ---- Disk eviction ----
+
+TEST(DiskCache, EvictsLruByMtimeUnderByteCap) {
+  TempCacheDir dir;
+  // Size one entry of the same shape the capped compiles below produce,
+  // then cap the tier below two of them.
+  {
+    auto probe = MakeDiskCache(dir.path);
+    CompileVia("int main() { return 59; }",
+               BuildConfig::For(BuildPreset::kOurMpx), probe.get());
+  }
+  const size_t one_entry = ReadAll(SoleEntryPath(dir.path)).size();
+  ASSERT_GT(one_entry, 0u);
+  std::error_code ec;
+  fs::remove_all(dir.path, ec);
+  fs::create_directories(dir.path);
+
+  const size_t cap = one_entry + one_entry / 2;
+  auto cache = MakeDiskCache(dir.path, cap);
+  for (int i = 0; i < 4; ++i) {
+    const std::string src =
+        "int main() { return " + std::to_string(60 + i) + "; }";
+    DiagEngine cold;
+    auto ref = Compile(src, BuildConfig::For(BuildPreset::kOurMpx), &cold);
+    ASSERT_NE(ref, nullptr);
+    auto cp = CompileVia(src, BuildConfig::For(BuildPreset::kOurMpx),
+                         cache.get());
+    EXPECT_EQ(SerializeBinary(cp->prog->binary),
+              SerializeBinary(ref->prog->binary));
+  }
+  EXPECT_GT(cache->stats().disk_evictions, 0u);
+
+  uintmax_t total = 0;
+  for (const auto& de : fs::directory_iterator(dir.path)) {
+    if (de.path().extension() == ".art") {
+      total += de.file_size();
+    }
+  }
+  EXPECT_LE(total, cap);
+}
+
+}  // namespace
+}  // namespace confllvm

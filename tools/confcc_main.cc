@@ -5,7 +5,8 @@
 //   confcc [--preset=OurMPX|all] [--entry=main] [--args=1,2,3] [--verify]
 //          [--disasm] [--stats] [--time-passes] [--jobs=N] [--all-private]
 //          [--incremental] [--cache-stats] [--cache-bytes=N]
-//          [--engine=ref|fast] file.mc
+//          [--cache-dir=D] [--cache-disk-bytes=N] [--cache-stats-json=F]
+//          [--emit-bin=F] [--engine=ref|fast] file.mc
 //
 // --preset=all batch-compiles every §7.1/§7.2 configuration concurrently
 // (--jobs workers) through CompileBatch and reports one line per preset.
@@ -14,8 +15,16 @@
 // see ARCHITECTURE.md "Execution engine").
 // --incremental routes compilation through the artifact cache, sharing the
 // Parse/Sema/IrGen prefix across the sweep; --cache-stats appends the cache
-// counters (hits, misses, bytes retained, prefix shares) to the
+// counters (hits, misses, bytes retained, prefix shares, disk tier) to the
 // --time-passes table; --cache-bytes caps retained artifact bytes (LRU).
+// --cache-dir attaches the persistent disk tier rooted at D (implies the
+// cache): codegen artifacts persist across confcc invocations, so a warm
+// rerun of an unchanged source skips Parse/Sema/Opt/Codegen entirely;
+// --cache-disk-bytes caps the directory (LRU-by-mtime eviction);
+// --cache-stats-json writes one coherent stats snapshot as JSON to F.
+// --emit-bin serializes each compiled (post-load) Binary to F in single
+// mode, or F.<preset>.bin per preset in sweep mode — byte-identical across
+// cold and warm runs, which is what the CI disk-cache job diffs.
 // In single-preset mode --jobs=N shards per-function codegen emission.
 #include <cstdio>
 #include <cstring>
@@ -24,7 +33,9 @@
 
 #include "src/driver/artifact_cache.h"
 #include "src/driver/confcc.h"
+#include "src/driver/disk_cache.h"
 #include "src/driver/pipeline.h"
+#include "src/isa/binary.h"
 #include "src/verifier/verifier.h"
 
 using namespace confllvm;
@@ -46,7 +57,9 @@ int Usage() {
           "usage: confcc [--preset=P|all] [--entry=F] [--args=a,b,...] [--verify]\n"
           "              [--disasm] [--stats] [--time-passes] [--jobs=N]\n"
           "              [--all-private] [--incremental] [--cache-stats]\n"
-          "              [--cache-bytes=N] [--engine=ref|fast] file.mc\n"
+          "              [--cache-bytes=N] [--cache-dir=D] [--cache-disk-bytes=N]\n"
+          "              [--cache-stats-json=F] [--emit-bin=F]\n"
+          "              [--engine=ref|fast] file.mc\n"
           "presets: Base BaseOA Our1Mem OurBare OurCFI OurMPX OurMPX-Sep OurSeg\n");
   return 2;
 }
@@ -65,12 +78,71 @@ struct Options {
   bool incremental = false;   // compile through the artifact cache
   bool cache_stats = false;   // print the cache counters row (implies cache)
   size_t cache_bytes = 0;     // artifact-cache byte cap, 0 = unbounded
+  std::string cache_dir;      // persistent disk tier root (implies cache)
+  size_t cache_disk_bytes = 0;  // disk-tier byte cap, 0 = unbounded
+  std::string cache_stats_json;  // write the stats snapshot as JSON here
+  std::string emit_bin;       // serialize compiled Binary(s) here
   VmEngine engine = VmOptions{}.engine;  // --engine=ref|fast
   std::string file;
 
-  // A byte cap only makes sense with a cache, so --cache-bytes implies one.
-  bool UseCache() const { return incremental || cache_stats || cache_bytes != 0; }
+  // Byte caps / stats outputs only make sense with a cache, so every cache
+  // flag implies one.
+  bool UseCache() const {
+    return incremental || cache_stats || cache_bytes != 0 ||
+           !cache_dir.empty() || !cache_stats_json.empty();
+  }
 };
+
+// Builds the cache the options ask for, attaching the disk tier when
+// --cache-dir was given. Null when no cache flag is set; also null (after a
+// diagnostic) when the disk tier cannot be attached — a broken cache dir is
+// an explicit error, not a silent cold compile.
+std::unique_ptr<ArtifactCache> MakeCache(const Options& opt, bool* error) {
+  *error = false;
+  if (!opt.UseCache()) {
+    return nullptr;
+  }
+  auto cache = std::make_unique<ArtifactCache>(opt.cache_bytes);
+  if (!opt.cache_dir.empty() &&
+      !cache->AttachDiskTier({opt.cache_dir, opt.cache_disk_bytes})) {
+    fprintf(stderr, "confcc: cannot create cache dir %s\n",
+            opt.cache_dir.c_str());
+    *error = true;
+    return nullptr;
+  }
+  return cache;
+}
+
+// One coherent snapshot rendered to every requested sink. Taking the
+// snapshot once matters: the row and the JSON must agree even if something
+// were still compiling (see ArtifactCache::stats()).
+bool ReportCacheStats(const ArtifactCache& cache, const Options& opt) {
+  const CacheStats cs = cache.stats();
+  if (opt.cache_stats) {
+    fputs(cs.ToRow().c_str(), stderr);
+  }
+  if (!opt.cache_stats_json.empty()) {
+    std::ofstream out(opt.cache_stats_json, std::ios::trunc);
+    if (!out) {
+      fprintf(stderr, "confcc: cannot write %s\n", opt.cache_stats_json.c_str());
+      return false;
+    }
+    out << cs.ToJson();
+  }
+  return true;
+}
+
+bool EmitBinary(const Binary& bin, const std::string& path) {
+  const std::vector<uint8_t> blob = SerializeBinary(bin);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    fprintf(stderr, "confcc: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  return static_cast<bool>(out);
+}
 
 BuildConfig ConfigFor(BuildPreset preset, const Options& opt) {
   BuildConfig config = BuildConfig::For(preset);
@@ -143,9 +215,10 @@ int RunSweep(const std::string& source, const Options& opt) {
     job.verify = opt.verify && WantsVerify(job.config);
     jobs.push_back(std::move(job));
   }
-  std::unique_ptr<ArtifactCache> cache;
-  if (opt.UseCache()) {
-    cache = std::make_unique<ArtifactCache>(opt.cache_bytes);
+  bool cache_error = false;
+  std::unique_ptr<ArtifactCache> cache = MakeCache(opt, &cache_error);
+  if (cache_error) {
+    return 1;
   }
   auto outcomes = CompileBatch(jobs, opt.jobs, cache.get());
 
@@ -167,6 +240,12 @@ int RunSweep(const std::string& source, const Options& opt) {
       printf("-- %s --\n%s", out.label.c_str(),
              Disassemble(out.program->prog->binary).c_str());
     }
+    if (!opt.emit_bin.empty() &&
+        !EmitBinary(out.program->prog->binary,
+                    opt.emit_bin + "." + out.label + ".bin")) {
+      ++failures;
+      continue;
+    }
     uint64_t cycles = 0;
     if (!RunProgram(std::move(out.program), opt, &cycles, nullptr,
                     /*quiet=*/true)) {
@@ -180,8 +259,8 @@ int RunSweep(const std::string& source, const Options& opt) {
       fprintf(stderr, "-- %s --\n%s", out.label.c_str(), ps.ToTable().c_str());
     }
   }
-  if (opt.cache_stats && cache != nullptr) {
-    fputs(cache->stats().ToRow().c_str(), stderr);
+  if (cache != nullptr && !ReportCacheStats(*cache, opt)) {
+    return 1;
   }
   return failures == 0 ? 0 : 1;
 }
@@ -212,6 +291,14 @@ int main(int argc, char** argv) {
       opt.jobs = static_cast<unsigned>(strtoul(a.substr(7).c_str(), nullptr, 0));
     } else if (a.rfind("--cache-bytes=", 0) == 0) {
       opt.cache_bytes = strtoull(a.substr(14).c_str(), nullptr, 0);
+    } else if (a.rfind("--cache-dir=", 0) == 0) {
+      opt.cache_dir = a.substr(12);
+    } else if (a.rfind("--cache-disk-bytes=", 0) == 0) {
+      opt.cache_disk_bytes = strtoull(a.substr(19).c_str(), nullptr, 0);
+    } else if (a.rfind("--cache-stats-json=", 0) == 0) {
+      opt.cache_stats_json = a.substr(19);
+    } else if (a.rfind("--emit-bin=", 0) == 0) {
+      opt.emit_bin = a.substr(11);
     } else if (a.rfind("--engine=", 0) == 0) {
       const std::string name = a.substr(9);
       if (name == "ref") {
@@ -263,9 +350,10 @@ int main(int argc, char** argv) {
   // hardware concurrency, matching the sweep's worker semantics; output is
   // bit-identical for any value).
   config.codegen_jobs = opt.jobs;
-  std::unique_ptr<ArtifactCache> cache;
-  if (opt.UseCache()) {
-    cache = std::make_unique<ArtifactCache>(opt.cache_bytes);
+  bool cache_error = false;
+  std::unique_ptr<ArtifactCache> cache = MakeCache(opt, &cache_error);
+  if (cache_error) {
+    return 1;
   }
   CompilerInvocation inv(buf.str(), config);
   inv.set_cache(cache.get());
@@ -274,8 +362,8 @@ int main(int argc, char** argv) {
   if (opt.time_passes) {
     fputs(inv.stats().ToTable().c_str(), stderr);
   }
-  if (opt.cache_stats && cache != nullptr) {
-    fputs(cache->stats().ToRow().c_str(), stderr);
+  if (cache != nullptr && !ReportCacheStats(*cache, opt)) {
+    return 1;
   }
   if (!ok) {
     return 1;
@@ -289,6 +377,10 @@ int main(int argc, char** argv) {
 
   if (opt.disasm) {
     fputs(Disassemble(compiled->prog->binary).c_str(), stdout);
+  }
+  if (!opt.emit_bin.empty() &&
+      !EmitBinary(compiled->prog->binary, opt.emit_bin)) {
+    return 1;
   }
   if (opt.verify) {
     VerifyResult v = Verify(*compiled->prog);

@@ -14,10 +14,19 @@
 // Needs no google-benchmark: it is a plain executable so CI can always run
 // it. Timing is min-of-N over fresh sessions (the D-cache model is part of
 // the simulation, so each measured run starts from a cold Vm).
+//
+// --pair-histogram: instead of timing, run every workload × preset once on
+// the *reference* engine with VmOptions::pair_histogram attached and dump
+// the aggregated dynamic opcode-pair frequency table as JSON (sorted by
+// count, with cumulative fractions). This is the input for re-tuning the
+// fast engine's superinstruction fusion set as new workloads — e.g. the
+// multi-module linked programs — shift the dynamic mix (ROADMAP
+// "fast-engine coverage growth").
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -161,7 +170,95 @@ int Run() {
   return all_match ? 0 : 1;
 }
 
+// ---- --pair-histogram mode ----
+
+int RunPairHistogram() {
+  std::vector<uint64_t> hist(256 * 256, 0);
+  uint64_t total_instrs = 0;
+  int rows = 0;
+  for (int k = 0; k < kNumSpecKernels; ++k) {
+    const auto& kernel = kSpecKernels[k];
+    ArtifactCache cache;
+    for (const BuildPreset preset : kPresets) {
+      DiagEngine diags;
+      auto compiled =
+          Compile(kernel.source, BuildConfig::For(preset), &diags, nullptr, &cache);
+      if (compiled == nullptr) {
+        fprintf(stderr, "compile failed under %s:\n%s", PresetName(preset),
+                diags.ToString().c_str());
+        return 1;
+      }
+      // The histogram counts the *reference* dynamic stream: the fast
+      // engine's fusion would hide exactly the pairs being measured.
+      VmOptions opts;
+      opts.engine = VmEngine::kRef;
+      opts.pair_histogram = &hist;
+      auto s = MakeSessionFor(std::move(compiled), opts);
+      const auto r = s->vm->Call("main", {});
+      if (!r.ok) {
+        fprintf(stderr, "%s/%s: main fault: %s\n", kernel.name,
+                PresetName(preset), r.fault_msg.c_str());
+        return 1;
+      }
+      total_instrs += r.instrs;
+      ++rows;
+    }
+  }
+
+  struct Pair {
+    uint16_t key;
+    uint64_t count;
+  };
+  std::vector<Pair> pairs;
+  uint64_t total_pairs = 0;
+  for (uint32_t key = 0; key < hist.size(); ++key) {
+    if (hist[key] != 0) {
+      pairs.push_back({static_cast<uint16_t>(key), hist[key]});
+      total_pairs += hist[key];
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& a, const Pair& b) { return a.count > b.count; });
+
+  std::string out = StrFormat(
+      "{\n  \"bench\": \"exec_pair_histogram\",\n  \"engine\": \"ref\",\n"
+      "  \"runs\": %d,\n  \"total_instrs\": %llu,\n  \"total_pairs\": %llu,\n"
+      "  \"distinct_pairs\": %zu,\n  \"pairs\": [\n",
+      rows, static_cast<unsigned long long>(total_instrs),
+      static_cast<unsigned long long>(total_pairs), pairs.size());
+  double cumulative = 0;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const Op a = static_cast<Op>(pairs[i].key >> 8);
+    const Op b = static_cast<Op>(pairs[i].key & 0xff);
+    const double frac =
+        total_pairs == 0 ? 0 : static_cast<double>(pairs[i].count) / total_pairs;
+    cumulative += frac;
+    out += StrFormat(
+        "    {\"first\": \"%s\", \"second\": \"%s\", \"count\": %llu, "
+        "\"frac\": %.6f, \"cum_frac\": %.6f}%s\n",
+        OpName(a), OpName(b), static_cast<unsigned long long>(pairs[i].count),
+        frac, cumulative, i + 1 == pairs.size() ? "" : ",");
+  }
+  out += "  ]\n}\n";
+  fputs(out.c_str(), stdout);
+  fprintf(stderr,
+          "exec_pair_histogram: %d runs, %zu distinct pairs over %llu dynamic "
+          "pairs; top pair covers %.1f%%\n",
+          rows, pairs.size(), static_cast<unsigned long long>(total_pairs),
+          pairs.empty() ? 0.0
+                        : 100.0 * static_cast<double>(pairs[0].count) /
+                              static_cast<double>(total_pairs));
+  return 0;
+}
+
 }  // namespace
 }  // namespace confllvm
 
-int main() { return confllvm::Run(); }
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--pair-histogram") == 0) {
+      return confllvm::RunPairHistogram();
+    }
+  }
+  return confllvm::Run();
+}

@@ -28,6 +28,7 @@ struct Pending {
     kTrap,       // imm <- word index of the function's trap
     kFuncEntry,  // imm <- entry word of function fix_id (direct call)
     kFuncAddr,   // imm64 <- CodeAddr(entry of function fix_id)
+    kModEntry,   // imm <- link-time entry of module_imports[fix_id] (ModCallSite)
     kGlobalAddr, // payload word becomes a GlobalRef (global fix_id + addend)
     kMagicImm,   // payload word becomes an inverted MagicSite
   };
@@ -644,6 +645,7 @@ class FuncEmitter {
       }
       case IrOp::kCall:
       case IrOp::kCallExt:
+      case IrOp::kCallMod:
       case IrOp::kICall:
         SelectCall(in);
         return;
@@ -851,6 +853,17 @@ class FuncEmitter {
       MInstr call{};
       call.op = Op::kCall;
       Push(call, Pending::Fix::kFuncEntry, in.func_idx);
+    } else if (in.op == IrOp::kCallMod) {
+      // Cross-module direct call: the target entry is unknown until link
+      // time, so emit kCall with a zero target and record a ModCallSite.
+      // CFI-wise the site is identical to a local direct call — the MRet
+      // magic below uses the *declared* return taint, and the callee's own
+      // MCall magic is what link-time ConfVerify checks the edge against.
+      ret_taint_bit =
+          mod_.module_imports[in.ext_idx].taints.ret == Qual::kPrivate ? 1 : 0;
+      MInstr call{};
+      call.op = Op::kCall;
+      Push(call, Pending::Fix::kModEntry, in.ext_idx);
     } else if (in.op == IrOp::kCallExt) {
       const IrImport& imp = mod_.imports[in.ext_idx];
       ret_taint_bit = imp.taints.ret == Qual::kPrivate ? 1 : 0;
@@ -1015,6 +1028,14 @@ Binary GenerateCode(const IrModule& mod, const CodegenOptions& opts, DiagEngine*
     }
     bin.imports.push_back(std::move(bi));
   }
+  for (const IrModImport& imp : mod.module_imports) {
+    BinModImport bm;
+    bm.name = imp.name;
+    bm.taint_bits = imp.taints.Encode();
+    bm.num_params = imp.num_params;
+    bm.returns_value = imp.returns_value;
+    bin.mod_imports.push_back(std::move(bm));
+  }
 
   // Emit every function, then lay them out and resolve cross-function
   // fixups. Emission is per-function pure (liveness, regalloc, and selection
@@ -1074,6 +1095,7 @@ Binary GenerateCode(const IrModule& mod, const CodegenOptions& opts, DiagEngine*
     BinFunction bf;
     bf.name = f.name;
     bf.taint_bits = f.taints.Encode();
+    bf.returns_value = f.returns_value;
     bf.num_params = f.num_params;
     bin.functions.push_back(std::move(bf));
   }
@@ -1120,6 +1142,16 @@ Binary GenerateCode(const IrModule& mod, const CodegenOptions& opts, DiagEngine*
         case Pending::Fix::kFuncAddr:
           p.mi.imm64 =
               static_cast<int64_t>(CodeAddr(bin.functions[p.fix_id].entry_word));
+          // Payload words are indistinguishable from constants, so record
+          // the site for link-time rebasing (the payload is word +1).
+          bin.func_refs.push_back(
+              {static_cast<uint32_t>(bin.code.size()) + 1, p.fix_id});
+          break;
+        case Pending::Fix::kModEntry:
+          // Cross-module call: target is link-time; leave imm 0 and record
+          // the site against the module-import slot.
+          bin.mod_call_sites.push_back(
+              {static_cast<uint32_t>(bin.code.size()), p.fix_id});
           break;
         case Pending::Fix::kGlobalAddr:
           bin.global_refs.push_back({static_cast<uint32_t>(bin.code.size()) + 1,

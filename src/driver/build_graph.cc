@@ -1,0 +1,321 @@
+#include "src/driver/build_graph.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "src/runtime/loader.h"
+#include "src/support/bytes.h"
+#include "src/support/strings.h"
+#include "src/verifier/verifier.h"
+
+namespace confllvm {
+
+bool BuildGraph::AddModule(const std::string& name, std::string source,
+                           DiagEngine* diags) {
+  if (finalized_) {
+    diags->Error(SourceLoc{}, "build graph already finalized");
+    return false;
+  }
+  if (name.empty()) {
+    diags->Error(SourceLoc{}, "module name cannot be empty");
+    return false;
+  }
+  if (ModuleIndex(name) >= 0) {
+    diags->Error(SourceLoc{},
+                 StrFormat("duplicate module '%s' in build graph", name.c_str()));
+    return false;
+  }
+  modules_.push_back({name, std::move(source), {}, 0});
+  return true;
+}
+
+int BuildGraph::ModuleIndex(const std::string& name) const {
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    if (modules_[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+bool BuildGraph::Finalize(const BuildConfig& config, DiagEngine* diags,
+                          ArtifactCache* cache, unsigned num_workers) {
+  if (finalized_) {
+    diags->Error(SourceLoc{}, "build graph already finalized");
+    return false;
+  }
+  if (modules_.empty()) {
+    diags->Error(SourceLoc{}, "build graph has no modules");
+    return false;
+  }
+
+  // 1. Parse every module concurrently through the cache; the later object
+  // compile restores the identical Parse artifact instead of re-lexing.
+  std::vector<std::unique_ptr<CompilerInvocation>> parses(modules_.size());
+  {
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= modules_.size()) {
+          return;
+        }
+        parses[i] = std::make_unique<CompilerInvocation>(modules_[i].source, config);
+        parses[i]->set_cache(cache);
+        PassManager::ParseOnly().Run(parses[i].get());
+      }
+    };
+    unsigned n = num_workers != 0 ? num_workers : std::thread::hardware_concurrency();
+    if (n == 0) {
+      n = 1;
+    }
+    n = static_cast<unsigned>(std::min<size_t>(n, modules_.size()));
+    if (n <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(n);
+      for (unsigned t = 0; t < n; ++t) {
+        threads.emplace_back(worker);
+      }
+      for (std::thread& t : threads) {
+        t.join();
+      }
+    }
+  }
+
+  bool ok = true;
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    if (parses[i]->ast == nullptr || parses[i]->diags().HasErrors()) {
+      diags->Error(SourceLoc{},
+                   StrFormat("module '%s' failed to parse:", modules_[i].name.c_str()));
+      diags->Append(parses[i]->diags());
+      ok = false;
+    }
+  }
+  if (!ok) {
+    return false;
+  }
+
+  // 2. Interfaces and dependency edges.
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    interfaces_.Add(ExtractModuleInterface(*parses[i]->ast, modules_[i].name,
+                                           config.sema.all_private));
+  }
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    for (const ImportDecl& id : parses[i]->ast->imports) {
+      const int dep = ModuleIndex(id.module);
+      if (dep < 0) {
+        diags->Error(id.loc,
+                     StrFormat("module '%s' imports unknown module '%s'",
+                               modules_[i].name.c_str(), id.module.c_str()));
+        ok = false;
+        continue;
+      }
+      if (static_cast<size_t>(dep) == i) {
+        diags->Error(id.loc, StrFormat("module '%s' imports itself",
+                                       modules_[i].name.c_str()));
+        ok = false;
+        continue;
+      }
+      modules_[i].deps.push_back(static_cast<size_t>(dep));
+    }
+    // Canonical order + dedup (sema separately rejects duplicate import
+    // declarations; the graph just needs a stable fingerprint basis).
+    auto& d = modules_[i].deps;
+    std::sort(d.begin(), d.end(), [this](size_t a, size_t b) {
+      return modules_[a].name < modules_[b].name;
+    });
+    d.erase(std::unique(d.begin(), d.end()), d.end());
+  }
+  if (!ok) {
+    return false;
+  }
+
+  // 3. Imports fingerprint: direct dependencies' names + interface
+  // fingerprints, in canonical order. Body edits leave it unchanged;
+  // exported-signature edits change the dependency's interface fingerprint
+  // and therefore every direct importer's sema key.
+  for (Module& m : modules_) {
+    uint64_t h = Fnv1a64(nullptr, 0);  // offset basis
+    for (const size_t dep : m.deps) {
+      const std::string& dep_name = modules_[dep].name;
+      h = Fnv1a64(reinterpret_cast<const uint8_t*>(dep_name.data()),
+                  dep_name.size(), h);
+      const uint64_t fp = interfaces_.Find(dep_name)->Fingerprint();
+      h = Fnv1a64(reinterpret_cast<const uint8_t*>(&fp), sizeof fp, h);
+    }
+    m.imports_fingerprint = h;
+  }
+
+  // 4. Wave schedule (Kahn layers). Anything left unplaced is on a cycle.
+  std::vector<size_t> indegree(modules_.size(), 0);
+  std::vector<std::vector<size_t>> dependents(modules_.size());
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    indegree[i] = modules_[i].deps.size();
+    for (const size_t dep : modules_[i].deps) {
+      dependents[dep].push_back(i);
+    }
+  }
+  std::vector<bool> placed(modules_.size(), false);
+  std::vector<size_t> frontier;
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    if (indegree[i] == 0) {
+      frontier.push_back(i);
+    }
+  }
+  size_t total_placed = 0;
+  while (!frontier.empty()) {
+    std::sort(frontier.begin(), frontier.end());
+    waves_.push_back(frontier);
+    std::vector<size_t> next_frontier;
+    for (const size_t i : frontier) {
+      placed[i] = true;
+      ++total_placed;
+      for (const size_t d : dependents[i]) {
+        if (--indegree[d] == 0) {
+          next_frontier.push_back(d);
+        }
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  if (total_placed != modules_.size()) {
+    std::string cycle;
+    for (size_t i = 0; i < modules_.size(); ++i) {
+      if (!placed[i]) {
+        if (!cycle.empty()) {
+          cycle += ", ";
+        }
+        cycle += modules_[i].name;
+      }
+    }
+    diags->Error(SourceLoc{},
+                 StrFormat("import cycle among modules: %s", cycle.c_str()));
+    return false;
+  }
+
+  finalized_ = true;
+  return true;
+}
+
+// ---- Scheduler ----
+
+std::string BuildGraphStats::ToJson() const {
+  std::string s = StrFormat(
+      "{\"modules\": %zu, \"waves\": %zu, \"codegen_ran\": %zu, "
+      "\"link\": {\"code_words\": %zu, \"functions\": %zu, "
+      "\"resolved_call_sites\": %zu, \"contract_checks\": %zu}, "
+      "\"module_detail\": [",
+      modules, waves, codegen_ran, link.code_words, link.functions,
+      link.resolved_call_sites, link.contract_checks);
+  for (size_t i = 0; i < per_module.size(); ++i) {
+    const PerModule& m = per_module[i];
+    s += StrFormat(
+        "%s{\"name\": \"%s\", \"wave\": %zu, \"ok\": %s, "
+        "\"codegen_cached\": %s, \"ms\": %.3f}",
+        i == 0 ? "" : ", ", m.name.c_str(), m.wave, m.ok ? "true" : "false",
+        m.codegen_cached ? "true" : "false", m.ms);
+  }
+  s += "]}\n";
+  return s;
+}
+
+LinkedBuild BuildScheduler::Run(ArtifactCache* cache) {
+  LinkedBuild out;
+  out.modules.resize(graph_->num_modules());
+  out.stats.modules = graph_->num_modules();
+  out.stats.waves = graph_->waves().size();
+  // Name every outcome up front so the stats rows of modules in waves that
+  // never ran (an earlier wave failed) still carry their identity.
+  for (size_t w = 0; w < graph_->waves().size(); ++w) {
+    for (const size_t i : graph_->waves()[w]) {
+      out.modules[i].name = graph_->module_name(i);
+      out.modules[i].wave = w;
+    }
+  }
+
+  // 1. Compile wave by wave; modules within a wave run concurrently on the
+  // batch pool, all through the shared cache.
+  bool compile_ok = true;
+  for (size_t w = 0; w < graph_->waves().size() && compile_ok; ++w) {
+    const std::vector<size_t>& wave = graph_->waves()[w];
+    std::vector<BatchJob> jobs;
+    jobs.reserve(wave.size());
+    for (const size_t i : wave) {
+      BatchJob job;
+      job.label = graph_->module_name(i);
+      job.source = graph_->module_source(i);
+      job.config = config_;
+      job.object_only = true;
+      job.interfaces = &graph_->interfaces();
+      job.imports_fingerprint = graph_->ImportsFingerprint(i);
+      jobs.push_back(std::move(job));
+    }
+    std::vector<BatchOutcome> outcomes =
+        CompileBatch(jobs, opts_.num_workers, cache);
+    for (size_t k = 0; k < wave.size(); ++k) {
+      ModuleOutcome& mo = out.modules[wave[k]];
+      mo.ok = outcomes[k].ok;
+      mo.invocation = std::move(outcomes[k].invocation);
+      compile_ok = compile_ok && mo.ok;
+    }
+  }
+
+  // Per-module stats rows (also for partially-built graphs).
+  for (const ModuleOutcome& mo : out.modules) {
+    BuildGraphStats::PerModule pm;
+    pm.name = mo.name;
+    pm.wave = mo.wave;
+    pm.ok = mo.ok;
+    if (mo.invocation != nullptr) {
+      const StageStats* cg = mo.invocation->stats().Find(StageId::kCodegen);
+      pm.codegen_cached = cg != nullptr && cg->cached;
+      if (mo.ok && cg != nullptr && !cg->cached) {
+        ++out.stats.codegen_ran;
+      }
+      pm.ms = mo.invocation->stats().total_ms;
+    }
+    out.stats.per_module.push_back(std::move(pm));
+  }
+  if (!compile_ok) {
+    return out;
+  }
+
+  // 2. Link the per-module binaries in graph order.
+  std::vector<const Binary*> bins;
+  bins.reserve(out.modules.size());
+  for (const ModuleOutcome& mo : out.modules) {
+    bins.push_back(mo.invocation->binary.get());
+  }
+  std::unique_ptr<Binary> linked = LinkBinaries(bins, &out.diags, &out.stats.link);
+  if (linked == nullptr) {
+    return out;
+  }
+
+  // 3. Load the merged image.
+  out.prog = LoadBinary(std::move(*linked), config_.load, &out.diags);
+  if (out.prog == nullptr) {
+    return out;
+  }
+
+  // 4. Link-time ConfVerify: re-check the whole merged image — including
+  // every cross-module call edge's taints against the callee's entry magic —
+  // so a module whose interface was forged after sema is rejected here even
+  // if it slipped past the linker's metadata check.
+  if (opts_.verify) {
+    out.verify_result = std::make_unique<VerifyResult>(Verify(*out.prog));
+    if (!out.verify_result->ok) {
+      for (const std::string& e : out.verify_result->errors) {
+        out.diags.Error(SourceLoc{}, "confverify: " + e);
+      }
+      return out;
+    }
+  }
+
+  out.ok = true;
+  return out;
+}
+
+}  // namespace confllvm

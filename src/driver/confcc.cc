@@ -1,8 +1,30 @@
 #include "src/driver/confcc.h"
 
+#include <thread>
+
 #include "src/driver/pipeline.h"
+#include "src/support/strings.h"
 
 namespace confllvm {
+
+unsigned NormalizeJobCount(long long requested, std::string* warning) {
+  if (requested > 0) {
+    return static_cast<unsigned>(requested);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) {
+    hw = 1;
+  }
+  if (warning != nullptr) {
+    *warning = StrFormat("job count %lld clamped to hardware concurrency (%u)",
+                         requested, hw);
+  }
+  return hw;
+}
+
+std::string SweepEmitPath(const std::string& base, const std::string& label) {
+  return base + "." + label + ".bin";
+}
 
 const char* PresetName(BuildPreset p) {
   switch (p) {

@@ -58,6 +58,8 @@ struct BuildConfig {
   // concurrency). Pure parallelism knob: emission is per-function and the
   // layout pass is sequential, so the binary is bit-identical for any value
   // — which is also why this field is excluded from artifact-cache keys.
+  // Drivers translating user input (which may be negative) should route it
+  // through NormalizeJobCount() first, as confcc --jobs does.
   unsigned codegen_jobs = 1;
 
   static BuildConfig For(BuildPreset preset);
@@ -99,6 +101,19 @@ std::unique_ptr<Session> MakeSession(const std::string& source, BuildPreset pres
 // runnable Session with a trusted lib matching its config.
 std::unique_ptr<Session> MakeSessionFor(std::unique_ptr<CompiledProgram> compiled,
                                         VmOptions vm_opts = {});
+
+// Clamps a requested worker count to something the thread-pool consumers
+// (CompileBatch, BuildConfig::codegen_jobs / GenerateCode) can use: zero or
+// negative requests clamp to hardware_concurrency() (min 1) and, when
+// `warning` is non-null, explain the clamp so drivers can surface it as a
+// diagnostic instead of silently misbehaving (a negative value parsed as
+// unsigned used to wrap to ~4 billion workers).
+unsigned NormalizeJobCount(long long requested, std::string* warning = nullptr);
+
+// The per-preset output path `confcc --preset=all --emit-bin=base` writes:
+// "<base>.<preset label>.bin". Factored out so tests can assert every preset
+// lands in a distinct file and warm-cache reruns reproduce identical bytes.
+std::string SweepEmitPath(const std::string& base, const std::string& label);
 
 }  // namespace confllvm
 

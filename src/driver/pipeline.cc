@@ -80,10 +80,15 @@ std::string ParseKey(const CompilerInvocation& inv) {
 
 std::string SemaKey(const CompilerInvocation& inv) {
   const SemaOptions& s = inv.config().sema;
+  // The imports fingerprint covers the content of every interface this
+  // module's `import` declarations read (which declarations exist is already
+  // in the source hash): a dependency's exported-signature change re-keys
+  // Sema and everything downstream, while its body-only changes do not.
   return KeyHasher()
       .Add(ParseKey(inv))
       .Add(static_cast<uint64_t>(s.implicit_flows))
       .Add(s.all_private)
+      .Add(inv.imports_fingerprint())
       .Finish("sema");
 }
 
@@ -145,7 +150,8 @@ class SemaStage : public Stage {
  public:
   StageId id() const override { return StageId::kSema; }
   bool Run(CompilerInvocation* inv) override {
-    inv->typed = RunSema(std::move(inv->ast), inv->config().sema, &inv->diags());
+    inv->typed = RunSema(std::move(inv->ast), inv->config().sema, &inv->diags(),
+                         inv->interfaces());
     if (inv->typed == nullptr) {
       return false;
     }
@@ -435,16 +441,27 @@ void PassManager::AddStage(std::unique_ptr<Stage> stage) {
 }
 
 PassManager PassManager::Standard(const BuildConfig& config, bool verify) {
+  PassManager pm = Object(config);
+  pm.AddStage(std::make_unique<LoadStage>(config.load));
+  if (verify) {
+    pm.AddStage(std::make_unique<VerifyStage>());
+  }
+  return pm;
+}
+
+PassManager PassManager::Object(const BuildConfig& config) {
   PassManager pm;
   pm.AddStage(std::make_unique<ParseStage>());
   pm.AddStage(std::make_unique<SemaStage>());
   pm.AddStage(std::make_unique<IrGenStage>());
   pm.AddStage(std::make_unique<OptStage>(config.opt_level));
   pm.AddStage(std::make_unique<CodegenStage>(config.codegen, config.codegen_jobs));
-  pm.AddStage(std::make_unique<LoadStage>(config.load));
-  if (verify) {
-    pm.AddStage(std::make_unique<VerifyStage>());
-  }
+  return pm;
+}
+
+PassManager PassManager::ParseOnly() {
+  PassManager pm;
+  pm.AddStage(std::make_unique<ParseStage>());
   return pm;
 }
 
@@ -589,6 +606,14 @@ std::vector<BatchOutcome> CompileBatch(const std::vector<BatchJob>& jobs,
       out.label = job.label;
       out.invocation = std::make_unique<CompilerInvocation>(job.source, job.config);
       out.invocation->set_cache(cache);
+      out.invocation->set_interfaces(job.interfaces, job.imports_fingerprint);
+      if (job.object_only) {
+        // Module object compile: the product is the invocation's Binary;
+        // link/load/verify happen on the merged program (build_graph.h).
+        const bool ok = PassManager::Object(job.config).Run(out.invocation.get());
+        out.ok = ok && out.invocation->binary != nullptr;
+        continue;
+      }
       const bool ok = RunStandardPipeline(out.invocation.get(), job.verify);
       if (ok) {
         out.program = out.invocation->TakeProgram();

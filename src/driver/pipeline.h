@@ -112,6 +112,19 @@ class CompilerInvocation {
   void set_cache(ArtifactCache* cache) { cache_ = cache; }
   ArtifactCache* cache() const { return cache_; }
 
+  // Separate compilation: the interface set sema resolves `import "m"`
+  // declarations against, plus a fingerprint over exactly the interfaces
+  // this module's imports read (direct dependencies, in a canonical order —
+  // computed by the build graph). The fingerprint chains into the Sema cache
+  // key and everything downstream of it, which is what makes a dependency's
+  // *signature* edit dirty this module while its *body* edits do not.
+  void set_interfaces(const ModuleInterfaceSet* interfaces, uint64_t fingerprint) {
+    interfaces_ = interfaces;
+    imports_fingerprint_ = fingerprint;
+  }
+  const ModuleInterfaceSet* interfaces() const { return interfaces_; }
+  uint64_t imports_fingerprint() const { return imports_fingerprint_; }
+
   // Intermediate artifacts, populated as stages run and retained so a failed
   // or partial invocation can be inspected by tests and tools. Exception:
   // the AST is consumed by the Sema stage (RunSema takes ownership), so
@@ -134,6 +147,8 @@ class CompilerInvocation {
   DiagEngine* diags_;
   PipelineStats stats_;
   ArtifactCache* cache_ = nullptr;
+  const ModuleInterfaceSet* interfaces_ = nullptr;
+  uint64_t imports_fingerprint_ = 0;
   mutable uint64_t source_hash_ = 0;
   mutable bool source_hash_valid_ = false;
 };
@@ -171,6 +186,14 @@ class PassManager {
   // `verify` is set, a ConfVerify stage is appended after Load.
   static PassManager Standard(const BuildConfig& config, bool verify = false);
 
+  // Separate-compilation schedules. Object stops after Codegen (the module's
+  // Binary is the product; the build graph links the modules and loads the
+  // merged image). ParseOnly runs just the Parse stage — the build graph
+  // uses it to discover import edges and extract interfaces, through the
+  // same cache keys the later full compile will hit.
+  static PassManager Object(const BuildConfig& config);
+  static PassManager ParseOnly();
+
   void AddStage(std::unique_ptr<Stage> stage);
   size_t num_stages() const { return stages_.size(); }
   const Stage& stage(size_t i) const { return *stages_[i]; }
@@ -195,6 +218,13 @@ struct BatchJob {
   std::string source;
   BuildConfig config;
   bool verify = false;
+  // Separate compilation (set by the build scheduler): compile to a Binary
+  // only (PassManager::Object) against `interfaces`, with the module's
+  // import fingerprint chained into the cache keys. `verify` is ignored for
+  // object jobs — ConfVerify runs on the *linked* image.
+  bool object_only = false;
+  const ModuleInterfaceSet* interfaces = nullptr;
+  uint64_t imports_fingerprint = 0;
 };
 
 struct BatchOutcome {

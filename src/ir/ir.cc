@@ -122,6 +122,7 @@ std::string IrToString(const IrFunction& f) {
           break;
         case IrOp::kCall:
         case IrOp::kCallExt:
+        case IrOp::kCallMod:
         case IrOp::kICall: {
           if (in.HasDst()) {
             os << R(in.dst) << " = ";
@@ -130,6 +131,8 @@ std::string IrToString(const IrFunction& f) {
             os << "call f" << in.func_idx;
           } else if (in.op == IrOp::kCallExt) {
             os << "callext t" << in.ext_idx;
+          } else if (in.op == IrOp::kCallMod) {
+            os << "callmod m" << in.ext_idx;
           } else {
             os << "icall " << R(in.a) << " bits=" << Hex(in.taint_bits);
           }

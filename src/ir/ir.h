@@ -47,6 +47,7 @@ enum class IrOp : uint8_t {
   kAddrFunc,    // dst = code address of functions[func_idx]
   kCall,        // dst? = functions[func_idx](args)
   kCallExt,     // dst? = trusted_imports[ext_idx](args)
+  kCallMod,     // dst? = module_imports[ext_idx](args); target resolved by linker
   kICall,       // dst? = (*a)(args), callee taint bits in `taint_bits`
   kIntToFloat,  // dst = (float) a
   kFloatToInt,  // dst = (int) a
@@ -106,7 +107,7 @@ struct Instr {
   int64_t disp = 0;
   uint32_t global_idx = 0;
   uint32_t func_idx = 0;  // kCall / kAddrFunc
-  uint32_t ext_idx = 0;   // kCallExt
+  uint32_t ext_idx = 0;   // kCallExt (trusted slot) / kCallMod (module slot)
   uint8_t taint_bits = 0;  // kICall: expected callee magic taint bits
   std::vector<uint32_t> args;  // call arguments (≤ 4)
   uint32_t bb_t = kNoBlock;
@@ -117,7 +118,8 @@ struct Instr {
     return op == IrOp::kJmp || op == IrOp::kBr || op == IrOp::kRet;
   }
   bool IsCall() const {
-    return op == IrOp::kCall || op == IrOp::kCallExt || op == IrOp::kICall;
+    return op == IrOp::kCall || op == IrOp::kCallExt || op == IrOp::kCallMod ||
+           op == IrOp::kICall;
   }
   bool HasDst() const { return dst != kNoReg; }
 };
@@ -142,6 +144,10 @@ struct FrameSlot {
 struct IrFunction {
   std::string name;
   TaintBits taints;          // magic-sequence bits from the signature
+  // Whether the signature returns a value. The CFI taint encoding cannot
+  // distinguish void from a private return (both encode taint-bit 1), so
+  // this travels separately for the linker's cross-module contract check.
+  bool returns_value = false;
   uint32_t num_params = 0;   // ≤ 4; param i arrives in arg register i
   std::vector<uint32_t> param_vregs;
   std::vector<VRegInfo> vregs;
@@ -185,10 +191,22 @@ struct IrImport {
   std::vector<ParamInfo> params;
 };
 
+// Signature of a function imported from another U module (`import "m"`).
+// The callee's entry address is unknown until link time; codegen emits a
+// direct call with a relocation and records the declared contract so the
+// linker can check it against the resolved definition (src/isa/link.h).
+struct IrModImport {
+  std::string name;
+  TaintBits taints;
+  uint32_t num_params = 0;
+  bool returns_value = false;
+};
+
 struct IrModule {
   std::vector<IrFunction> functions;
   std::vector<IrGlobal> globals;
   std::vector<IrImport> imports;
+  std::vector<IrModImport> module_imports;
 
   // Deep copy. The IR holds no cross-module pointers — functions reference
   // each other by index and all members have value semantics — so the clone

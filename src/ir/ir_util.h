@@ -45,6 +45,7 @@ void ForEachUse(const Instr& in, F&& fn) {
       break;
     case IrOp::kCall:
     case IrOp::kCallExt:
+    case IrOp::kCallMod:
     case IrOp::kICall:
       if (in.op == IrOp::kICall) {
         fn(in.a);
@@ -93,6 +94,7 @@ void RewriteUses(Instr* in, F&& fn) {
       break;
     case IrOp::kCall:
     case IrOp::kCallExt:
+    case IrOp::kCallMod:
     case IrOp::kICall:
       if (in->op == IrOp::kICall) {
         in->a = fn(in->a);

@@ -80,6 +80,14 @@ class IrGen {
       }
       mod_->imports.push_back(std::move(imp));
     }
+    for (const Symbol* s : tp_.module_imports) {
+      IrModImport imp;
+      imp.name = s->name;
+      imp.taints = SigTaints(*s->sig);
+      imp.num_params = static_cast<uint32_t>(s->sig->params.size());
+      imp.returns_value = s->sig->ret.shape->kind != TypeKind::kVoid;
+      mod_->module_imports.push_back(std::move(imp));
+    }
   }
 
   void EmitGlobals() {
@@ -146,6 +154,7 @@ class IrGen {
     func_ = &mod_->functions.emplace_back();
     func_->name = fs.decl->name;
     func_->taints = SigTaints(*fs.sym->sig);
+    func_->returns_value = fs.sym->sig->ret.shape->kind != TypeKind::kVoid;
     func_->num_params = static_cast<uint32_t>(fs.params.size());
     var_loc_.clear();
     break_stack_.clear();
@@ -633,7 +642,9 @@ class IrGen {
           return static_cast<uint32_t>(i);
         }
       }
-      diags_->Error(loc, StrFormat("cannot take address of trusted import '%s'",
+      diags_->Error(loc, StrFormat("cannot take address of %s '%s'",
+                                   s->is_module_import ? "module-imported function"
+                                                       : "trusted import",
                                    s->name.c_str()));
       return 0;
     }
@@ -845,6 +856,9 @@ class IrGen {
       sig = callee->sig.get();
       if (callee->is_trusted_import) {
         call.op = IrOp::kCallExt;
+        call.ext_idx = callee->index;
+      } else if (callee->is_module_import) {
+        call.op = IrOp::kCallMod;
         call.ext_idx = callee->index;
       } else {
         call.op = IrOp::kCall;

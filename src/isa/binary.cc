@@ -67,6 +67,7 @@ std::vector<uint8_t> SerializeBinary(const Binary& bin) {
     w.Str(f.name);
     w.U32(f.entry_word);
     w.U8(f.taint_bits);
+    w.Bool(f.returns_value);
     w.U32(f.num_params);
   }
 
@@ -113,6 +114,26 @@ std::vector<uint8_t> SerializeBinary(const Binary& bin) {
     w.I64(r.addend);
   }
 
+  w.U64(bin.func_refs.size());
+  for (const FuncRef& r : bin.func_refs) {
+    w.U32(r.word);
+    w.U32(r.func_idx);
+  }
+
+  w.U64(bin.mod_imports.size());
+  for (const BinModImport& m : bin.mod_imports) {
+    w.Str(m.name);
+    w.U8(m.taint_bits);
+    w.U32(m.num_params);
+    w.Bool(m.returns_value);
+  }
+
+  w.U64(bin.mod_call_sites.size());
+  for (const ModCallSite& s : bin.mod_call_sites) {
+    w.U32(s.word);
+    w.U32(s.import_idx);
+  }
+
   w.U8(static_cast<uint8_t>(bin.scheme));
   w.Bool(bin.cfi);
   w.Bool(bin.separate_stacks);
@@ -141,13 +162,14 @@ bool DeserializeBinary(const uint8_t* data, size_t size, Binary* out) {
 
   // Minimum encoded sizes below are the fixed parts of each element (string
   // length fields included), so a corrupted count fails before any resize.
-  const size_t num_fns = r.Count(4 + 4 + 1 + 4);
+  const size_t num_fns = r.Count(4 + 4 + 1 + 1 + 4);
   bin.functions.resize(num_fns);
   for (size_t i = 0; i < num_fns; ++i) {
     BinFunction& f = bin.functions[i];
     f.name = r.Str();
     f.entry_word = r.U32();
     f.taint_bits = r.U8();
+    f.returns_value = r.Bool();
     f.num_params = r.U32();
   }
 
@@ -201,6 +223,29 @@ bool DeserializeBinary(const uint8_t* data, size_t size, Binary* out) {
     gr.word = r.U32();
     gr.global_idx = r.U32();
     gr.addend = r.I64();
+  }
+
+  const size_t num_func_refs = r.Count(4 + 4);
+  bin.func_refs.resize(num_func_refs);
+  for (FuncRef& fr : bin.func_refs) {
+    fr.word = r.U32();
+    fr.func_idx = r.U32();
+  }
+
+  const size_t num_mod_imports = r.Count(4 + 1 + 4 + 1);
+  bin.mod_imports.resize(num_mod_imports);
+  for (BinModImport& m : bin.mod_imports) {
+    m.name = r.Str();
+    m.taint_bits = r.U8();
+    m.num_params = r.U32();
+    m.returns_value = r.Bool();
+  }
+
+  const size_t num_mod_sites = r.Count(4 + 4);
+  bin.mod_call_sites.resize(num_mod_sites);
+  for (ModCallSite& s : bin.mod_call_sites) {
+    s.word = r.U32();
+    s.import_idx = r.U32();
   }
 
   const uint8_t scheme = r.U8();

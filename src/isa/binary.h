@@ -32,6 +32,11 @@ struct BinFunction {
   std::string name;
   uint32_t entry_word = 0;  // word index of the first instruction
   uint8_t taint_bits = 0;   // MCall taint bits (4 args + ret)
+  // Distinguishes void from a value return (the taint bits cannot: void
+  // encodes as a private return); the linker's module-import contract
+  // check compares it so a forged `void f()` ↔ `private int f()` swap
+  // cannot link.
+  bool returns_value = false;
   uint32_t num_params = 0;
 };
 
@@ -72,6 +77,35 @@ struct GlobalRef {
   int64_t addend = 0;
 };
 
+// A movimm64 payload word holding CodeAddr(functions[func_idx].entry_word).
+// Codegen records one per address-of-function materialization so the linker
+// can rebase the payload after module code is relocated — payload words are
+// indistinguishable from plain constants without this table.
+struct FuncRef {
+  uint32_t word = 0;      // payload word index
+  uint32_t func_idx = 0;
+};
+
+// A function imported from another U module (`import "m"` — separate
+// compilation, paper §4/§6). `taint_bits` and `num_params` record the
+// contract the importer compiled against; the linker checks them against
+// the resolved definition and rejects mismatches, and link-time ConfVerify
+// re-derives the same check from the caller's register taints vs the
+// callee's entry magic on the merged image.
+struct BinModImport {
+  std::string name;
+  uint8_t taint_bits = 0;
+  uint32_t num_params = 0;
+  bool returns_value = false;
+};
+
+// A kCall site whose imm32 target is mod_imports[import_idx], patched by the
+// linker once the defining module's entry word is known.
+struct ModCallSite {
+  uint32_t word = 0;        // code word of the kCall instruction
+  uint32_t import_idx = 0;  // index into Binary::mod_imports
+};
+
 struct Binary {
   std::vector<uint64_t> code;
   std::vector<BinFunction> functions;
@@ -79,6 +113,12 @@ struct Binary {
   std::vector<BinImport> imports;
   std::vector<MagicSite> magic_sites;
   std::vector<GlobalRef> global_refs;
+  std::vector<FuncRef> func_refs;
+  // Unresolved cross-module references; both empty after a successful link
+  // (and in any single-module binary with no import declarations). The
+  // loader refuses to load a binary that still has entries here.
+  std::vector<BinModImport> mod_imports;
+  std::vector<ModCallSite> mod_call_sites;
 
   // Instrumentation configuration this binary was compiled with; the loader
   // sets up regions/bounds accordingly and ConfVerify checks against it.
@@ -119,7 +159,7 @@ std::string Disassemble(const Binary& bin);
 // Bump kBinaryFormatVersion whenever the encoding or any encoded struct
 // changes shape; readers reject any other version.
 
-inline constexpr uint32_t kBinaryFormatVersion = 1;
+inline constexpr uint32_t kBinaryFormatVersion = 2;  // v2: separate-compilation tables
 
 std::vector<uint8_t> SerializeBinary(const Binary& bin);
 

@@ -1,0 +1,305 @@
+#include "src/isa/link.h"
+
+#include <unordered_map>
+
+#include "src/isa/layout.h"
+#include "src/support/strings.h"
+
+namespace confllvm {
+
+namespace {
+
+// Overwrites the imm32 field (bits [31:0]) of an encoded instruction word.
+uint64_t PatchImm(uint64_t word, int32_t imm) {
+  return (word & ~0xffffffffull) |
+         static_cast<uint64_t>(static_cast<uint32_t>(imm));
+}
+
+bool SameTrustedSig(const BinImport& a, const BinImport& b) {
+  if (a.taint_bits != b.taint_bits || a.num_params != b.num_params ||
+      a.returns_value != b.returns_value || a.params.size() != b.params.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.params.size(); ++i) {
+    if (a.params[i].is_pointer != b.params[i].is_pointer ||
+        a.params[i].pointee_private != b.params[i].pointee_private) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::unique_ptr<Binary> LinkBinaries(const std::vector<const Binary*>& modules,
+                                     DiagEngine* diags, LinkStats* stats) {
+  if (modules.empty()) {
+    diags->Error(SourceLoc{}, "link: no input modules");
+    return nullptr;
+  }
+
+  // 1. Instrumentation configs must agree: a binary is verified against one
+  // scheme/CFI/stack discipline, and the loader lays out one region map.
+  const Binary& first = *modules[0];
+  for (size_t m = 1; m < modules.size(); ++m) {
+    const Binary& b = *modules[m];
+    if (b.scheme != first.scheme || b.cfi != first.cfi ||
+        b.separate_stacks != first.separate_stacks) {
+      diags->Error(SourceLoc{},
+                   StrFormat("link: module %zu instrumentation config (%s, cfi=%d, "
+                             "sep-stacks=%d) differs from module 0 (%s, cfi=%d, "
+                             "sep-stacks=%d)",
+                             m, SchemeName(b.scheme), b.cfi ? 1 : 0,
+                             b.separate_stacks ? 1 : 0, SchemeName(first.scheme),
+                             first.cfi ? 1 : 0, first.separate_stacks ? 1 : 0));
+      return nullptr;
+    }
+  }
+  for (size_t m = 0; m < modules.size(); ++m) {
+    if (modules[m]->magic_call_prefix != 0 || modules[m]->magic_ret_prefix != 0) {
+      diags->Error(SourceLoc{},
+                   StrFormat("link: module %zu is already loaded (magic prefixes "
+                             "chosen); link pre-load binaries only",
+                             m));
+      return nullptr;
+    }
+  }
+
+  auto out = std::make_unique<Binary>();
+  out->scheme = first.scheme;
+  out->cfi = first.cfi;
+  out->separate_stacks = first.separate_stacks;
+
+  // 2. Per-module bases and the merged symbol tables.
+  std::vector<uint32_t> code_base(modules.size());
+  std::vector<uint32_t> func_base(modules.size());
+  std::vector<uint32_t> global_base(modules.size());
+  {
+    uint64_t code_words = 0;
+    for (size_t m = 0; m < modules.size(); ++m) {
+      code_base[m] = static_cast<uint32_t>(code_words);
+      func_base[m] = static_cast<uint32_t>(out->functions.size());
+      global_base[m] = static_cast<uint32_t>(out->globals.size());
+      code_words += modules[m]->code.size();
+      for (const BinFunction& f : modules[m]->functions) {
+        BinFunction nf = f;
+        nf.entry_word = f.entry_word + code_base[m];
+        out->functions.push_back(std::move(nf));
+      }
+      for (const BinGlobal& g : modules[m]->globals) {
+        BinGlobal ng = g;
+        for (auto& [offset, idx] : ng.relocs) {
+          idx += global_base[m];
+        }
+        out->globals.push_back(std::move(ng));
+      }
+    }
+    if (code_words > static_cast<uint64_t>(INT32_MAX)) {
+      diags->Error(SourceLoc{}, "link: merged code image exceeds the 31-bit "
+                                "word-index space of imm32 targets");
+      return nullptr;
+    }
+  }
+
+  // Duplicate definitions: one strong symbol per name across the program.
+  {
+    std::unordered_map<std::string, size_t> seen;
+    size_t fi = 0;
+    for (size_t m = 0; m < modules.size(); ++m) {
+      for (const BinFunction& f : modules[m]->functions) {
+        auto [it, inserted] = seen.emplace(f.name, m);
+        if (!inserted) {
+          diags->Error(SourceLoc{},
+                       StrFormat("link: function '%s' defined in module %zu and "
+                                 "module %zu",
+                                 f.name.c_str(), it->second, m));
+          return nullptr;
+        }
+        ++fi;
+      }
+    }
+    (void)fi;
+  }
+
+  // 3. Trusted (T) imports: dedup by name, demand signature agreement —
+  // two modules disagreeing about a T function's taint contract is exactly
+  // the kind of inconsistency an untrusted compiler could exploit.
+  std::vector<std::vector<uint32_t>> ext_remap(modules.size());
+  for (size_t m = 0; m < modules.size(); ++m) {
+    ext_remap[m].reserve(modules[m]->imports.size());
+    for (const BinImport& im : modules[m]->imports) {
+      int merged = -1;
+      for (size_t k = 0; k < out->imports.size(); ++k) {
+        if (out->imports[k].name == im.name) {
+          merged = static_cast<int>(k);
+          break;
+        }
+      }
+      if (merged >= 0) {
+        if (!SameTrustedSig(out->imports[static_cast<size_t>(merged)], im)) {
+          diags->Error(SourceLoc{},
+                       StrFormat("link: trusted import '%s' declared with "
+                                 "conflicting signatures across modules",
+                                 im.name.c_str()));
+          return nullptr;
+        }
+      } else {
+        merged = static_cast<int>(out->imports.size());
+        out->imports.push_back(im);
+      }
+      ext_remap[m].push_back(static_cast<uint32_t>(merged));
+    }
+  }
+
+  // 4. Code: concatenate and rebase by a decode walk. Word-index operands
+  // (jumps, direct calls) shift by the module's base; kCallExt operands map
+  // through the merged externals table. Data words (magic placeholders,
+  // movimm64 payloads) are copied untouched — payloads that do need
+  // rebasing are reachable through the global_refs/func_refs tables below.
+  for (size_t m = 0; m < modules.size(); ++m) {
+    const Binary& b = *modules[m];
+    const uint32_t base = code_base[m];
+    size_t idx = 0;
+    const size_t start = out->code.size();
+    out->code.insert(out->code.end(), b.code.begin(), b.code.end());
+    while (idx < b.code.size()) {
+      uint32_t consumed = 1;
+      const auto mi = Decode(b.code, idx, &consumed);
+      if (mi.has_value()) {
+        switch (mi->op) {
+          case Op::kJmp:
+          case Op::kJnz:
+          case Op::kJz:
+          case Op::kCall:
+            out->code[start + idx] =
+                PatchImm(out->code[start + idx],
+                         mi->imm + static_cast<int32_t>(base));
+            break;
+          case Op::kCallExt: {
+            const uint32_t slot = static_cast<uint32_t>(mi->imm);
+            if (slot >= ext_remap[m].size()) {
+              // A deserialized module object is untrusted input; a wild
+              // externals slot must be a link error, not an OOB read.
+              diags->Error(SourceLoc{},
+                           StrFormat("link: module %zu word %zu calls unknown "
+                                     "trusted-import slot %u",
+                                     m, idx, slot));
+              return nullptr;
+            }
+            out->code[start + idx] =
+                PatchImm(out->code[start + idx],
+                         static_cast<int32_t>(ext_remap[m][slot]));
+            break;
+          }
+          default:
+            break;
+        }
+      }
+      idx += consumed;
+    }
+    const auto in_module = [&](uint32_t word) {
+      return word < b.code.size();
+    };
+    for (const MagicSite& s : b.magic_sites) {
+      if (!in_module(s.word)) {
+        diags->Error(SourceLoc{}, StrFormat("link: module %zu magic site out of "
+                                            "range (word %u)", m, s.word));
+        return nullptr;
+      }
+      MagicSite ns = s;
+      ns.word += base;
+      out->magic_sites.push_back(ns);
+    }
+    for (const GlobalRef& r : b.global_refs) {
+      if (!in_module(r.word) || r.global_idx >= b.globals.size()) {
+        diags->Error(SourceLoc{}, StrFormat("link: module %zu global ref out of "
+                                            "range (word %u)", m, r.word));
+        return nullptr;
+      }
+      GlobalRef nr = r;
+      nr.word += base;
+      nr.global_idx += global_base[m];
+      out->global_refs.push_back(nr);
+    }
+    for (const FuncRef& r : b.func_refs) {
+      if (!in_module(r.word) || r.func_idx >= b.functions.size()) {
+        diags->Error(SourceLoc{}, StrFormat("link: module %zu func ref out of "
+                                            "range (word %u)", m, r.word));
+        return nullptr;
+      }
+      FuncRef nr = r;
+      nr.word += base;
+      nr.func_idx += func_base[m];
+      out->func_refs.push_back(nr);
+    }
+  }
+
+  // 5. Rebase address-of-function payloads against the merged entries.
+  for (const FuncRef& r : out->func_refs) {
+    out->code[r.word] =
+        CodeAddr(out->functions[r.func_idx].entry_word);
+  }
+
+  // 6. Resolve cross-module call edges and enforce the interface contract.
+  LinkStats ls;
+  ls.modules = modules.size();
+  for (size_t m = 0; m < modules.size(); ++m) {
+    const Binary& b = *modules[m];
+    std::vector<uint32_t> resolved_entry(b.mod_imports.size());
+    for (size_t i = 0; i < b.mod_imports.size(); ++i) {
+      const BinModImport& mi = b.mod_imports[i];
+      const int fn = out->FunctionIndex(mi.name);
+      if (fn < 0) {
+        diags->Error(SourceLoc{},
+                     StrFormat("link: unresolved module import '%s' (module %zu)",
+                               mi.name.c_str(), m));
+        return nullptr;
+      }
+      const BinFunction& def = out->functions[static_cast<size_t>(fn)];
+      // The qualifier contract the importer compiled against must be the
+      // definition's, bit for bit: argument taints, return taint, arity,
+      // and void-ness (the taint encoding alone cannot tell void from a
+      // private return). ConfVerify re-checks the taint edges from first
+      // principles on the merged image (tests/link_test.cc forges this
+      // metadata to prove it).
+      if (def.taint_bits != mi.taint_bits || def.num_params != mi.num_params ||
+          def.returns_value != mi.returns_value) {
+        diags->Error(SourceLoc{},
+                     StrFormat("link: interface contract mismatch for '%s': importer "
+                               "(module %zu) declared taints=0x%02x params=%u ret=%d, "
+                               "definition has taints=0x%02x params=%u ret=%d",
+                               mi.name.c_str(), m, mi.taint_bits, mi.num_params,
+                               mi.returns_value ? 1 : 0, def.taint_bits,
+                               def.num_params, def.returns_value ? 1 : 0));
+        return nullptr;
+      }
+      ++ls.contract_checks;
+      resolved_entry[i] = def.entry_word;
+    }
+    for (const ModCallSite& s : b.mod_call_sites) {
+      if (s.import_idx >= resolved_entry.size() || s.word >= b.code.size()) {
+        diags->Error(SourceLoc{},
+                     StrFormat("link: call site references unknown import slot %u "
+                               "(module %zu)",
+                               s.import_idx, m));
+        return nullptr;
+      }
+      const uint32_t word = s.word + code_base[m];
+      out->code[word] = PatchImm(
+          out->code[word], static_cast<int32_t>(resolved_entry[s.import_idx]));
+      ++ls.resolved_call_sites;
+    }
+  }
+
+  ls.code_words = out->code.size();
+  ls.functions = out->functions.size();
+  ls.globals = out->globals.size();
+  ls.trusted_imports = out->imports.size();
+  ls.resolved_func_addrs = out->func_refs.size();
+  if (stats != nullptr) {
+    *stats = ls;
+  }
+  return out;
+}
+
+}  // namespace confllvm

@@ -1,0 +1,59 @@
+// Confidentiality-preserving static linker (separate compilation, paper §6).
+//
+// Merges per-module Binary objects — code images, function/global/import
+// tables, magic sites, relocations — into one pre-load Binary:
+//
+//   * every module's code is appended at a word base; intra-module word
+//     references (jumps, direct calls, magic sites, global-ref and
+//     func-ref payloads) are rebased by a decode walk over the module's
+//     image;
+//   * global tables concatenate (module-local storage; initializer relocs
+//     are remapped), trusted (T) imports are deduplicated by name with a
+//     signature-consistency check, and kCallExt operands are remapped to
+//     the merged externals table;
+//   * cross-module call edges (ModCallSite against a BinModImport) resolve
+//     by name against the merged function table. The linker enforces the
+//     *contract*: the importer's declared taint bits and arity must match
+//     the definition exactly — a module recompiled with a changed exported
+//     signature, or a forged interface, fails the link. This check is
+//     deliberately redundant with link-time ConfVerify (src/verifier),
+//     which re-derives the same property from the caller's register taints
+//     against the callee's entry magic on the merged image, so tampering
+//     with the linker's metadata alone cannot smuggle a mismatched edge
+//     past verification.
+//
+// The output is a normal single Binary: the loader lays it out, picks magic
+// prefixes, and the verifier/VM treat it exactly like a monolithic compile.
+#ifndef CONFLLVM_SRC_ISA_LINK_H_
+#define CONFLLVM_SRC_ISA_LINK_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/isa/binary.h"
+#include "src/support/diag.h"
+
+namespace confllvm {
+
+struct LinkStats {
+  size_t modules = 0;
+  size_t code_words = 0;
+  size_t functions = 0;
+  size_t globals = 0;
+  size_t trusted_imports = 0;       // merged (deduplicated) externals
+  size_t resolved_call_sites = 0;   // cross-module kCall targets patched
+  size_t resolved_func_addrs = 0;   // func-ref payloads rebased
+  size_t contract_checks = 0;       // module-import contracts verified
+};
+
+// Links `modules` (in order; order only affects layout, not semantics) into
+// one Binary. Returns nullptr with diagnostics on any error: inconsistent
+// instrumentation configs, duplicate function definitions, trusted-import
+// signature conflicts, unresolved module imports, or an import whose
+// declared contract does not match the resolved definition.
+std::unique_ptr<Binary> LinkBinaries(const std::vector<const Binary*>& modules,
+                                     DiagEngine* diags, LinkStats* stats = nullptr);
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_ISA_LINK_H_

@@ -79,6 +79,7 @@ std::unique_ptr<Stmt> CloneStmt(const Stmt* s, AstCloneMap* map) {
 
 std::unique_ptr<Program> CloneProgram(const Program& p, AstCloneMap* map) {
   auto out = std::make_unique<Program>();
+  out->imports = p.imports;
   out->structs.reserve(p.structs.size());
   for (const StructDecl& sd : p.structs) {
     StructDecl nd;

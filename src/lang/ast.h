@@ -148,7 +148,16 @@ struct GlobalDecl {
   SourceLoc loc;
 };
 
+// `import "name";` — makes the exported function signatures of module `name`
+// callable from this translation unit (separate compilation; the defining
+// module's body is never seen, only its interface).
+struct ImportDecl {
+  std::string module;
+  SourceLoc loc;
+};
+
 struct Program {
+  std::vector<ImportDecl> imports;
   std::vector<StructDecl> structs;
   std::vector<GlobalDecl> globals;
   std::vector<FuncDecl> functions;

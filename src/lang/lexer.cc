@@ -31,6 +31,7 @@ const char* TokName(Tok t) {
     case Tok::kKwContinue: return "continue";
     case Tok::kKwSizeof: return "sizeof";
     case Tok::kKwNull: return "NULL";
+    case Tok::kKwImport: return "import";
     case Tok::kLParen: return "(";
     case Tok::kRParen: return ")";
     case Tok::kLBrace: return "{";
@@ -77,7 +78,7 @@ const std::unordered_map<std::string, Tok>& Keywords() {
       {"while", Tok::kKwWhile},     {"for", Tok::kKwFor},
       {"return", Tok::kKwReturn},   {"break", Tok::kKwBreak},
       {"continue", Tok::kKwContinue}, {"sizeof", Tok::kKwSizeof},
-      {"NULL", Tok::kKwNull},
+      {"NULL", Tok::kKwNull},       {"import", Tok::kKwImport},
   };
   return *kMap;
 }

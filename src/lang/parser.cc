@@ -31,8 +31,10 @@ class ParserImpl {
   std::unique_ptr<Program> Run() {
     auto program = std::make_unique<Program>();
     while (Peek().kind != Tok::kEof && !fatal_) {
-      if (Peek().kind == Tok::kKwStruct && Peek(1).kind == Tok::kIdent &&
-          Peek(2).kind == Tok::kLBrace) {
+      if (Peek().kind == Tok::kKwImport) {
+        ParseImport(program.get());
+      } else if (Peek().kind == Tok::kKwStruct && Peek(1).kind == Tok::kIdent &&
+                 Peek(2).kind == Tok::kLBrace) {
         ParseStructDef(program.get());
       } else {
         ParseGlobalOrFunction(program.get());
@@ -218,6 +220,27 @@ class ParserImpl {
   }
 
   // ---- Top-level ----
+
+  // import "module";
+  void ParseImport(Program* program) {
+    ImportDecl id;
+    id.loc = Peek().loc;
+    Advance();  // import
+    if (Peek().kind == Tok::kStringLit) {
+      id.module = Advance().string_value;
+    } else {
+      diags_->Error(Peek().loc, "expected module name string after 'import'");
+      fatal_ = true;
+      return;
+    }
+    if (id.module.empty()) {
+      diags_->Error(id.loc, "module name cannot be empty");
+      fatal_ = true;
+      return;
+    }
+    Expect(Tok::kSemi, "after import declaration");
+    program->imports.push_back(std::move(id));
+  }
 
   void ParseStructDef(Program* program) {
     StructDecl sd;

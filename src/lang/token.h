@@ -37,6 +37,7 @@ enum class Tok : uint8_t {
   kKwContinue,
   kKwSizeof,
   kKwNull,
+  kKwImport,
   // Punctuation / operators.
   kLParen,
   kRParen,

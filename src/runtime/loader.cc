@@ -66,6 +66,16 @@ RegionMap ComputeMap(const Binary& bin, const LoadOptions& opts) {
 
 std::unique_ptr<LoadedProgram> LoadBinary(Binary bin, const LoadOptions& opts,
                                           DiagEngine* diags) {
+  // A binary with unresolved cross-module references must go through the
+  // linker first: a zero-imm kCall placeholder would otherwise "resolve" to
+  // word 0 and execute whatever lives there.
+  if (!bin.mod_imports.empty() || !bin.mod_call_sites.empty()) {
+    diags->Error(SourceLoc{},
+                 StrFormat("cannot load binary with %zu unresolved module imports "
+                           "(%zu call sites); link it first",
+                           bin.mod_imports.size(), bin.mod_call_sites.size()));
+    return nullptr;
+  }
   auto prog = std::make_unique<LoadedProgram>();
   prog->separate_t_memory = opts.separate_t_memory;
   prog->unified_bounds = opts.unified_bounds;

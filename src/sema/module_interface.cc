@@ -1,0 +1,144 @@
+#include "src/sema/module_interface.h"
+
+#include "src/support/bytes.h"
+
+namespace confllvm {
+
+namespace {
+
+const char* BaseName(InterfaceType::Base b) {
+  switch (b) {
+    case InterfaceType::Base::kInt: return "int";
+    case InterfaceType::Base::kChar: return "char";
+    case InterfaceType::Base::kFloat: return "float";
+    case InterfaceType::Base::kVoid: return "void";
+  }
+  return "?";
+}
+
+// Converts written type syntax to an InterfaceType. Returns false for shapes
+// that do not cross module boundaries (struct / array / fnptr). Mirrors
+// Checker::ResolveType with fresh_vars=false: explicit `private` wins,
+// unannotated levels take the default qualifier.
+bool SyntaxToInterface(const TypeSyntax& ts, Qual default_qual,
+                       InterfaceType* out) {
+  if (!ts.array_dims.empty() || ts.base == TypeSyntax::Base::kFnPtr ||
+      ts.base == TypeSyntax::Base::kStruct) {
+    return false;
+  }
+  switch (ts.base) {
+    case TypeSyntax::Base::kInt: out->base = InterfaceType::Base::kInt; break;
+    case TypeSyntax::Base::kChar: out->base = InterfaceType::Base::kChar; break;
+    case TypeSyntax::Base::kFloat: out->base = InterfaceType::Base::kFloat; break;
+    case TypeSyntax::Base::kVoid: out->base = InterfaceType::Base::kVoid; break;
+    default: return false;
+  }
+  out->ptr_levels = static_cast<uint32_t>(ts.pointers.size());
+  out->quals.assign(out->ptr_levels + 1, default_qual);
+  // Level (levels-1) is the base; pointer level i (innermost-first in the
+  // syntax) is levels-2-i — the same numbering ResolveType uses.
+  const size_t levels = out->quals.size();
+  if (ts.base_private) {
+    out->quals[levels - 1] = Qual::kPrivate;
+  }
+  for (size_t i = 0; i < ts.pointers.size(); ++i) {
+    if (ts.pointers[i].is_private) {
+      out->quals[levels - 2 - i] = Qual::kPrivate;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string InterfaceType::ToText() const {
+  // Outermost-first qualifier list, then the shape: "pub*priv int".
+  std::string s;
+  for (size_t i = 0; i < quals.size(); ++i) {
+    s += quals[i] == Qual::kPrivate ? "H" : "L";
+  }
+  s += ":";
+  s += BaseName(base);
+  for (uint32_t i = 0; i < ptr_levels; ++i) {
+    s += "*";
+  }
+  return s;
+}
+
+std::string InterfaceFn::ToText() const {
+  std::string s = name + "(";
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i != 0) {
+      s += ",";
+    }
+    s += params[i].ToText();
+  }
+  s += ")->" + ret.ToText();
+  return s;
+}
+
+const InterfaceFn* ModuleInterface::Find(const std::string& name) const {
+  for (const InterfaceFn& f : functions) {
+    if (f.name == name) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+std::string ModuleInterface::ToText() const {
+  std::string s = "module " + module + "\n";
+  for (const InterfaceFn& f : functions) {
+    s += f.ToText() + "\n";
+  }
+  return s;
+}
+
+uint64_t ModuleInterface::Fingerprint() const {
+  // FNV-1a 64 over the canonical rendering.
+  const std::string text = ToText();
+  return Fnv1a64(reinterpret_cast<const uint8_t*>(text.data()), text.size());
+}
+
+void ModuleInterfaceSet::Add(ModuleInterface iface) {
+  by_name_[iface.module] = std::move(iface);
+}
+
+const ModuleInterface* ModuleInterfaceSet::Find(const std::string& module) const {
+  const auto it = by_name_.find(module);
+  return it == by_name_.end() ? nullptr : &it->second;
+}
+
+ModuleInterface ExtractModuleInterface(const Program& ast,
+                                       const std::string& module_name,
+                                       bool all_private) {
+  const Qual default_qual = all_private ? Qual::kPrivate : Qual::kPublic;
+  ModuleInterface mi;
+  mi.module = module_name;
+  for (const FuncDecl& fd : ast.functions) {
+    if (fd.body == nullptr) {
+      continue;  // declaration only: a trusted import, not an export
+    }
+    InterfaceFn f;
+    f.name = fd.name;
+    if (!SyntaxToInterface(*fd.ret_type, default_qual, &f.ret)) {
+      continue;
+    }
+    bool exportable = fd.params.size() <= 4;
+    for (const ParamDecl& p : fd.params) {
+      InterfaceType pt;
+      if (!SyntaxToInterface(*p.type, default_qual, &pt)) {
+        exportable = false;
+        break;
+      }
+      f.params.push_back(std::move(pt));
+    }
+    if (!exportable || mi.Find(f.name) != nullptr) {
+      continue;
+    }
+    mi.functions.push_back(std::move(f));
+  }
+  return mi;
+}
+
+}  // namespace confllvm

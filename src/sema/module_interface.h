@@ -1,0 +1,95 @@
+// Module interfaces for separate compilation (paper §4, §6).
+//
+// A ModuleInterface is the *contract* a compiled module exposes to its
+// importers: every exported function's name plus its fully-qualified
+// signature (confidentiality qualifiers at every pointer level). Importers
+// type-check call sites against the interface without ever seeing the
+// callee's body — qualifier mismatches (e.g. passing `private` data to a
+// `public` parameter) become module-boundary errors — and the interface's
+// content fingerprint chains into the importer's sema cache key, so editing
+// a module's body recompiles only that module while editing its exported
+// signatures dirties exactly its dependents (src/driver/build_graph.h).
+//
+// Interface types are deliberately context-free: scalars and pointer chains
+// over scalars only, each level carrying a concrete Qual. Struct, array, and
+// function-pointer shapes do not cross module boundaries (functions using
+// them in their signature are simply not exported); this keeps the contract
+// machine-checkable at link time, where the only taint vocabulary is the
+// 5-bit magic taint encoding.
+#ifndef CONFLLVM_SRC_SEMA_MODULE_INTERFACE_H_
+#define CONFLLVM_SRC_SEMA_MODULE_INTERFACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/sema/type.h"
+#include "src/support/diag.h"
+
+namespace confllvm {
+
+// A context-free qualified type: `base` with `ptr_levels` pointers on top.
+// quals[0] is the outermost (value) level; quals[ptr_levels] the base.
+struct InterfaceType {
+  enum class Base : uint8_t { kInt, kChar, kFloat, kVoid };
+
+  Base base = Base::kInt;
+  uint32_t ptr_levels = 0;
+  std::vector<Qual> quals;  // size == ptr_levels + 1
+
+  std::string ToText() const;
+};
+
+struct InterfaceFn {
+  std::string name;
+  InterfaceType ret;
+  std::vector<InterfaceType> params;
+
+  std::string ToText() const;
+};
+
+// The exported surface of one module.
+struct ModuleInterface {
+  std::string module;
+  std::vector<InterfaceFn> functions;
+
+  const InterfaceFn* Find(const std::string& name) const;
+
+  // Canonical rendering: one line per exported function, in export order.
+  // Fingerprint() hashes exactly this text, so two interfaces fingerprint
+  // equal iff every exported name, shape, and qualifier matches.
+  std::string ToText() const;
+  uint64_t Fingerprint() const;
+};
+
+// The set of interfaces visible to a compilation (one per module in the
+// build graph). Sema resolves `import "m"` declarations against it.
+class ModuleInterfaceSet {
+ public:
+  // Later Add of the same module name replaces the earlier entry.
+  void Add(ModuleInterface iface);
+  const ModuleInterface* Find(const std::string& module) const;
+  size_t size() const { return by_name_.size(); }
+
+ private:
+  std::map<std::string, ModuleInterface> by_name_;
+};
+
+// Derives the exported interface of a parsed module: every function *defined*
+// in `ast` whose signature is expressible as InterfaceTypes. Functions with
+// struct / array / function-pointer signature components are skipped (they
+// are module-internal); importers that name them get an "not exported"
+// error at sema time. Extraction is purely syntactic — unannotated levels
+// default to public (private when `all_private`), exactly matching how sema
+// resolves signature types — so the interface, and therefore its
+// fingerprint, is available from the Parse artifact alone without running
+// the defining module's sema.
+ModuleInterface ExtractModuleInterface(const Program& ast,
+                                       const std::string& module_name,
+                                       bool all_private);
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_SEMA_MODULE_INTERFACE_H_

@@ -12,8 +12,9 @@ namespace {
 
 class Checker {
  public:
-  Checker(std::unique_ptr<Program> ast, const SemaOptions& options, DiagEngine* diags)
-      : diags_(diags) {
+  Checker(std::unique_ptr<Program> ast, const SemaOptions& options, DiagEngine* diags,
+          const ModuleInterfaceSet* interfaces)
+      : diags_(diags), interfaces_(interfaces) {
     tp_ = std::make_unique<TypedProgram>();
     tp_->ast = std::move(ast);
     tp_->types = std::make_unique<TypeContext>();
@@ -24,6 +25,7 @@ class Checker {
   std::unique_ptr<TypedProgram> Run() {
     CollectStructs();
     CollectGlobals();
+    ResolveModuleImports();
     CollectFunctions();
     if (diags_->HasErrors()) {
       return nullptr;
@@ -299,6 +301,80 @@ class Checker {
     diags_->Error(init->loc, "global initializer must be a constant");
   }
 
+  // ---- Module imports (separate compilation) ----
+
+  // Builds a concrete QType in this compilation's TypeContext from a
+  // context-free interface type: interface qualifiers are authoritative and
+  // always constant — imported signatures never introduce inference vars.
+  QType InterfaceToQType(const InterfaceType& it) {
+    const Type* shape = nullptr;
+    switch (it.base) {
+      case InterfaceType::Base::kInt: shape = Types().IntType(); break;
+      case InterfaceType::Base::kChar: shape = Types().CharType(); break;
+      case InterfaceType::Base::kFloat: shape = Types().FloatType(); break;
+      case InterfaceType::Base::kVoid: shape = Types().VoidType(); break;
+    }
+    for (uint32_t i = 0; i < it.ptr_levels; ++i) {
+      shape = Types().PointerTo(shape);
+    }
+    QType qt;
+    qt.shape = shape;
+    qt.quals.reserve(it.quals.size());
+    for (const Qual q : it.quals) {
+      qt.quals.push_back(QualTerm::Const(q));
+    }
+    return qt;
+  }
+
+  // Declares every exported function of every `import "m"` module as a
+  // callable symbol. The callee body is never seen: the interface signature
+  // (with its confidentiality qualifiers) IS the contract, checked at every
+  // call site exactly like a local signature — so passing private data to a
+  // public parameter of another module is a module-boundary error here, and
+  // the same contract is re-checked by the linker and by link-time
+  // ConfVerify on the merged binary (src/isa/link.h).
+  void ResolveModuleImports() {
+    std::unordered_set<std::string> seen_modules;
+    for (const ImportDecl& id : tp_->ast->imports) {
+      if (!seen_modules.insert(id.module).second) {
+        diags_->Error(id.loc,
+                      StrFormat("duplicate import of module '%s'", id.module.c_str()));
+        continue;
+      }
+      const ModuleInterface* iface =
+          interfaces_ == nullptr ? nullptr : interfaces_->Find(id.module);
+      if (iface == nullptr) {
+        diags_->Error(id.loc, StrFormat("unknown module '%s' (no interface available)",
+                                        id.module.c_str()));
+        continue;
+      }
+      for (const InterfaceFn& f : iface->functions) {
+        if (file_scope_.count(f.name) != 0) {
+          Symbol* prev = file_scope_[f.name];
+          const std::string what = prev->is_module_import
+                                       ? "import from module '" + prev->module + "'"
+                                       : std::string("a declaration in this module");
+          diags_->Error(id.loc,
+                        StrFormat("import of '%s' from module '%s' collides with %s",
+                                  f.name.c_str(), id.module.c_str(), what.c_str()));
+          continue;
+        }
+        Symbol* s = NewSymbol(Symbol::Kind::kFunc, f.name, id.loc);
+        auto sig = std::make_shared<FnSig>();
+        sig->ret = InterfaceToQType(f.ret);
+        for (const InterfaceType& p : f.params) {
+          sig->params.push_back(InterfaceToQType(p));
+        }
+        s->sig = std::move(sig);
+        s->is_module_import = true;
+        s->module = id.module;
+        s->index = static_cast<uint32_t>(tp_->module_imports.size());
+        tp_->module_imports.push_back(s);
+        file_scope_[f.name] = s;
+      }
+    }
+  }
+
   void CollectFunctions() {
     // Pass 1: register symbols, merge redeclarations, find definitions.
     std::unordered_set<std::string> defined;
@@ -340,6 +416,12 @@ class Checker {
         s = it->second;
         if (s->kind != Symbol::Kind::kFunc) {
           diags_->Error(fd.loc, StrFormat("'%s' redeclared as function", fd.name.c_str()));
+          continue;
+        }
+        if (s->is_module_import) {
+          diags_->Error(fd.loc,
+                        StrFormat("'%s' conflicts with a function imported from module '%s'",
+                                  fd.name.c_str(), s->module.c_str()));
           continue;
         }
         if (!SigEqual(*s->sig, *sig)) {
@@ -1097,6 +1179,7 @@ class Checker {
 
   std::unique_ptr<TypedProgram> tp_;
   DiagEngine* diags_;
+  const ModuleInterfaceSet* interfaces_;
   QualSolver solver_;
   Qual default_qual_ = Qual::kPublic;
 
@@ -1110,11 +1193,12 @@ class Checker {
 }  // namespace
 
 std::unique_ptr<TypedProgram> RunSema(std::unique_ptr<Program> ast,
-                                      const SemaOptions& options, DiagEngine* diags) {
+                                      const SemaOptions& options, DiagEngine* diags,
+                                      const ModuleInterfaceSet* interfaces) {
   if (diags->HasErrors()) {
     return nullptr;
   }
-  return Checker(std::move(ast), options, diags).Run();
+  return Checker(std::move(ast), options, diags, interfaces).Run();
 }
 
 std::unique_ptr<TypedProgram> TypedProgram::Clone() const {
@@ -1158,6 +1242,9 @@ std::unique_ptr<TypedProgram> TypedProgram::Clone() const {
   }
   for (Symbol* t : trusted_imports) {
     out->trusted_imports.push_back(remap_sym(t));
+  }
+  for (Symbol* m : module_imports) {
+    out->module_imports.push_back(remap_sym(m));
   }
   out->functions.reserve(functions.size());
   for (const FunctionSema& f : functions) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/lang/ast.h"
+#include "src/sema/module_interface.h"
 #include "src/sema/qual_solver.h"
 #include "src/sema/type.h"
 #include "src/support/diag.h"
@@ -30,6 +31,11 @@ struct Symbol {
   QType type;  // concrete after sema; kFunc: unused (see sig)
   std::shared_ptr<FnSig> sig;  // kFunc
   bool is_trusted_import = false;  // kFunc with no body anywhere => import from T
+  // kFunc imported via `import "module"` from another U module: call sites
+  // type-check against the interface signature; the body lives in the other
+  // module's binary and the call edge is resolved by the linker.
+  bool is_module_import = false;
+  std::string module;  // defining module (is_module_import only)
   uint32_t index = 0;  // param position / local ordinal / global ordinal / import slot
   SourceLoc loc;
 
@@ -80,6 +86,7 @@ struct TypedProgram {
   std::vector<Symbol*> globals;                       // declaration order
   std::vector<FunctionSema> functions;                // defined (U) functions
   std::vector<Symbol*> trusted_imports;               // externals table order
+  std::vector<Symbol*> module_imports;                // cross-module call slots
 
   // Inference statistics (reported by tooling and the pipeline's per-stage
   // stats).
@@ -107,8 +114,14 @@ struct TypedProgram {
 };
 
 // Runs semantic analysis. Returns nullptr if `diags` holds errors.
+// `interfaces` (nullable) resolves the program's `import "m"` declarations:
+// each imported module's exported signatures are declared as callable
+// symbols, and call sites are qualifier-checked against them without the
+// callee bodies ever being visible (separate compilation). A program with
+// import declarations but no matching interface is an error.
 std::unique_ptr<TypedProgram> RunSema(std::unique_ptr<Program> ast,
-                                      const SemaOptions& options, DiagEngine* diags);
+                                      const SemaOptions& options, DiagEngine* diags,
+                                      const ModuleInterfaceSet* interfaces = nullptr);
 
 }  // namespace confllvm
 

@@ -74,6 +74,9 @@ Vm::Vm(LoadedProgram* prog, TrustedCallout* trusted, VmOptions opts)
     }
     image_ = prog_->exec_image.get();
   }
+  if (opts_.pair_histogram != nullptr && opts_.pair_histogram->size() < 256 * 256) {
+    opts_.pair_histogram->assign(256 * 256, 0);
+  }
   for (size_t g = 0; g < prog_->binary.globals.size(); ++g) {
     const BinGlobal& bg = prog_->binary.globals[g];
     const uint64_t addr = prog_->global_addr[g];
@@ -315,6 +318,14 @@ bool Vm::Step(ThreadCtx* t) {
   const uint64_t next = t->pc + slot.words;
   ++t->instrs;
   ++stats_.instrs;
+
+  if (opts_.pair_histogram != nullptr) {
+    if (t->hist_prev_op != 0x100) {
+      ++(*opts_.pair_histogram)[(t->hist_prev_op << 8) |
+                                static_cast<uint8_t>(mi.op)];
+    }
+    t->hist_prev_op = static_cast<uint8_t>(mi.op);
+  }
 
   auto r = [&](uint8_t i) -> uint64_t& { return t->regs[i]; };
   auto fr = [&](uint8_t i) -> double& { return t->fregs[i]; };

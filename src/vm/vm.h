@@ -61,6 +61,10 @@ struct ThreadCtx {
   uint64_t cycles = 0;
   uint64_t instrs = 0;
   uint32_t fp_credit = 0;
+  // VmOptions::pair_histogram state: previous executed opcode on THIS
+  // thread (0x100 = none yet). Per-thread so RunParallel's quantum
+  // interleaving cannot manufacture pairs that never executed adjacently.
+  uint32_t hist_prev_op = 0x100;
 };
 
 struct VmStats {
@@ -93,6 +97,15 @@ struct VmOptions {
   uint64_t quantum = 20000;          // cycles per scheduling slice
   uint64_t max_instrs = 4000000000;  // per Call limit, enforced exactly
   VmEngine engine = VmEngine::kFast;
+  // When non-null, the *reference* engine counts every dynamically executed
+  // opcode pair into (*pair_histogram)[prev_op * 256 + op] (resized to
+  // 256*256 by the Vm constructor if needed). The previous-op state lives
+  // in each ThreadCtx, so every Call/RunParallel thread contributes only
+  // pairs that genuinely executed adjacently on that thread. Fuel for
+  // superinstruction-fusion tuning (bench/exec_throughput.cc
+  // --pair-histogram). Ignored by the fast engine — fusion would hide
+  // exactly the pairs being measured — so pass engine=kRef alongside it.
+  std::vector<uint64_t>* pair_histogram = nullptr;
 };
 
 class Vm;

@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -605,6 +606,69 @@ TEST(DiskCache, EvictsLruByMtimeUnderByteCap) {
     }
   }
   EXPECT_LE(total, cap);
+}
+
+// ---- sweep-mode --emit-bin coverage ----
+//
+// `confcc --preset=all --emit-bin=base` writes one file per preset via
+// SweepEmitPath. Two properties matter: every preset gets a *distinct* path
+// (no preset silently overwrites another), and a warm --cache-dir rerun
+// reproduces byte-identical files (what the CI disk-cache job `cmp`s).
+
+TEST(SweepEmitBin, EveryPresetGetsADistinctPath) {
+  std::set<std::string> paths;
+  for (const BuildPreset p : kAllBuildPresets) {
+    paths.insert(SweepEmitPath("/tmp/out", PresetName(p)));
+  }
+  EXPECT_EQ(paths.size(), 8u);
+  EXPECT_EQ(SweepEmitPath("/tmp/out", "OurMPX"), "/tmp/out.OurMPX.bin");
+}
+
+TEST(SweepEmitBin, WarmCacheDirRerunReproducesByteIdenticalFiles) {
+  TempCacheDir cache_dir;
+  TempCacheDir out_dir;
+  const std::string src =
+      "int main() { int s = 0; for (int i = 1; i <= 10; i = i + 1) "
+      "{ s = s + i; } return s; }\n";
+
+  // One sweep pass: compile every preset through `cache`, serialize each
+  // preset's Binary to SweepEmitPath(base, label) — exactly what confcc's
+  // sweep --emit-bin path does.
+  const auto emit_sweep = [&](const std::string& base) {
+    auto cache = MakeDiskCache(cache_dir.path);
+    auto outcomes = CompileBatch(PresetSweepJobs(src), 2, cache.get());
+    for (const auto& out : outcomes) {
+      EXPECT_TRUE(out.ok) << out.label << ": "
+                          << out.invocation->diags().ToString();
+      if (out.ok) {
+        WriteAll(SweepEmitPath(base, out.label),
+                 SerializeBinary(out.program->prog->binary));
+      }
+    }
+    return cache->stats();
+  };
+
+  const CacheStats cold = emit_sweep(out_dir.path + "/cold");
+  EXPECT_GT(cold.disk_stores, 0u);
+  const CacheStats warm = emit_sweep(out_dir.path + "/warm");
+  EXPECT_GT(warm.disk_hits, 0u);
+  EXPECT_EQ(warm.misses_by_stage[Idx(StageId::kCodegen)], 0u);
+
+  std::set<std::string> distinct;
+  for (const BuildPreset p : kAllBuildPresets) {
+    const std::string label = PresetName(p);
+    SCOPED_TRACE(label);
+    const auto cold_bytes = ReadAll(SweepEmitPath(out_dir.path + "/cold", label));
+    const auto warm_bytes = ReadAll(SweepEmitPath(out_dir.path + "/warm", label));
+    EXPECT_FALSE(cold_bytes.empty());
+    EXPECT_EQ(cold_bytes, warm_bytes);
+    // Each blob must be a loadable Binary of the right preset shape.
+    Binary bin;
+    ASSERT_TRUE(DeserializeBinary(cold_bytes, &bin));
+    EXPECT_EQ(bin.scheme, BuildConfig::For(p).codegen.scheme);
+    distinct.insert(SweepEmitPath(out_dir.path + "/cold", label));
+  }
+  EXPECT_EQ(distinct.size(), 8u);
 }
 
 }  // namespace

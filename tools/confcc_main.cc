@@ -32,6 +32,7 @@
 #include <sstream>
 
 #include "src/driver/artifact_cache.h"
+#include "src/driver/build_graph.h"
 #include "src/driver/confcc.h"
 #include "src/driver/disk_cache.h"
 #include "src/driver/pipeline.h"
@@ -60,7 +61,12 @@ int Usage() {
           "              [--cache-bytes=N] [--cache-dir=D] [--cache-disk-bytes=N]\n"
           "              [--cache-stats-json=F] [--emit-bin=F]\n"
           "              [--engine=ref|fast] file.mc\n"
-          "presets: Base BaseOA Our1Mem OurBare OurCFI OurMPX OurMPX-Sep OurSeg\n");
+          "       confcc --link [options] [--graph-stats-json=F] a.mc b.mc ...\n"
+          "presets: Base BaseOA Our1Mem OurBare OurCFI OurMPX OurMPX-Sep OurSeg\n"
+          "--link builds each file as a module (name = basename), resolves\n"
+          "`import \"name\"` declarations through the build graph, compiles in\n"
+          "dependency-parallel waves, links with cross-module contract checks,\n"
+          "and (with --verify) runs link-time ConfVerify on the merged image.\n");
   return 2;
 }
 
@@ -83,7 +89,10 @@ struct Options {
   std::string cache_stats_json;  // write the stats snapshot as JSON here
   std::string emit_bin;       // serialize compiled Binary(s) here
   VmEngine engine = VmOptions{}.engine;  // --engine=ref|fast
+  bool link = false;          // multi-module build-graph mode
+  std::string graph_stats_json;  // write BuildGraphStats JSON here (--link)
   std::string file;
+  std::vector<std::string> files;  // all positional args (--link modules)
 
   // Byte caps / stats outputs only make sense with a cache, so every cache
   // flag implies one.
@@ -242,7 +251,7 @@ int RunSweep(const std::string& source, const Options& opt) {
     }
     if (!opt.emit_bin.empty() &&
         !EmitBinary(out.program->prog->binary,
-                    opt.emit_bin + "." + out.label + ".bin")) {
+                    SweepEmitPath(opt.emit_bin, out.label))) {
       ++failures;
       continue;
     }
@@ -263,6 +272,172 @@ int RunSweep(const std::string& source, const Options& opt) {
     return 1;
   }
   return failures == 0 ? 0 : 1;
+}
+
+// ---- Multi-module build-graph mode (--link) ----
+
+// a/b/foo.mc -> "foo": the module name `import "foo"` resolves to.
+std::string ModuleNameOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  const size_t dot = base.find_last_of('.');
+  return dot == std::string::npos || dot == 0 ? base : base.substr(0, dot);
+}
+
+// Compiles the graph under one preset (waves through the shared cache),
+// links, loads, and optionally verifies. Prints per-module and link/verify
+// diagnostics; returns the runnable program (null on failure).
+std::unique_ptr<CompiledProgram> BuildLinked(const BuildGraph& graph,
+                                             const BuildConfig& config,
+                                             const Options& opt,
+                                             ArtifactCache* cache,
+                                             BuildGraphStats* stats_out) {
+  BuildScheduler::Options sopts;
+  sopts.num_workers = opt.jobs;
+  sopts.verify = opt.verify && WantsVerify(config);
+  BuildScheduler sched(&graph, config, sopts);
+  LinkedBuild build = sched.Run(cache);
+  if (stats_out != nullptr) {
+    *stats_out = build.stats;
+  }
+  for (const ModuleOutcome& mo : build.modules) {
+    if (mo.invocation != nullptr && !mo.invocation->diags().diagnostics().empty()) {
+      fprintf(stderr, "-- module %s --\n%s", mo.name.c_str(),
+              mo.invocation->diags().ToString().c_str());
+    }
+    if (opt.time_passes && mo.invocation != nullptr) {
+      fprintf(stderr, "-- module %s --\n%s", mo.name.c_str(),
+              mo.invocation->stats().ToTable().c_str());
+    }
+  }
+  fputs(build.diags.ToString().c_str(), stderr);
+  if (opt.verify && build.verify_result != nullptr) {
+    fprintf(stderr, "confverify(link): %s (%zu procedures, %zu instructions)\n",
+            build.verify_result->ok ? "ok" : "REJECTED",
+            build.verify_result->procedures, build.verify_result->instructions);
+  }
+  if (!build.ok) {
+    return nullptr;
+  }
+  fprintf(stderr,
+          "conflink: %zu modules in %zu waves -> %zu code words, %zu functions, "
+          "%zu cross-module call sites\n",
+          build.stats.modules, build.stats.waves, build.stats.link.code_words,
+          build.stats.link.functions, build.stats.link.resolved_call_sites);
+  auto cp = std::make_unique<CompiledProgram>();
+  cp->config = config;
+  cp->prog = std::move(build.prog);
+  return cp;
+}
+
+bool WriteGraphStats(const std::string& path, const std::string& json) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    fprintf(stderr, "confcc: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << json;
+  return true;
+}
+
+int RunLink(const Options& opt) {
+  DiagEngine gdiags;
+  BuildGraph graph;
+  for (const std::string& f : opt.files) {
+    std::ifstream in(f);
+    if (!in) {
+      fprintf(stderr, "confcc: cannot open %s\n", f.c_str());
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    if (!graph.AddModule(ModuleNameOf(f), buf.str(), &gdiags)) {
+      fputs(gdiags.ToString().c_str(), stderr);
+      return 1;
+    }
+  }
+  bool cache_error = false;
+  std::unique_ptr<ArtifactCache> cache = MakeCache(opt, &cache_error);
+  if (cache_error) {
+    return 1;
+  }
+  // Interface extraction and parse keys are preset-independent; any preset's
+  // config carries the sema defaults Finalize needs.
+  const BuildConfig fin_cfg =
+      ConfigFor(opt.sweep ? BuildPreset::kOurMpx : opt.preset, opt);
+  if (!graph.Finalize(fin_cfg, &gdiags, cache.get(), opt.jobs)) {
+    fputs(gdiags.ToString().c_str(), stderr);
+    return 1;
+  }
+
+  int rc = 0;
+  std::string graph_json;
+  if (opt.sweep) {
+    int failures = 0;
+    graph_json = "[\n";
+    fprintf(stderr, "%-12s%8s%14s\n", "preset", "ok", "cycles");
+    constexpr size_t kNumPresets =
+        sizeof(kAllBuildPresets) / sizeof(kAllBuildPresets[0]);
+    for (size_t pi = 0; pi < kNumPresets; ++pi) {
+      const BuildPreset p = kAllBuildPresets[pi];
+      BuildGraphStats stats;
+      auto compiled =
+          BuildLinked(graph, ConfigFor(p, opt), opt, cache.get(), &stats);
+      graph_json += std::string("{\"preset\": \"") + PresetName(p) +
+                    "\", \"graph\": " + stats.ToJson() + "}";
+      graph_json += pi + 1 == kNumPresets ? "\n" : ",\n";
+      if (compiled == nullptr) {
+        ++failures;
+        fprintf(stderr, "%-12s%8s\n", PresetName(p), "FAIL");
+        continue;
+      }
+      if (!opt.emit_bin.empty() &&
+          !EmitBinary(compiled->prog->binary,
+                      SweepEmitPath(opt.emit_bin, PresetName(p)))) {
+        ++failures;
+        continue;
+      }
+      uint64_t cycles = 0;
+      if (!RunProgram(std::move(compiled), opt, &cycles, nullptr, /*quiet=*/true)) {
+        ++failures;
+        continue;
+      }
+      fprintf(stderr, "%-12s%8s%14llu\n", PresetName(p), "ok",
+              static_cast<unsigned long long>(cycles));
+    }
+    graph_json += "]\n";
+    rc = failures == 0 ? 0 : 1;
+  } else {
+    BuildGraphStats stats;
+    auto compiled = BuildLinked(graph, ConfigFor(opt.preset, opt), opt,
+                                cache.get(), &stats);
+    graph_json = stats.ToJson();
+    if (compiled == nullptr) {
+      rc = 1;
+    } else {
+      if (opt.disasm) {
+        fputs(Disassemble(compiled->prog->binary).c_str(), stdout);
+      }
+      if (!opt.emit_bin.empty() &&
+          !EmitBinary(compiled->prog->binary, opt.emit_bin)) {
+        rc = 1;
+      } else {
+        uint64_t cycles = 0;
+        uint64_t ret = 0;
+        rc = RunProgram(std::move(compiled), opt, &cycles, &ret)
+                 ? static_cast<int>(ret & 0xff)
+                 : 1;
+      }
+    }
+  }
+  if (!opt.graph_stats_json.empty() &&
+      !WriteGraphStats(opt.graph_stats_json, graph_json)) {
+    return 1;
+  }
+  if (cache != nullptr && !ReportCacheStats(*cache, opt)) {
+    return 1;
+  }
+  return rc;
 }
 
 }  // namespace
@@ -288,7 +463,14 @@ int main(int argc, char** argv) {
         opt.args.push_back(strtoull(tok.c_str(), nullptr, 0));
       }
     } else if (a.rfind("--jobs=", 0) == 0) {
-      opt.jobs = static_cast<unsigned>(strtoul(a.substr(7).c_str(), nullptr, 0));
+      // Parse signed so `--jobs=-1` cannot wrap to ~4 billion workers; zero
+      // and negative clamp to hardware concurrency with a warning.
+      const long long requested = strtoll(a.substr(7).c_str(), nullptr, 0);
+      std::string warning;
+      opt.jobs = NormalizeJobCount(requested, &warning);
+      if (!warning.empty()) {
+        fprintf(stderr, "confcc: warning: %s\n", warning.c_str());
+      }
     } else if (a.rfind("--cache-bytes=", 0) == 0) {
       opt.cache_bytes = strtoull(a.substr(14).c_str(), nullptr, 0);
     } else if (a.rfind("--cache-dir=", 0) == 0) {
@@ -299,6 +481,10 @@ int main(int argc, char** argv) {
       opt.cache_stats_json = a.substr(19);
     } else if (a.rfind("--emit-bin=", 0) == 0) {
       opt.emit_bin = a.substr(11);
+    } else if (a.rfind("--graph-stats-json=", 0) == 0) {
+      opt.graph_stats_json = a.substr(19);
+    } else if (a == "--link") {
+      opt.link = true;
     } else if (a.rfind("--engine=", 0) == 0) {
       const std::string name = a.substr(9);
       if (name == "ref") {
@@ -327,9 +513,20 @@ int main(int argc, char** argv) {
       return Usage();
     } else {
       opt.file = a;
+      opt.files.push_back(a);
     }
   }
   if (opt.file.empty()) {
+    return Usage();
+  }
+  if (opt.link) {
+    return RunLink(opt);
+  }
+  if (opt.files.size() > 1) {
+    fprintf(stderr,
+            "confcc: %zu input files given without --link; pass --link to "
+            "build them as modules\n",
+            opt.files.size());
     return Usage();
   }
 

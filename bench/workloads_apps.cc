@@ -122,6 +122,11 @@ int main() { return server_run(4); }
 // ---- §7.3 mini-OpenLDAP ----------------------------------------------------
 // Hash-indexed in-memory directory; root/user passwords are decrypted into a
 // private buffer via T (the paper's change) and never touch public sinks.
+// Each search carries the slapd-shaped per-operation pipeline: the driver
+// encodes a wire request (in-VM PRNG picks the key, like a benchmark
+// client), the server validates/decodes it, walks the hash chain, and
+// encodes a dn+attribute result entry with a trailing checksum before the
+// single send() per operation.
 const char* kLdap = R"(
 int recv(int fd, char *buf, int n);
 int send(int fd, char *buf, int n);
@@ -132,17 +137,26 @@ struct entry { int key; int val; int next; };
 struct entry g_entries[16384];
 int g_buckets[1024];
 int g_count;
+int g_seed;
 private char g_rootpw[64];
-char g_resp[64];
+char g_req[64];
+char g_resp[160];
 
 int ldap_bind(char *creds, int n) {
   decrypt(creds, g_rootpw, n);
   return 1;
 }
 
+// Deterministic in-VM query generator (the benchmark client's PRNG).
+int next_rand() {
+  g_seed = (g_seed * 1103515245 + 12345) & 1073741823;
+  return g_seed;
+}
+
 int ldap_populate(int n) {
   for (int b = 0; b < 1024; b = b + 1) { g_buckets[b] = -1; }
   g_count = 0;
+  g_seed = 12345;
   char creds[32];
   for (int i = 0; i < 32; i = i + 1) { creds[i] = (char)(i * 3 + 1); }
   ldap_bind(creds, 32);
@@ -175,17 +189,91 @@ int ldap_lookup(int key) {
   return -1 - (h & 1);
 }
 
+// Client side of the wire format: "SRCH" tag, key as 8 little-endian
+// decimal digits, then the filter/base bytes.
+int encode_request(int key) {
+  g_req[0] = 'S'; g_req[1] = 'R'; g_req[2] = 'C'; g_req[3] = 'H';
+  int p = 4;
+  int k = key;
+  for (int i = 0; i < 8; i = i + 1) {
+    g_req[p] = (char)('0' + k % 10);
+    k = k / 10;
+    p = p + 1;
+  }
+  for (int i = 0; i < 20; i = i + 1) {
+    g_req[p] = (char)('a' + (i + key) % 26);
+    p = p + 1;
+  }
+  g_req[p] = 0;
+  return p;
+}
+
+// Server side: validate the tag and decode the key back out.
+int parse_request(int n) {
+  if (n < 12) { return -1; }
+  if (g_req[0] != 'S') { return -1; }
+  if (g_req[1] != 'R') { return -1; }
+  if (g_req[2] != 'C') { return -1; }
+  if (g_req[3] != 'H') { return -1; }
+  int key = 0;
+  int m = 1;
+  for (int i = 0; i < 8; i = i + 1) {
+    key = key + (g_req[4 + i] - '0') * m;
+    m = m * 10;
+  }
+  return key;
+}
+
+// Encode one result entry: dn=uid=<key>, an attribute block, the value as
+// digits, and a trailing checksum over the whole entry.
+int encode_response(int key, int v) {
+  int p = 0;
+  g_resp[p] = 'd'; p = p + 1;
+  g_resp[p] = 'n'; p = p + 1;
+  g_resp[p] = '='; p = p + 1;
+  g_resp[p] = 'u'; p = p + 1;
+  g_resp[p] = 'i'; p = p + 1;
+  g_resp[p] = 'd'; p = p + 1;
+  g_resp[p] = '='; p = p + 1;
+  int k = key;
+  for (int i = 0; i < 8; i = i + 1) {
+    g_resp[p] = (char)('0' + k % 10);
+    k = k / 10;
+    p = p + 1;
+  }
+  for (int i = 0; i < 24; i = i + 1) {
+    g_resp[p] = (char)('a' + (i * 7 + key) % 26);
+    p = p + 1;
+  }
+  int val = v;
+  if (val < 0) { val = 0 - val; }
+  for (int i = 0; i < 8; i = i + 1) {
+    g_resp[p] = (char)('0' + val % 10);
+    val = val / 10;
+    p = p + 1;
+  }
+  int ck = 0;
+  for (int i = 0; i < p; i = i + 1) { ck = (ck + g_resp[i]) & 255; }
+  g_resp[p] = (char)ck;
+  p = p + 1;
+  return p;
+}
+
 int ldap_run(int nq, int want_hits) {
   int hits = 0;
   for (int q = 0; q < nq; q = q + 1) {
-    int key = rand_pub() % 1000000;
+    int key = next_rand() % 1000000;
     if (want_hits == 1) {
-      key = g_entries[rand_pub() % g_count].key;
+      key = g_entries[next_rand() % g_count].key;
     }
-    int v = ldap_lookup(key);
-    if (v >= 0) { hits = hits + 1; }
-    g_resp[0] = (char)(v % 64 + 32);
-    send(1, g_resp, 1);
+    int rn = encode_request(key);
+    int k2 = parse_request(rn);
+    if (k2 >= 0) {
+      int v = ldap_lookup(k2);
+      if (v >= 0) { hits = hits + 1; }
+      int rl = encode_response(k2, v);
+      send(1, g_resp, rl);
+    }
   }
   return hits;
 }

@@ -137,54 +137,169 @@ uint16_t FusedHandler(uint16_t a, uint16_t b) {
   return table[a * kNumBaseHandlers + b];
 }
 
+// True when `op` ends a basic block: control leaves the straight line (or,
+// for kCallExt, crosses into T and may clobber/fault, so the trace tier
+// treats the call-out as a block edge too).
+bool IsBlockTerminator(Op op) {
+  switch (op) {
+    case Op::kJmp:
+    case Op::kJnz:
+    case Op::kJz:
+    case Op::kCall:
+    case Op::kICall:
+    case Op::kRet:
+    case Op::kJmpReg:
+    case Op::kTrap:
+    case Op::kCallExt:
+    case Op::kHalt:
+    case Op::kInvalid:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Leaders, block extents, and static successor edges over the decoded slots.
+void BuildBlockMetadata(const LoadedProgram& prog, ExecImage* img) {
+  const size_t n = prog.decoded.size();
+  img->block_of.assign(n, ExecImage::kNoBlock);
+  std::vector<uint8_t> leader(n, 0);
+  const auto mark = [&](uint64_t w) {
+    if (w < n && prog.decoded[w].instr.has_value()) {
+      leader[w] = 1;
+    }
+  };
+  for (const BinFunction& f : prog.binary.functions) {
+    mark(f.entry_word);
+  }
+  mark(prog.exit_stub_word[0]);
+  mark(prog.exit_stub_word[1]);
+  // Stride by slot width so a movimm64 payload is never mistaken for a
+  // standalone data word (which WOULD start a region: CFI-checked returns
+  // skip over an embedded magic word and resume at the instruction right
+  // after it, so that instruction must be a leader).
+  for (size_t i = 0; i < n;) {
+    const DecodedSlot& slot = prog.decoded[i];
+    if (!slot.instr.has_value()) {
+      mark(i + 1);  // dynamic control flow resumes past the data word
+      ++i;
+      continue;
+    }
+    const Op op = slot.instr->op;
+    if (op == Op::kJmp || op == Op::kJnz || op == Op::kJz || op == Op::kCall) {
+      mark(static_cast<uint32_t>(slot.instr->imm));
+    }
+    if (IsBlockTerminator(op)) {
+      mark(i + slot.words);  // fall-through resumption point
+    }
+    i += slot.words;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (!leader[i]) {
+      continue;
+    }
+    ExecBlock b;
+    b.leader = static_cast<uint32_t>(i);
+    const uint32_t bid = static_cast<uint32_t>(img->blocks.size());
+    size_t w = i;
+    while (true) {
+      const DecodedSlot& slot = prog.decoded[w];
+      img->block_of[w] = bid;
+      ++b.num_instrs;
+      const MInstr& mi = *slot.instr;
+      const size_t next = w + slot.words;
+      if (IsBlockTerminator(mi.op)) {
+        b.term = static_cast<uint32_t>(w);
+        b.end = static_cast<uint32_t>(next);
+        b.has_term = true;
+        switch (mi.op) {
+          case Op::kJmp:
+          case Op::kCall:
+            b.succ[b.nsucc++] = static_cast<uint32_t>(mi.imm);
+            break;
+          case Op::kJnz:
+          case Op::kJz:
+            b.succ[b.nsucc++] = static_cast<uint32_t>(mi.imm);
+            b.succ[b.nsucc++] = static_cast<uint32_t>(next);
+            break;
+          case Op::kCallExt:
+            b.succ[b.nsucc++] = static_cast<uint32_t>(next);
+            break;
+          default:
+            break;  // icall/ret/jmpreg/trap/halt/invalid: dynamic or none
+        }
+        break;
+      }
+      if (next >= n || leader[next] || !prog.decoded[next].instr.has_value()) {
+        // Falls through into the next leader — or into a data word, where
+        // execution faults; either way the straight line ends here.
+        b.term = static_cast<uint32_t>(next);
+        b.end = static_cast<uint32_t>(next);
+        b.succ[b.nsucc++] = static_cast<uint32_t>(next);
+        break;
+      }
+      w = next;
+    }
+    img->blocks.push_back(b);
+  }
+}
+
 }  // namespace
+
+uint16_t FusedPairHandler(uint16_t a, uint16_t b) { return FusedHandler(a, b); }
+
+void FillBaseExecRecord(const LoadedProgram& prog, size_t i, ExecRecord* out) {
+  ExecRecord& rec = *out;
+  rec = ExecRecord{};
+  const DecodedSlot& slot = prog.decoded[i];
+  if (!slot.instr.has_value()) {
+    rec.handler = kHExecData;  // defaults suffice for the trap
+    return;
+  }
+  const MInstr& mi = *slot.instr;
+  rec.handler = HandlerFor(mi);
+  rec.rd = mi.rd;
+  rec.rs1 = mi.rs1;
+  rec.rs2 = mi.rs2;
+  rec.bnd = mi.bnd;
+  rec.next = static_cast<uint32_t>(i + slot.words);
+  rec.imm = mi.op == Op::kMovImm64 ? mi.imm64 : static_cast<int64_t>(mi.imm);
+  if (UsesMem(mi.op)) {
+    rec.base = mi.mem.base;
+    rec.index = mi.mem.index;
+    rec.scale = mi.mem.scale_log2;
+    rec.seg = static_cast<uint8_t>(mi.mem.seg);
+    rec.disp = mi.mem.disp;
+    rec.size = mi.size1 ? 1 : 8;
+    rec.acc_cost = static_cast<uint8_t>(SegAccessCost(mi.mem));
+    if (mi.mem.seg == Seg::kFs) {
+      rec.seg_base = prog.map.fs;
+    } else if (mi.mem.seg == Seg::kGs) {
+      rec.seg_base = prog.map.gs;
+    }
+  }
+  switch (mi.op) {
+    case Op::kJmp:
+    case Op::kJnz:
+    case Op::kJz:
+    case Op::kCall:
+      rec.target = static_cast<uint32_t>(mi.imm);
+      break;
+    case Op::kCallExt:
+      rec.target = static_cast<uint32_t>(mi.imm);
+      break;
+    default:
+      break;
+  }
+}
 
 std::shared_ptr<const ExecImage> BuildExecImage(const LoadedProgram& prog) {
   auto img = std::make_shared<ExecImage>();
   img->code = prog.binary.code;
   img->recs.resize(prog.decoded.size());
   for (size_t i = 0; i < prog.decoded.size(); ++i) {
-    const DecodedSlot& slot = prog.decoded[i];
-    ExecRecord& rec = img->recs[i];
-    if (!slot.instr.has_value()) {
-      rec.handler = kHExecData;  // defaults suffice for the trap
-      continue;
-    }
-    const MInstr& mi = *slot.instr;
-    rec.handler = HandlerFor(mi);
-    rec.rd = mi.rd;
-    rec.rs1 = mi.rs1;
-    rec.rs2 = mi.rs2;
-    rec.bnd = mi.bnd;
-    rec.next = static_cast<uint32_t>(i + slot.words);
-    rec.imm = mi.op == Op::kMovImm64 ? mi.imm64 : static_cast<int64_t>(mi.imm);
-    if (UsesMem(mi.op)) {
-      rec.base = mi.mem.base;
-      rec.index = mi.mem.index;
-      rec.scale = mi.mem.scale_log2;
-      rec.seg = static_cast<uint8_t>(mi.mem.seg);
-      rec.disp = mi.mem.disp;
-      rec.size = mi.size1 ? 1 : 8;
-      rec.acc_cost = static_cast<uint8_t>(SegAccessCost(mi.mem));
-      if (mi.mem.seg == Seg::kFs) {
-        rec.seg_base = prog.map.fs;
-      } else if (mi.mem.seg == Seg::kGs) {
-        rec.seg_base = prog.map.gs;
-      }
-    }
-    switch (mi.op) {
-      case Op::kJmp:
-      case Op::kJnz:
-      case Op::kJz:
-      case Op::kCall:
-        rec.target = static_cast<uint32_t>(mi.imm);
-        break;
-      case Op::kCallExt:
-        rec.target = static_cast<uint32_t>(mi.imm);
-        break;
-      default:
-        break;
-    }
+    FillBaseExecRecord(prog, i, &img->recs[i]);
   }
 
   // Fusion pass: retarget the first element of frequent straight-line pairs
@@ -354,6 +469,11 @@ std::shared_ptr<const ExecImage> BuildExecImage(const LoadedProgram& prog) {
       rec.target = rb.next;
     }
   }
+
+  // Block metadata rides along unconditionally: it is cheap (one linear
+  // walk), and both the trace tier and the ref engine's block profiler
+  // (VmOptions::block_profile) key off it.
+  BuildBlockMetadata(prog, img.get());
   return img;
 }
 

@@ -317,6 +317,13 @@ enum ExecHandler : uint16_t {
   kHT_BndBnd_Store,
   kHT_BndBnd_FLoad,
   kHT_BndBnd_FStore,
+  // Trace-tier promotion slots (engine=trace only; never appear in the
+  // shared image — the trace tier patches them into its private record copy
+  // at block leaders). kHTraceCount bumps the block's entry counter and
+  // falls through to the leader's original handler; kHTraceRun executes the
+  // whole promoted block off its compiled op list (see trace_tier.h).
+  kHTraceCount,
+  kHTraceRun,
   kNumExecHandlers,
 };
 
@@ -349,9 +356,34 @@ inline uint64_t SegAccessCost(const MemOperand& m) {
   return (m.seg != Seg::kNone && m.base != kRegSp) ? 3 : 2;
 }
 
+// One static basic block of the flattened code: a maximal straight-line
+// instruction run entered only at `leader` (function entries, exit stubs,
+// static branch/call targets, and the word after any terminator are
+// leaders). `term` is the terminating control instruction's word, or ==
+// `end` for blocks that fall through into the next leader (or into a data
+// word, where execution faults). Successor edges cover the static CFG only:
+// icall/ret/jmpreg/trap/halt blocks have none.
+struct ExecBlock {
+  uint32_t leader = 0;
+  uint32_t end = 0;         // exclusive word bound
+  uint32_t term = 0;        // terminator word; == end when falling through
+  uint32_t num_instrs = 0;  // instruction count incl. the terminator
+  uint32_t succ[2] = {0, 0};
+  uint8_t nsucc = 0;
+  bool has_term = false;
+};
+
 struct ExecImage {
   std::vector<ExecRecord> recs;  // one per code word
   std::vector<uint64_t> code;    // private copy for kLoadCode (CFI reads)
+
+  // Static basic-block metadata over the same word indices: the trace tier's
+  // promotion map and the bench's --block-histogram both key off it.
+  // block_of[w] is the block id of instruction word w (kNoBlock for data /
+  // continuation words); leaders satisfy blocks[block_of[w]].leader == w.
+  static constexpr uint32_t kNoBlock = ~0u;
+  std::vector<ExecBlock> blocks;
+  std::vector<uint32_t> block_of;
 
   size_t size() const { return recs.size(); }
 };
@@ -359,6 +391,18 @@ struct ExecImage {
 // Flattens `prog` (its decoded slots, region map and code image) into an
 // ExecImage. Pure function of the program's content.
 std::shared_ptr<const ExecImage> BuildExecImage(const LoadedProgram& prog);
+
+// Fills `rec` with word `w`'s UNFUSED base record (the pre-fusion per-word
+// flattening BuildExecImage starts from). The trace tier compiles promoted
+// blocks from these so every interior op replays the reference engine's
+// per-instruction semantics exactly.
+void FillBaseExecRecord(const LoadedProgram& prog, size_t w, ExecRecord* rec);
+
+// Base-handler pair -> fused handler id (0 = not fusible) — the same table
+// BuildExecImage's fusion pass uses. Exposed for the trace tier, which
+// re-fuses adjacent ops inside a compiled region with the image's own
+// packing. Both arguments must be < kNumBaseHandlers.
+uint16_t FusedPairHandler(uint16_t a, uint16_t b);
 
 }  // namespace confllvm
 

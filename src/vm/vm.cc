@@ -9,6 +9,7 @@
 #include "src/isa/layout.h"
 #include "src/support/strings.h"
 #include "src/vm/exec_image.h"
+#include "src/vm/trace_tier.h"
 
 namespace confllvm {
 
@@ -20,6 +21,7 @@ const char* EngineName(VmEngine e) {
   switch (e) {
     case VmEngine::kRef: return "ref";
     case VmEngine::kFast: return "fast";
+    case VmEngine::kTrace: return "trace";
   }
   return "?";
 }
@@ -50,7 +52,7 @@ Vm::Vm(LoadedProgram* prog, TrustedCallout* trusted, VmOptions opts)
   // backing. Either way a single Memory holds the data, so the generic
   // accessors (trusted natives, tests) always see the same bytes.
   const RegionMap& m = prog_->map;
-  const bool flat = opts_.engine == VmEngine::kFast;
+  const bool flat = opts_.engine != VmEngine::kRef;
   const auto map_region = [&](uint64_t base, uint64_t size) {
     if (flat) {
       mem_.MapFlat(base, size);
@@ -65,7 +67,7 @@ Vm::Vm(LoadedProgram* prog, TrustedCallout* trusted, VmOptions opts)
   if (m.t_size != 0) {
     map_region(m.t_base, m.t_size);
   }
-  if (opts_.engine == VmEngine::kFast) {
+  if (opts_.engine != VmEngine::kRef || opts_.block_profile != nullptr) {
     // Guarded: Vms may be constructed concurrently on one shared program.
     static std::mutex image_mu;
     std::lock_guard<std::mutex> lock(image_mu);
@@ -74,8 +76,15 @@ Vm::Vm(LoadedProgram* prog, TrustedCallout* trusted, VmOptions opts)
     }
     image_ = prog_->exec_image.get();
   }
+  if (opts_.engine == VmEngine::kTrace) {
+    trace_ = std::make_unique<TraceTier>(prog_, image_, opts_.trace_threshold);
+  }
   if (opts_.pair_histogram != nullptr && opts_.pair_histogram->size() < 256 * 256) {
     opts_.pair_histogram->assign(256 * 256, 0);
+  }
+  if (opts_.block_profile != nullptr &&
+      opts_.block_profile->size() < image_->blocks.size()) {
+    opts_.block_profile->assign(image_->blocks.size(), 0);
   }
   for (size_t g = 0; g < prog_->binary.globals.size(); ++g) {
     const BinGlobal& bg = prog_->binary.globals[g];
@@ -89,6 +98,8 @@ Vm::Vm(LoadedProgram* prog, TrustedCallout* trusted, VmOptions opts)
     }
   }
 }
+
+Vm::~Vm() = default;
 
 bool Vm::RangeInRegion(uint64_t addr, uint64_t len, bool private_region) const {
   const RegionMap& m = prog_->map;
@@ -178,7 +189,7 @@ Vm::CallResult Vm::Finish(const ThreadCtx& t) const {
 }
 
 void Vm::RunSlice(ThreadCtx* t, uint64_t budget) {
-  if (opts_.engine == VmEngine::kFast) {
+  if (opts_.engine != VmEngine::kRef) {
     RunSliceFast(t, budget);
   } else {
     RunSliceRef(t, budget);
@@ -325,6 +336,16 @@ bool Vm::Step(ThreadCtx* t) {
                                 static_cast<uint8_t>(mi.op)];
     }
     t->hist_prev_op = static_cast<uint8_t>(mi.op);
+  }
+
+  if (opts_.block_profile != nullptr && image_ != nullptr &&
+      t->pc < image_->block_of.size()) {
+    const uint32_t bid = image_->block_of[t->pc];
+    if (bid != ExecImage::kNoBlock &&
+        image_->blocks[bid].leader == t->pc &&
+        bid < opts_.block_profile->size()) {
+      ++(*opts_.block_profile)[bid];
+    }
   }
 
   auto r = [&](uint8_t i) -> uint64_t& { return t->regs[i]; };

@@ -24,6 +24,7 @@
 #define CONFLLVM_SRC_VM_VM_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -80,14 +81,16 @@ struct VmStats {
   uint64_t cache_miss_cycles = 0;
 };
 
-// Which interpreter runs vISA. Both are bit-identical in observable
+// Which interpreter runs vISA. All tiers are bit-identical in observable
 // behaviour (CallResult, VmStats, fault kind/pc/message, memory effects,
 // cycle counts); kFast trades a one-time ExecImage build per LoadedProgram
-// for a several-times-faster hot loop (see ARCHITECTURE.md "Execution
-// engine"). tests/vm_engine_test.cc enforces the equivalence.
+// for a several-times-faster hot loop, and kTrace adds runtime hot-block
+// promotion on top of it (see ARCHITECTURE.md "Engine tiers").
+// tests/vm_engine_test.cc enforces the equivalence differentially.
 enum class VmEngine : uint8_t {
-  kRef,   // the original per-step decoder switch — the semantic reference
-  kFast,  // token-threaded dispatch over a pre-flattened ExecImage
+  kRef,    // the original per-step decoder switch — the semantic reference
+  kFast,   // token-threaded dispatch over a pre-flattened ExecImage
+  kTrace,  // fast engine + block profiling + whole-block compiled handlers
 };
 
 const char* EngineName(VmEngine e);
@@ -106,9 +109,21 @@ struct VmOptions {
   // --pair-histogram). Ignored by the fast engine — fusion would hide
   // exactly the pairs being measured — so pass engine=kRef alongside it.
   std::vector<uint64_t>* pair_histogram = nullptr;
+  // engine=kTrace: block entries before a basic block is compiled into one
+  // whole-block handler. ~1k keeps cold paths cheap while promoting any
+  // block that matters on a sustained-serving workload within its first
+  // request or two (see ARCHITECTURE.md "Engine tiers").
+  uint64_t trace_threshold = 1024;
+  // When non-null, the *reference* engine counts every dynamic basic-block
+  // entry into (*block_profile)[block_id] (resized by the Vm constructor to
+  // the program's block count; ids index ExecImage::blocks). Fuel for
+  // trace-threshold tuning (bench/exec_throughput.cc --block-histogram).
+  // Ignored by the fast/trace engines - pass engine=kRef alongside it.
+  std::vector<uint64_t>* block_profile = nullptr;
 };
 
 class Vm;
+class TraceTier;
 
 // Native implementations of the trusted library T (runtime module).
 class TrustedCallout {
@@ -120,6 +135,7 @@ class TrustedCallout {
 class Vm {
  public:
   Vm(LoadedProgram* prog, TrustedCallout* trusted, VmOptions opts = {});
+  ~Vm();  // out-of-line: TraceTier is incomplete here
 
   struct CallResult {
     bool ok = false;
@@ -149,6 +165,9 @@ class Vm {
 
   Memory& memory() { return mem_; }
   const VmStats& stats() const { return stats_; }
+  // Non-null iff engine == kTrace: promotion/bail telemetry for the bench
+  // and the confcc --trace-stats-json sink.
+  const TraceTier* trace_tier() const { return trace_.get(); }
   LoadedProgram& program() { return *prog_; }
   CacheModel& cache() { return cache_; }
 
@@ -195,7 +214,8 @@ class Vm {
   Memory mem_;
   CacheModel cache_;
   VmStats stats_;
-  const ExecImage* image_ = nullptr;  // set iff engine == kFast
+  const ExecImage* image_ = nullptr;  // set iff engine != kRef (or profiling)
+  std::unique_ptr<TraceTier> trace_;  // set iff engine == kTrace
 };
 
 }  // namespace confllvm

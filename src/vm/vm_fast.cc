@@ -30,6 +30,7 @@
 #include "src/isa/layout.h"
 #include "src/support/strings.h"
 #include "src/vm/exec_image.h"
+#include "src/vm/trace_tier.h"
 #include "src/vm/vm.h"
 
 namespace confllvm {
@@ -44,9 +45,19 @@ namespace confllvm {
 #if CONFLLVM_COMPUTED_GOTO
 #define CASE(h) h##_lbl:
 #define DISPATCH_TARGET() goto* kLabels[rec->handler]
+// Re-dispatch the CURRENT record through a handler other than the one in its
+// handler field (trace-tier paths: a block leader's record was patched to a
+// counting/run slot, but this entry must execute its ORIGINAL — possibly
+// fused — handler).
+#define DISPATCH_AS(h) goto* kLabels[(h)]
 #else
 #define CASE(h) case h: h##_lbl:
 #define DISPATCH_TARGET() goto dispatch_sw
+#define DISPATCH_AS(h)     \
+  do {                     \
+    sw_h = (h);            \
+    goto dispatch_sw_as;   \
+  } while (0)
 #endif
 
 // One fault: record it with the current instruction's pc and leave the loop.
@@ -314,6 +325,26 @@ namespace confllvm {
 #define QBODY_Shl(r) R[QRD(r)] = R[QRS1(r)] << (R[QRS2(r)] & 63)
 #define QBODY_CmpEq(r) R[QRD(r)] = R[QRS1(r)] == R[QRS2(r)] ? 1 : 0
 #define QBODY_CmpNe(r) R[QRD(r)] = R[QRS1(r)] != R[QRS2(r)] ? 1 : 0
+#define QBODY_CmpLt(r)                                             \
+  R[QRD(r)] = static_cast<int64_t>(R[QRS1(r)]) <                   \
+                      static_cast<int64_t>(R[QRS2(r)])             \
+                  ? 1                                              \
+                  : 0
+#define QBODY_CmpLe(r)                                             \
+  R[QRD(r)] = static_cast<int64_t>(R[QRS1(r)]) <=                  \
+                      static_cast<int64_t>(R[QRS2(r)])             \
+                  ? 1                                              \
+                  : 0
+#define QBODY_CmpGt(r)                                             \
+  R[QRD(r)] = static_cast<int64_t>(R[QRS1(r)]) >                   \
+                      static_cast<int64_t>(R[QRS2(r)])             \
+                  ? 1                                              \
+                  : 0
+#define QBODY_CmpGe(r)                                             \
+  R[QRD(r)] = static_cast<int64_t>(R[QRS1(r)]) >=                  \
+                      static_cast<int64_t>(R[QRS2(r)])             \
+                  ? 1                                              \
+                  : 0
 #define QBODY_Shr(r)                                                      \
   R[QRD(r)] = static_cast<uint64_t>(static_cast<int64_t>(R[QRS1(r)]) >>   \
                                     (R[QRS2(r)] & 63))
@@ -376,7 +407,12 @@ void Vm::RunSliceFastImpl(ThreadCtx* t, const uint64_t budget) {
     return;
   }
   assert(image_ != nullptr);
-  const ExecRecord* const recs = image_->recs.data();
+  // engine=trace dispatches over the tier's private, leader-patched copy of
+  // the record stream; ref/fast use the shared immutable image. Same length,
+  // so `nrecs` and the pc bounds discipline are engine-independent.
+  TraceTier* const tt = trace_.get();
+  const ExecRecord* const recs =
+      tt != nullptr ? tt->recs.data() : image_->recs.data();
   const uint64_t nrecs = image_->recs.size();
   const uint64_t* const code = image_->code.data();
   const RegionMap& map = prog_->map;
@@ -442,6 +478,11 @@ void Vm::RunSliceFastImpl(ThreadCtx* t, const uint64_t budget) {
   } while (0)
 
   const ExecRecord* rec;
+#if CONFLLVM_COMPUTED_GOTO
+  // Current promoted block while the trace-tier inner loop runs (kHTraceRun
+  // through tTerm/tExit); dead in the ref/fast configurations.
+  TraceBlock* tb = nullptr;
+#endif
 
 #if CONFLLVM_COMPUTED_GOTO
   // Indexed by ExecHandler — order must match the enum exactly.
@@ -504,16 +545,114 @@ void Vm::RunSliceFastImpl(ThreadCtx* t, const uint64_t budget) {
       &&kHT_BndBnd_Store_lbl,
       &&kHT_BndBnd_FLoad_lbl,
       &&kHT_BndBnd_FStore_lbl,
+      &&kHTraceCount_lbl,
+      &&kHTraceRun_lbl,
   };
-  static_assert(kNumExecHandlers == 553,
+  static_assert(kNumExecHandlers == 555,
                 "update kLabels with the new handler");
+
+  // Trace-tier inner dispatch: indexed by handler id over the FULL image
+  // handler space plus the trace-only pseudo handlers (see trace_tier.h).
+  // Base body ops jump to their t* labels; terminators route to tTerm, which
+  // hands the op's natural record to the outer table above so
+  // call/ret/callext/halt semantics are shared code; kHExecData is the
+  // synthetic exit. Fused ids a compiled region can contain (simple+simple,
+  // simple+mem, mem+simple, the MPX check pair and the bndcl;bndcu;access
+  // triple) get tP_*/tT_* superinstruction labels generated from the same
+  // X-macro lists as the enum; every other fused id is never emitted by
+  // TraceTier::Promote and routes to tTerm only to keep the table aligned
+  // with the enum. The tail entries are the region-growing pseudo ops
+  // (inlined jmp, conditional-branch guards, the loop-back re-entry).
+#define CONFLLVM_TSS(a, b) &&tP_##a##_##b,
+#define CONFLLVM_TSM(a, m) &&tP_##a##_##m,
+#define CONFLLVM_TMS(m, b) &&tP_##m##_##b,
+#define CONFLLVM_TF2(a, b) &&tTerm,
+#define CONFLLVM_TF1(a) &&tTerm,
+  static const void* const kTL[kTNumTraceHandlers] = {
+      &&tExit,    &&tTerm,     &&tMovImm,  &&tMov,
+      &&tAdd,     &&tSub,      &&tMul,     &&tDiv,
+      &&tRem,     &&tAnd,      &&tOr,      &&tXor,
+      &&tShl,     &&tShr,      &&tAddImm,  &&tNeg,
+      &&tNot,     &&tCmpEq,    &&tCmpNe,   &&tCmpLt,
+      &&tCmpLe,   &&tCmpGt,    &&tCmpGe,   &&tLoad,
+      &&tStore,   &&tFLoad,    &&tFStore,  &&tLea,
+      &&tPush,    &&tPop,      &&tTerm,    &&tTerm,
+      &&tTerm,    &&tTerm,     &&tTerm,    &&tTerm,
+      &&tTerm,    &&tLoadCode, &&tBndclR,  &&tBndcuR,
+      &&tBndclM,  &&tBndcuM,   &&tChkstk,  &&tTerm,
+      &&tTerm,    &&tTerm,     &&tFAdd,    &&tFSub,
+      &&tFMul,    &&tFDiv,     &&tFNeg,    &&tFCmpEq,
+      &&tFCmpNe,  &&tFCmpLt,   &&tFCmpLe,  &&tFCmpGt,
+      &&tFCmpGe,  &&tCvtIF,    &&tCvtFI,   &&tMovIF,
+      &&tFMov,    &&tNop,
+      &&tTerm,  // filler for the kNumBaseHandlers slot (never used)
+      // Fused ids, in exact enum order (exec_image.h).
+      CONFLLVM_PAIRS_SS(CONFLLVM_TSS)
+      CONFLLVM_PAIRS_SJ(CONFLLVM_TF1)
+      CONFLLVM_PAIRS_JS(CONFLLVM_TF1)
+      CONFLLVM_PAIRS_CB(CONFLLVM_TF2)
+      CONFLLVM_PAIRS_BB(CONFLLVM_TF1)
+      CONFLLVM_PAIRS_SM(CONFLLVM_TSM)
+      CONFLLVM_PAIRS_MS(CONFLLVM_TMS)
+      CONFLLVM_PAIRS_BM(CONFLLVM_TF2)
+      CONFLLVM_PAIRS_FF(CONFLLVM_TF2)
+      CONFLLVM_PAIRS_FSM(CONFLLVM_TF2)
+      CONFLLVM_PAIRS_FMS(CONFLLVM_TF2)
+      CONFLLVM_PAIRS_BS(CONFLLVM_TF2)
+      CONFLLVM_PAIRS_SFM(CONFLLVM_TF2)
+      CONFLLVM_PAIRS_FMI(CONFLLVM_TF2)
+      CONFLLVM_PAIRS_FAS(CONFLLVM_TF2)
+      CONFLLVM_PAIRS_SFA(CONFLLVM_TF2)
+      CONFLLVM_PAIRS_SIF(CONFLLVM_TF2)
+      CONFLLVM_PAIRS_SN(CONFLLVM_TF2)
+      CONFLLVM_PAIRS_PS(CONFLLVM_TF1)
+      CONFLLVM_PAIRS_LC(CONFLLVM_TF1)
+      &&tTerm, &&tTerm,  // kHP_Not_LoadCode, kHP_AddImm_JmpReg
+      CONFLLVM_PAIRS_BT(CONFLLVM_TF2)
+      &&tP_BndclR_BndcuR,
+      &&tTerm,            // kHP_Add_BndclR
+      &&tP_Pop_Pop, &&tP_Push_Push,
+      &&tT_BndBnd_Load,   &&tT_BndBnd_Store,
+      &&tT_BndBnd_FLoad,  &&tT_BndBnd_FStore,
+      &&tTerm, &&tTerm,   // kHTraceCount, kHTraceRun (never inside a region)
+      &&tJmpInl, &&tGuardNZ, &&tGuardZ, &&tGuardNZT, &&tGuardZT, &&tLoopBack,
+      &&tCG_CmpEq_ExitNZ, &&tCG_CmpEq_ExitZ,
+      &&tCG_CmpNe_ExitNZ, &&tCG_CmpNe_ExitZ,
+      &&tCG_CmpLt_ExitNZ, &&tCG_CmpLt_ExitZ,
+      &&tCG_CmpLe_ExitNZ, &&tCG_CmpLe_ExitZ,
+      &&tCG_CmpGt_ExitNZ, &&tCG_CmpGt_ExitZ,
+      &&tCG_CmpGe_ExitNZ, &&tCG_CmpGe_ExitZ,
+      &&tT3A_CmpEq_ExitNZ, &&tT3A_CmpEq_ExitZ,
+      &&tT3A_CmpNe_ExitNZ, &&tT3A_CmpNe_ExitZ,
+      &&tT3A_CmpLt_ExitNZ, &&tT3A_CmpLt_ExitZ,
+      &&tT3A_CmpLe_ExitNZ, &&tT3A_CmpLe_ExitZ,
+      &&tT3A_CmpGt_ExitNZ, &&tT3A_CmpGt_ExitZ,
+      &&tT3A_CmpGe_ExitNZ, &&tT3A_CmpGe_ExitZ,
+      &&tT3L_CmpEq_ExitNZ, &&tT3L_CmpEq_ExitZ,
+      &&tT3L_CmpNe_ExitNZ, &&tT3L_CmpNe_ExitZ,
+      &&tT3L_CmpLt_ExitNZ, &&tT3L_CmpLt_ExitZ,
+      &&tT3L_CmpLe_ExitNZ, &&tT3L_CmpLe_ExitZ,
+      &&tT3L_CmpGt_ExitNZ, &&tT3L_CmpGt_ExitZ,
+      &&tT3L_CmpGe_ExitNZ, &&tT3L_CmpGe_ExitZ,
+      &&tCallInl, &&tRetGuard,
+  };
+#undef CONFLLVM_TSS
+#undef CONFLLVM_TSM
+#undef CONFLLVM_TMS
+#undef CONFLLVM_TF2
+#undef CONFLLVM_TF1
+  static_assert(kTNumTraceHandlers == kNumExecHandlers + 44,
+                "update kTL with the new handler");
 #endif
 
   DISPATCH();
 
 #if !CONFLLVM_COMPUTED_GOTO
+  uint16_t sw_h;
 dispatch_sw:
-  switch (rec->handler) {
+  sw_h = rec->handler;
+dispatch_sw_as:
+  switch (sw_h) {
 #endif
 
   CASE(kHExecData) {
@@ -915,6 +1054,798 @@ dispatch_sw:
     END_OP(1);
   }
   CASE(kHNop) { END_OP(1); }
+
+  // ---- trace tier: block profiling + whole-block execution ----
+
+  CASE(kHTraceCount) {
+    // Unpromoted block leader under engine=trace: count the entry, compile
+    // the block at threshold, and run THIS entry through the leader's
+    // original (possibly fused) handler — promotion is a single handler-slot
+    // store observed on the next entry.
+    const uint32_t bid = image_->block_of[pc];
+    TraceBlock& cb = tt->blocks[bid];
+    if (__builtin_expect(++cb.count == tt->threshold, 0)) {
+      tt->Promote(bid);
+    }
+    DISPATCH_AS(cb.orig_handler);
+  }
+  CASE(kHTraceRun) {
+#if CONFLLVM_COMPUTED_GOTO
+    tb = &tt->blocks[image_->block_of[pc]];
+    // Entry prechecks: if the reference engine COULD stop inside this block
+    // (quantum budget, instruction limit), bail to the original handler and
+    // run per-instruction, stopping exactly where the reference stops. The
+    // outer DISPATCH already counted the block's first instruction, and the
+    // final op is outside both sums (reference checks run BEFORE each
+    // instruction), hence num_instrs - 2 and a worst_cycles that excludes it.
+    if ((kBounded &&
+         cycles - start_cycles + tb->worst_cycles >= budget) ||
+        __builtin_expect(instrs + tb->num_instrs - 2 >= max_instrs, 0)) {
+      ++tt->stats.entry_bails;
+      DISPATCH_AS(tb->orig_handler);
+    }
+    ++tb->runs;
+    rec = tb->ops.data();
+    goto* kTL[rec->handler];
+#else
+    // The switch build has no computed goto, so the whole-block inner loop
+    // is compiled out; promoted blocks simply run per-instruction.
+    DISPATCH_AS(tt->blocks[image_->block_of[pc]].orig_handler);
+#endif
+  }
+
+#if CONFLLVM_COMPUTED_GOTO
+  // Promoted-block bodies. Each replays its base handler's semantics, cost
+  // and fp-credit bookkeeping exactly, but advances by bumping `rec` through
+  // the block's dense op list (no budget/limit/pc checks — hoisted into the
+  // kHTraceRun prechecks, and `pc` is only materialized where it is
+  // observable: fault paths carry the op's own word index in rec->target,
+  // and the terminator/exit restore it before handing back to the outer
+  // loop).
+#define TNEXT(c)               \
+  do {                         \
+    fp_credit = 0;             \
+    cycles += (c);             \
+    ++rec;                     \
+    ++instrs;                  \
+    goto* kTL[rec->handler];   \
+  } while (0)
+#define TNEXT_MEM() /* cycles already charged by the PAIR_* body */ \
+  do {                                                              \
+    fp_credit = 0;                                                  \
+    ++rec;                                                          \
+    ++instrs;                                                       \
+    goto* kTL[rec->handler];                                        \
+  } while (0)
+#define TNEXT_FP(c)            \
+  do {                         \
+    fp_credit = 1;             \
+    cycles += (c);             \
+    ++rec;                     \
+    ++instrs;                  \
+    goto* kTL[rec->handler];   \
+  } while (0)
+#define TNEXT_CHECK(base_cost)                           \
+  do {                                                   \
+    const uint64_t c_ = fp_credit > 0 ? 0 : (base_cost); \
+    ++s_checks;                                          \
+    s_check_cyc += c_;                                   \
+    if (fp_credit > 0) --fp_credit;                      \
+    cycles += c_;                                        \
+    ++rec;                                               \
+    ++instrs;                                            \
+    goto* kTL[rec->handler];                             \
+  } while (0)
+
+  tMovImm: {
+    R[rec->rd] = static_cast<uint64_t>(rec->imm);
+    TNEXT(1);
+  }
+  tMov: {
+    R[rec->rd] = R[rec->rs1];
+    TNEXT(1);
+  }
+  tAdd: {
+    R[rec->rd] = R[rec->rs1] + R[rec->rs2];
+    TNEXT(1);
+  }
+  tSub: {
+    R[rec->rd] = R[rec->rs1] - R[rec->rs2];
+    TNEXT(1);
+  }
+  tMul: {
+    R[rec->rd] = R[rec->rs1] * R[rec->rs2];
+    TNEXT(3);
+  }
+  tDiv: {
+    const int64_t a = static_cast<int64_t>(R[rec->rs1]);
+    const int64_t b = static_cast<int64_t>(R[rec->rs2]);
+    if (__builtin_expect(b == 0, 0)) {
+      pc = rec->target;
+      FAULT(VmFault::kDivZero, "division by zero");
+    }
+    R[rec->rd] = (a == INT64_MIN && b == -1) ? static_cast<uint64_t>(INT64_MIN)
+                                             : static_cast<uint64_t>(a / b);
+    TNEXT(20);
+  }
+  tRem: {
+    const int64_t a = static_cast<int64_t>(R[rec->rs1]);
+    const int64_t b = static_cast<int64_t>(R[rec->rs2]);
+    if (__builtin_expect(b == 0, 0)) {
+      pc = rec->target;
+      FAULT(VmFault::kDivZero, "division by zero");
+    }
+    R[rec->rd] = (a == INT64_MIN && b == -1) ? 0 : static_cast<uint64_t>(a % b);
+    TNEXT(20);
+  }
+  tAnd: {
+    R[rec->rd] = R[rec->rs1] & R[rec->rs2];
+    TNEXT(1);
+  }
+  tOr: {
+    R[rec->rd] = R[rec->rs1] | R[rec->rs2];
+    TNEXT(1);
+  }
+  tXor: {
+    R[rec->rd] = R[rec->rs1] ^ R[rec->rs2];
+    TNEXT(1);
+  }
+  tShl: {
+    R[rec->rd] = R[rec->rs1] << (R[rec->rs2] & 63);
+    TNEXT(1);
+  }
+  tShr: {
+    R[rec->rd] = static_cast<uint64_t>(static_cast<int64_t>(R[rec->rs1]) >>
+                                       (R[rec->rs2] & 63));
+    TNEXT(1);
+  }
+  tAddImm: {
+    R[rec->rd] = R[rec->rs1] + static_cast<uint64_t>(rec->imm);
+    TNEXT(1);
+  }
+  tNeg: {
+    R[rec->rd] = ~R[rec->rs1] + 1;
+    TNEXT(1);
+  }
+  tNot: {
+    R[rec->rd] = ~R[rec->rs1];
+    TNEXT(1);
+  }
+  tCmpEq: {
+    R[rec->rd] = R[rec->rs1] == R[rec->rs2] ? 1 : 0;
+    TNEXT(1);
+  }
+  tCmpNe: {
+    R[rec->rd] = R[rec->rs1] != R[rec->rs2] ? 1 : 0;
+    TNEXT(1);
+  }
+  tCmpLt: {
+    R[rec->rd] = static_cast<int64_t>(R[rec->rs1]) <
+                         static_cast<int64_t>(R[rec->rs2])
+                     ? 1
+                     : 0;
+    TNEXT(1);
+  }
+  tCmpLe: {
+    R[rec->rd] = static_cast<int64_t>(R[rec->rs1]) <=
+                         static_cast<int64_t>(R[rec->rs2])
+                     ? 1
+                     : 0;
+    TNEXT(1);
+  }
+  tCmpGt: {
+    R[rec->rd] = static_cast<int64_t>(R[rec->rs1]) >
+                         static_cast<int64_t>(R[rec->rs2])
+                     ? 1
+                     : 0;
+    TNEXT(1);
+  }
+  tCmpGe: {
+    R[rec->rd] = static_cast<int64_t>(R[rec->rs1]) >=
+                         static_cast<int64_t>(R[rec->rs2])
+                     ? 1
+                     : 0;
+    TNEXT(1);
+  }
+  tLoad: {
+    pc = rec->target;  // observable only if the access faults
+    PAIR_LOAD(rec->rd);
+    TNEXT_MEM();
+  }
+  tStore: {
+    pc = rec->target;
+    PAIR_STORE(rec->rd);
+    TNEXT_MEM();
+  }
+  tFLoad: {
+    pc = rec->target;
+    PAIR_FLOAD(rec->rd);
+    TNEXT_MEM();
+  }
+  tFStore: {
+    pc = rec->target;
+    PAIR_FSTORE(rec->rd);
+    TNEXT_MEM();
+  }
+  tLea: {
+    R[rec->rd] = EA_NOSEG();
+    TNEXT(1);
+  }
+  tPush: {
+    R[kRegSp] -= 8;
+    const uint64_t sp = R[kRegSp];
+    if (uint8_t* p = mem_.FlatPtr(sp, 8)) {
+      const uint64_t v = R[rec->rd];
+      memcpy(p, &v, 8);
+    } else if (!mem_.Write(sp, 8, R[rec->rd])) {
+      pc = rec->target;
+      FAULT(VmFault::kUnmapped, "push to unmapped stack");
+    }
+    TNEXT(2 + cache_.AccessFast(sp));
+  }
+  tPop: {
+    const uint64_t sp = R[kRegSp];
+    uint64_t v = 0;
+    if (uint8_t* p = mem_.FlatPtr(sp, 8)) {
+      memcpy(&v, p, 8);
+    } else if (!mem_.Read(sp, 8, &v)) {
+      pc = rec->target;
+      FAULT(VmFault::kUnmapped, "pop from unmapped stack");
+    }
+    R[rec->rd] = v;
+    const uint64_t cost = 2 + cache_.AccessFast(sp);
+    R[kRegSp] += 8;
+    TNEXT(cost);
+  }
+  tLoadCode: {
+    const uint64_t a = R[rec->rs1];
+    if (!IsCodeAddr(a) || a % 8 != 0 || CodeIndex(a) >= nrecs) {
+      pc = rec->target;
+      FAULT(VmFault::kBadJump, "loadcode outside code");
+    }
+    R[rec->rd] = code[CodeIndex(a)];
+    ++s_cfi;
+    TNEXT(2);
+  }
+  tBndclR: {
+    const uint64_t v = R[rec->rs1];
+    if (__builtin_expect(v < map.bnd_lo[rec->bnd], 0)) {
+      pc = rec->target;
+      FAULT(VmFault::kBndViolation,
+            StrFormat("bnd%d lower check failed for %s", rec->bnd,
+                      Hex(v).c_str()));
+    }
+    TNEXT_CHECK(1);
+  }
+  tBndcuR: {
+    const uint64_t v = R[rec->rs1];
+    if (__builtin_expect(v > map.bnd_hi[rec->bnd], 0)) {
+      pc = rec->target;
+      FAULT(VmFault::kBndViolation,
+            StrFormat("bnd%d upper check failed for %s", rec->bnd,
+                      Hex(v).c_str()));
+    }
+    TNEXT_CHECK(1);
+  }
+  tBndclM: {
+    const uint64_t v = EA_NOSEG();
+    if (__builtin_expect(v < map.bnd_lo[rec->bnd], 0)) {
+      pc = rec->target;
+      FAULT(VmFault::kBndViolation,
+            StrFormat("bnd%d lower check failed for %s", rec->bnd,
+                      Hex(v).c_str()));
+    }
+    TNEXT_CHECK(2);
+  }
+  tBndcuM: {
+    const uint64_t v = EA_NOSEG();
+    if (__builtin_expect(v > map.bnd_hi[rec->bnd], 0)) {
+      pc = rec->target;
+      FAULT(VmFault::kBndViolation,
+            StrFormat("bnd%d upper check failed for %s", rec->bnd,
+                      Hex(v).c_str()));
+    }
+    TNEXT_CHECK(2);
+  }
+  tChkstk: {
+    if (R[kRegSp] < stack_lo || R[kRegSp] >= stack_hi) {
+      pc = rec->target;
+      FAULT(VmFault::kChkstk, "rsp escaped the thread stack");
+    }
+    TNEXT(2);
+  }
+  tFAdd: {
+    F[rec->rd] = F[rec->rs1] + F[rec->rs2];
+    TNEXT_FP(3);
+  }
+  tFSub: {
+    F[rec->rd] = F[rec->rs1] - F[rec->rs2];
+    TNEXT_FP(3);
+  }
+  tFMul: {
+    F[rec->rd] = F[rec->rs1] * F[rec->rs2];
+    TNEXT_FP(3);
+  }
+  tFDiv: {
+    F[rec->rd] = F[rec->rs1] / F[rec->rs2];
+    TNEXT_FP(15);
+  }
+  tFNeg: {
+    F[rec->rd] = -F[rec->rs1];
+    TNEXT(1);
+  }
+  tFCmpEq: {
+    R[rec->rd] = F[rec->rs1] == F[rec->rs2] ? 1 : 0;
+    TNEXT(2);
+  }
+  tFCmpNe: {
+    R[rec->rd] = F[rec->rs1] != F[rec->rs2] ? 1 : 0;
+    TNEXT(2);
+  }
+  tFCmpLt: {
+    R[rec->rd] = F[rec->rs1] < F[rec->rs2] ? 1 : 0;
+    TNEXT(2);
+  }
+  tFCmpLe: {
+    R[rec->rd] = F[rec->rs1] <= F[rec->rs2] ? 1 : 0;
+    TNEXT(2);
+  }
+  tFCmpGt: {
+    R[rec->rd] = F[rec->rs1] > F[rec->rs2] ? 1 : 0;
+    TNEXT(2);
+  }
+  tFCmpGe: {
+    R[rec->rd] = F[rec->rs1] >= F[rec->rs2] ? 1 : 0;
+    TNEXT(2);
+  }
+  tCvtIF: {
+    F[rec->rd] = static_cast<double>(static_cast<int64_t>(R[rec->rs1]));
+    TNEXT(3);
+  }
+  tCvtFI: {
+    const double v = F[rec->rs1];
+    if (std::isnan(v) || v >= 9.2233720368547758e18 ||
+        v <= -9.2233720368547758e18) {
+      R[rec->rd] = static_cast<uint64_t>(INT64_MIN);
+    } else {
+      R[rec->rd] = static_cast<uint64_t>(static_cast<int64_t>(v));
+    }
+    TNEXT(3);
+  }
+  tMovIF: {
+    memcpy(&F[rec->rd], &R[rec->rs1], 8);
+    TNEXT(1);
+  }
+  tFMov: {
+    F[rec->rd] = F[rec->rs1];
+    TNEXT(1);
+  }
+  tNop: { TNEXT(1); }
+  tJmpInl: {
+    // Static jmp whose target was inlined right behind it in the op stream:
+    // charge the jump, no control transfer.
+    TNEXT(1);
+  }
+  tGuardNZ: {
+    if (R[rec->rd] != 0) {
+      // Taken: leave the region through the outer dispatch, exactly as the
+      // reference engine's END_JUMP would (budget/limit checks resume).
+      END_JUMP(1, rec->target);
+    }
+    TNEXT(1);  // not taken: the fall-through is the next op in the stream
+  }
+  tGuardZ: {
+    if (R[rec->rd] == 0) {
+      END_JUMP(1, rec->target);
+    }
+    TNEXT(1);
+  }
+  tGuardNZT: {
+    // Mirror guard: the TAKEN arm was inlined behind it, so falling through
+    // the branch is the side exit (rec->target holds the fall-through word).
+    if (R[rec->rd] != 0) {
+      TNEXT(1);
+    }
+    END_JUMP(1, rec->target);
+  }
+  tGuardZT: {
+    if (R[rec->rd] == 0) {
+      TNEXT(1);
+    }
+    END_JUMP(1, rec->target);
+  }
+  // Fused cmp+guard: the cmp body runs (flag register IS written — later ops
+  // and the side-exit path may read it), the guard element is counted before
+  // it runs, and the exit leaves through END_JUMP exactly like the unfused
+  // guard would (rec->target holds the side-exit word).
+#define GEN_TCG(c)                      \
+  tCG_##c##_ExitNZ: {                   \
+    EBODY_##c(rec);                     \
+    fp_credit = 0;                      \
+    cycles += ECOST_##c;                \
+    ++instrs;                           \
+    if (R[rec->rd] != 0) {              \
+      END_JUMP(1, rec->target);         \
+    }                                   \
+    TNEXT(1);                           \
+  }                                     \
+  tCG_##c##_ExitZ: {                    \
+    EBODY_##c(rec);                     \
+    fp_credit = 0;                      \
+    cycles += ECOST_##c;                \
+    ++instrs;                           \
+    if (R[rec->rd] == 0) {              \
+      END_JUMP(1, rec->target);         \
+    }                                   \
+    TNEXT(1);                           \
+  }
+  GEN_TCG(CmpEq)
+  GEN_TCG(CmpNe)
+  GEN_TCG(CmpLt)
+  GEN_TCG(CmpLe)
+  GEN_TCG(CmpGt)
+  GEN_TCG(CmpGe)
+#undef GEN_TCG
+  // Fused addimm+cmp+guard (the counted-loop latch): the head runs from its
+  // natural fields, the cmp from the SS packing (flag register in `base`),
+  // and the guard element follows count-before-execute exactly like the
+  // unfused sequence would.
+#define GEN_T3A(b)                            \
+  tT3A_##b##_ExitNZ: {                        \
+    EBODY_AddImm(rec);                        \
+    fp_credit = 0;                            \
+    cycles += ECOST_AddImm;                   \
+    ++instrs;                                 \
+    PBODY_##b(rec);                           \
+    cycles += ECOST_##b;                      \
+    ++instrs;                                 \
+    if (R[rec->base] != 0) {                  \
+      END_JUMP(1, rec->target);               \
+    }                                         \
+    TNEXT(1);                                 \
+  }                                           \
+  tT3A_##b##_ExitZ: {                         \
+    EBODY_AddImm(rec);                        \
+    fp_credit = 0;                            \
+    cycles += ECOST_AddImm;                   \
+    ++instrs;                                 \
+    PBODY_##b(rec);                           \
+    cycles += ECOST_##b;                      \
+    ++instrs;                                 \
+    if (R[rec->base] == 0) {                  \
+      END_JUMP(1, rec->target);               \
+    }                                         \
+    TNEXT(1);                                 \
+  }
+  GEN_T3A(CmpEq)
+  GEN_T3A(CmpNe)
+  GEN_T3A(CmpLt)
+  GEN_T3A(CmpLe)
+  GEN_T3A(CmpGt)
+  GEN_T3A(CmpGe)
+#undef GEN_T3A
+  // Fused load+cmp+guard (the chain-walk probe): the load keeps its natural
+  // operand and faults at its own word (rec->target), the cmp runs from the
+  // MS packing (flag register in `rs1`), and the guard side-exits through
+  // the word stashed in `imm`.
+#define GEN_T3L(b)                                        \
+  tT3L_##b##_ExitNZ: {                                    \
+    pc = rec->target;                                     \
+    PAIR_LOAD(rec->rd);                                   \
+    fp_credit = 0;                                        \
+    ++instrs;                                             \
+    QBODY_##b(rec);                                       \
+    cycles += ECOST_##b;                                  \
+    ++instrs;                                             \
+    if (R[rec->rs1] != 0) {                               \
+      END_JUMP(1, static_cast<uint32_t>(rec->imm));       \
+    }                                                     \
+    TNEXT(1);                                             \
+  }                                                       \
+  tT3L_##b##_ExitZ: {                                     \
+    pc = rec->target;                                     \
+    PAIR_LOAD(rec->rd);                                   \
+    fp_credit = 0;                                        \
+    ++instrs;                                             \
+    QBODY_##b(rec);                                       \
+    cycles += ECOST_##b;                                  \
+    ++instrs;                                             \
+    if (R[rec->rs1] == 0) {                               \
+      END_JUMP(1, static_cast<uint32_t>(rec->imm));       \
+    }                                                     \
+    TNEXT(1);                                             \
+  }
+  GEN_T3L(CmpEq)
+  GEN_T3L(CmpNe)
+  GEN_T3L(CmpLt)
+  GEN_T3L(CmpLe)
+  GEN_T3L(CmpGt)
+  GEN_T3L(CmpGe)
+#undef GEN_T3L
+  tCallInl: {
+    // Inlined static call: the return-address push runs for real (memory
+    // write + cache traffic + fault semantics identical to the outer call
+    // handler), then the callee's first op is simply the next in the
+    // stream — no control transfer.
+    R[kRegSp] -= 8;
+    const uint64_t sp = R[kRegSp];
+    const uint64_t ra = CodeAddr(rec->next);
+    if (uint8_t* p = mem_.FlatPtr(sp, 8)) {
+      memcpy(p, &ra, 8);
+    } else if (!mem_.Write(sp, 8, ra)) {
+      pc = rec->target;
+      FAULT(VmFault::kUnmapped, "call: stack unmapped");
+    }
+    TNEXT(2 + cache_.AccessFast(sp));
+  }
+  tRetGuard: {
+    // Inlined ret: pop and validate the REAL return address. When it lands
+    // on the matching call's fall-through (the common case by construction)
+    // the region continues in-stream; any other target side-exits through
+    // the outer dispatch exactly like the base ret handler.
+    const uint64_t sp = R[kRegSp];
+    uint64_t ra = 0;
+    if (uint8_t* p = mem_.FlatPtr(sp, 8)) {
+      memcpy(&ra, p, 8);
+    } else if (!mem_.Read(sp, 8, &ra)) {
+      pc = rec->target;
+      FAULT(VmFault::kUnmapped, "ret: stack unmapped");
+    }
+    R[kRegSp] += 8;
+    if (!IsCodeAddr(ra) || ra % 8 != 0 || CodeIndex(ra) >= nrecs) {
+      pc = rec->target;
+      FAULT(VmFault::kBadJump, "ret to non-code address");
+    }
+    if (__builtin_expect(CodeIndex(ra) != static_cast<uint64_t>(rec->imm),
+                         0)) {
+      END_JUMP(2, CodeIndex(ra));
+    }
+    TNEXT(2);
+  }
+  tLoopBack: {
+    // The region's terminating jmp back to its own leader: charge the jump,
+    // then re-enter the region without the outer-dispatch round trip. The
+    // reference engine would check budget/limit before the leader's first
+    // instruction and before every instruction after it; both are folded
+    // into the entry precheck (num_instrs - 1: the first instruction's own
+    // check is part of the sum now, unlike at kHTraceRun where the outer
+    // DISPATCH had already performed and counted it).
+    fp_credit = 0;
+    cycles += 1;
+    if ((kBounded && cycles - start_cycles + tb->worst_cycles >= budget) ||
+        __builtin_expect(instrs + tb->num_instrs - 1 >= max_instrs, 0)) {
+      // Could stop mid-iteration: hand the leader back to the outer
+      // dispatch, whose kHTraceRun precheck then bails to per-instruction
+      // execution (or the slice ends right here if the budget is spent).
+      pc = rec->target;
+      DISPATCH();
+    }
+    ++instrs;  // the leader op, as the outer DISPATCH would count it
+    ++tb->runs;
+    rec = tb->ops.data();
+    goto* kTL[rec->handler];
+  }
+  tTerm: {
+    // The block's terminator keeps its natural record: restore pc and hand
+    // it to the outer table's base handler, whose END_* epilogue re-enters
+    // the outer dispatch (budget/limit checks resume at the block edge).
+    // The preceding TNEXT already counted it, matching the outer DISPATCH.
+    pc = tb->term;
+    goto* kLabels[rec->handler];
+  }
+  tExit: {
+    // Synthetic exit of a fall-through block: nothing executed — undo the
+    // TNEXT count and let the outer dispatch replay the reference engine's
+    // budget -> instruction-limit -> pc-bounds -> data-word fault order at
+    // the next leader (rec->target == the block's `term` word).
+    --instrs;
+    pc = rec->target;
+    DISPATCH();
+  }
+
+  // ---- in-region superinstructions: the image's fused families, minus the
+  // mid-pair bail checks (the region entry prechecks already proved the
+  // reference engine cannot stop between the elements). Accounting follows
+  // the count-before-execute discipline: the first element was counted by
+  // the previous advance, each further element is counted before it runs
+  // (so a faulting access reports the exact instrs total), and the final
+  // ++instrs pre-counts the next op exactly like TNEXT.
+
+#define GEN_TSS(a, b)                 \
+  tP_##a##_##b: {                     \
+    EBODY_##a(rec);                   \
+    PBODY_##b(rec);                   \
+    fp_credit = 0;                    \
+    cycles += ECOST_##a + ECOST_##b;  \
+    ++rec;                            \
+    instrs += 2;                      \
+    goto* kTL[rec->handler];          \
+  }
+  CONFLLVM_PAIRS_SS(GEN_TSS)
+#undef GEN_TSS
+
+#define PAIR_Load PAIR_LOAD
+#define PAIR_Store PAIR_STORE
+
+#define GEN_TSM(a, m)                              \
+  tP_##a##_##m: {                                  \
+    EBODY_##a(rec);                                \
+    fp_credit = 0;                                 \
+    cycles += ECOST_##a;                           \
+    pc = rec->next; /* the access may fault: B's word */ \
+    ++instrs;                                      \
+    PAIR_##m(rec->bnd);                            \
+    ++rec;                                         \
+    ++instrs;                                      \
+    goto* kTL[rec->handler];                       \
+  }
+  CONFLLVM_PAIRS_SM(GEN_TSM)
+#undef GEN_TSM
+
+#define GEN_TMS(m, b)                              \
+  tP_##m##_##b: {                                  \
+    pc = rec->target; /* the access's own word */  \
+    PAIR_##m(rec->rd);                             \
+    fp_credit = 0;                                 \
+    ++instrs;                                      \
+    QBODY_##b(rec);                                \
+    cycles += ECOST_##b;                           \
+    ++rec;                                         \
+    ++instrs;                                      \
+    goto* kTL[rec->handler];                       \
+  }
+  CONFLLVM_PAIRS_MS(GEN_TMS)
+#undef GEN_TMS
+
+  // Prologue/epilogue pairs, packed like the image's (B's register in rs1).
+  // The first push/pop faults at its own word (rec->target), the second at
+  // the straight-line successor (rec->next).
+  tP_Pop_Pop: {
+    {
+      const uint64_t sp = R[kRegSp];
+      uint64_t v = 0;
+      if (uint8_t* pm = mem_.FlatPtr(sp, 8)) {
+        memcpy(&v, pm, 8);
+      } else if (!mem_.Read(sp, 8, &v)) {
+        pc = rec->target;
+        FAULT(VmFault::kUnmapped, "pop from unmapped stack");
+      }
+      R[rec->rd] = v;
+      cycles += 2 + cache_.AccessFast(sp);
+      R[kRegSp] += 8;
+    }
+    fp_credit = 0;
+    ++instrs;
+    {
+      const uint64_t sp = R[kRegSp];
+      uint64_t v = 0;
+      if (uint8_t* pm = mem_.FlatPtr(sp, 8)) {
+        memcpy(&v, pm, 8);
+      } else if (!mem_.Read(sp, 8, &v)) {
+        pc = rec->next;
+        FAULT(VmFault::kUnmapped, "pop from unmapped stack");
+      }
+      R[rec->rs1] = v;
+      cycles += 2 + cache_.AccessFast(sp);
+      R[kRegSp] += 8;
+    }
+    ++rec;
+    ++instrs;
+    goto* kTL[rec->handler];
+  }
+  tP_Push_Push: {
+    R[kRegSp] -= 8;
+    {
+      const uint64_t sp = R[kRegSp];
+      if (uint8_t* pm = mem_.FlatPtr(sp, 8)) {
+        const uint64_t v = R[rec->rd];
+        memcpy(pm, &v, 8);
+      } else if (!mem_.Write(sp, 8, R[rec->rd])) {
+        pc = rec->target;
+        FAULT(VmFault::kUnmapped, "push to unmapped stack");
+      }
+      cycles += 2 + cache_.AccessFast(sp);
+    }
+    fp_credit = 0;
+    ++instrs;
+    R[kRegSp] -= 8;
+    {
+      const uint64_t sp = R[kRegSp];
+      if (uint8_t* pm = mem_.FlatPtr(sp, 8)) {
+        const uint64_t v = R[rec->rs1];
+        memcpy(pm, &v, 8);
+      } else if (!mem_.Write(sp, 8, R[rec->rs1])) {
+        pc = rec->next;
+        FAULT(VmFault::kUnmapped, "push to unmapped stack");
+      }
+      cycles += 2 + cache_.AccessFast(sp);
+    }
+    ++rec;
+    ++instrs;
+    goto* kTL[rec->handler];
+  }
+  tP_BndclR_BndcuR: {
+    // Packed like the outer pair: B's checked register in base, B's bounds
+    // id in size. The FP/MPX dual-issue credit is consumed, never reset,
+    // exactly like two TNEXT_CHECK postludes.
+    const uint64_t v1 = R[rec->rs1];
+    if (__builtin_expect(v1 < map.bnd_lo[rec->bnd], 0)) {
+      pc = rec->target;
+      FAULT(VmFault::kBndViolation,
+            StrFormat("bnd%d lower check failed for %s", rec->bnd,
+                      Hex(v1).c_str()));
+    }
+    const uint64_t c1 = fp_credit > 0 ? 0 : 1;
+    ++s_checks;
+    s_check_cyc += c1;
+    if (fp_credit > 0) --fp_credit;
+    cycles += c1;
+    ++instrs;
+    const uint64_t v2 = R[rec->base];
+    if (__builtin_expect(v2 > map.bnd_hi[rec->size], 0)) {
+      pc = rec->next;
+      FAULT(VmFault::kBndViolation,
+            StrFormat("bnd%d upper check failed for %s", rec->size,
+                      Hex(v2).c_str()));
+    }
+    const uint64_t c2 = fp_credit > 0 ? 0 : 1;
+    ++s_checks;
+    s_check_cyc += c2;
+    if (fp_credit > 0) --fp_credit;
+    cycles += c2;
+    ++rec;
+    ++instrs;
+    goto* kTL[rec->handler];
+  }
+
+  // The MPX sandwich triple, packed exactly like the image's: shared
+  // checked register/bounds id in rs1/bnd, the access in the natural
+  // memory-operand fields with its register in rd and its word in imm.
+#define GEN_TT_BND(m)                                               \
+  tT_BndBnd_##m: {                                                  \
+    const uint64_t v = R[rec->rs1];                                 \
+    if (__builtin_expect(v < map.bnd_lo[rec->bnd], 0)) {            \
+      pc = rec->target;                                             \
+      FAULT(VmFault::kBndViolation,                                 \
+            StrFormat("bnd%d lower check failed for %s", rec->bnd,  \
+                      Hex(v).c_str()));                             \
+    }                                                               \
+    const uint64_t c1_ = fp_credit > 0 ? 0 : 1;                     \
+    ++s_checks;                                                     \
+    s_check_cyc += c1_;                                             \
+    if (fp_credit > 0) --fp_credit;                                 \
+    cycles += c1_;                                                  \
+    ++instrs;                                                       \
+    if (__builtin_expect(v > map.bnd_hi[rec->bnd], 0)) {            \
+      pc = rec->next;                                               \
+      FAULT(VmFault::kBndViolation,                                 \
+            StrFormat("bnd%d upper check failed for %s", rec->bnd,  \
+                      Hex(v).c_str()));                             \
+    }                                                               \
+    const uint64_t c2_ = fp_credit > 0 ? 0 : 1;                     \
+    ++s_checks;                                                     \
+    s_check_cyc += c2_;                                             \
+    if (fp_credit > 0) --fp_credit;                                 \
+    cycles += c2_;                                                  \
+    pc = static_cast<uint64_t>(rec->imm); /* the access word */     \
+    ++instrs;                                                       \
+    fp_credit = 0;                                                  \
+    PAIR_##m(rec->rd);                                              \
+    ++rec;                                                          \
+    ++instrs;                                                       \
+    goto* kTL[rec->handler];                                        \
+  }
+  GEN_TT_BND(Load)
+  GEN_TT_BND(Store)
+  GEN_TT_BND(FLoad)
+  GEN_TT_BND(FStore)
+#undef GEN_TT_BND
+
+#undef TNEXT
+#undef TNEXT_MEM
+#undef TNEXT_FP
+#undef TNEXT_CHECK
+#endif  // CONFLLVM_COMPUTED_GOTO
 
   // ---- fused pairs: two instructions per dispatch ----
   //
@@ -1494,6 +2425,7 @@ done:
 
 #undef CASE
 #undef DISPATCH_TARGET
+#undef DISPATCH_AS
 #undef FAULT
 #undef DISPATCH
 #undef END_OP

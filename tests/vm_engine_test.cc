@@ -1,11 +1,16 @@
 // Engine-differential tests: the fast execution engine (token-threaded
-// dispatch over an ExecImage, flat region memory) must be bit-identical in
-// observable behaviour to the reference stepper — CallResult (return value,
-// fault kind/pc/message), VmStats (every counter), cache-model hit/miss
-// streams, trusted-library side effects — for every workload under all
-// eight presets, on success AND on every fault path. Plus unit tests for
-// the satellite fixes that ride along: exact max_instrs enforcement,
-// Memory::Map end-address overflow, and the O(1) function-name index.
+// dispatch over an ExecImage, flat region memory) and the trace tier above
+// it (runtime block profiling + whole-block compiled handlers) must be
+// bit-identical in observable behaviour to the reference stepper —
+// CallResult (return value, fault kind/pc/message), VmStats (every
+// counter), cache-model hit/miss streams, trusted-library side effects —
+// for every workload under all eight presets, on success AND on every
+// fault path. The trace sessions run with a tiny promotion threshold so
+// the promoted whole-block path actually executes in every test. Plus
+// unit tests for the satellites: ExecImage block metadata (leaders across
+// jump/call/fault edges, fused pairs spanning block boundaries, promotion
+// under RunParallel), exact max_instrs enforcement, Memory::Map
+// end-address overflow, and the O(1) function-name index.
 #include <gtest/gtest.h>
 
 #include "bench/workloads.h"
@@ -14,6 +19,7 @@
 #include "src/isa/layout.h"
 #include "src/runtime/loader.h"
 #include "src/vm/exec_image.h"
+#include "src/vm/trace_tier.h"
 
 namespace confllvm {
 namespace {
@@ -21,9 +27,17 @@ namespace {
 using workloads::kNumSpecKernels;
 using workloads::kSpecKernels;
 
+// Promotion threshold used by the differential trace sessions: low enough
+// that any loop body promotes within the first iterations, so the tests
+// exercise the counting path, the promotion swap, AND the whole-block path.
+constexpr uint64_t kTestTraceThreshold = 2;
+
 VmOptions EngineOpts(VmEngine e) {
   VmOptions o;
   o.engine = e;
+  if (e == VmEngine::kTrace) {
+    o.trace_threshold = kTestTraceThreshold;
+  }
   return o;
 }
 
@@ -56,10 +70,11 @@ void ExpectSameStats(Vm& ref, Vm& fast) {
 }
 
 // Compiles `src` once per engine (through a shared cache so the binaries are
-// byte-identical) and returns the two sessions.
+// byte-identical) and returns the three sessions.
 struct EnginePair {
   std::unique_ptr<Session> ref;
   std::unique_ptr<Session> fast;
+  std::unique_ptr<Session> trace;
 };
 
 EnginePair MakePair(const std::string& src, BuildPreset preset,
@@ -67,23 +82,37 @@ EnginePair MakePair(const std::string& src, BuildPreset preset,
   EnginePair p;
   DiagEngine d1;
   DiagEngine d2;
+  DiagEngine d3;
   const BuildConfig config = BuildConfig::For(preset);
   p.ref = MakeSessionFor(Compile(src, config, &d1, nullptr, cache),
                          EngineOpts(VmEngine::kRef));
   p.fast = MakeSessionFor(Compile(src, config, &d2, nullptr, cache),
                           EngineOpts(VmEngine::kFast));
+  p.trace = MakeSessionFor(Compile(src, config, &d3, nullptr, cache),
+                           EngineOpts(VmEngine::kTrace));
   EXPECT_NE(p.ref, nullptr) << d1.ToString();
   EXPECT_NE(p.fast, nullptr) << d2.ToString();
+  EXPECT_NE(p.trace, nullptr) << d3.ToString();
   return p;
 }
 
-// Runs the same call on both engines and checks full observational equality.
+// Runs the same call on all three engines and checks full observational
+// equality of fast AND trace against the reference.
 void DiffCall(EnginePair* p, const std::string& fn,
               const std::vector<uint64_t>& args) {
   const auto ref = p->ref->vm->Call(fn, args);
-  const auto fast = p->fast->vm->Call(fn, args);
-  ExpectSameResult(ref, fast);
-  ExpectSameStats(*p->ref->vm, *p->fast->vm);
+  {
+    SCOPED_TRACE("engine=fast");
+    const auto fast = p->fast->vm->Call(fn, args);
+    ExpectSameResult(ref, fast);
+    ExpectSameStats(*p->ref->vm, *p->fast->vm);
+  }
+  {
+    SCOPED_TRACE("engine=trace");
+    const auto trace = p->trace->vm->Call(fn, args);
+    ExpectSameResult(ref, trace);
+    ExpectSameStats(*p->ref->vm, *p->trace->vm);
+  }
 }
 
 // ---- the tentpole guarantee: every workload × every preset ----
@@ -133,7 +162,7 @@ TEST_P(AppDiff, IdenticalUnderAllPresets) {
     ASSERT_NE(p.ref, nullptr);
     ASSERT_NE(p.fast, nullptr);
     if (name == "nginx") {
-      for (Session* s : {p.ref.get(), p.fast.get()}) {
+      for (Session* s : {p.ref.get(), p.fast.get(), p.trace.get()}) {
         s->tlib->AddFile("index.html", std::string(1024, 'x'));
         for (int i = 0; i < 4; ++i) {
           s->tlib->PushRx(0, "GET index.html\n");
@@ -142,9 +171,11 @@ TEST_P(AppDiff, IdenticalUnderAllPresets) {
     }
     DiffCall(&p, "main", {});
     // Trusted-library side effects must agree too.
-    EXPECT_EQ(p.ref->tlib->SentBytes(0), p.fast->tlib->SentBytes(0));
-    EXPECT_EQ(p.ref->tlib->log(), p.fast->tlib->log());
-    EXPECT_EQ(p.ref->tlib->declassified(), p.fast->tlib->declassified());
+    for (Session* s : {p.fast.get(), p.trace.get()}) {
+      EXPECT_EQ(p.ref->tlib->SentBytes(0), s->tlib->SentBytes(0));
+      EXPECT_EQ(p.ref->tlib->log(), s->tlib->log());
+      EXPECT_EQ(p.ref->tlib->declassified(), s->tlib->declassified());
+    }
   }
 }
 
@@ -155,9 +186,16 @@ TEST(EngineDiff, MultiCallSequencePreservesCacheModelState) {
   auto p = MakePair(workloads::kMerkle, BuildPreset::kOurMpx);
   ASSERT_NE(p.ref, nullptr);
   ASSERT_NE(p.fast, nullptr);
+  ASSERT_NE(p.trace, nullptr);
   DiffCall(&p, "merkle_build", {64});
   DiffCall(&p, "merkle_read_all", {0, 64});
   DiffCall(&p, "merkle_read_all", {0, 64});
+  // Promotion state carries across calls on one Vm: blocks counted hot in
+  // the first call run promoted in the later ones, and equality holds.
+  const TraceTier* tier = p.trace->vm->trace_tier();
+  ASSERT_NE(tier, nullptr);
+  EXPECT_GT(tier->stats.promoted_blocks, 0u);
+  EXPECT_GT(tier->Telemetry().block_runs, 0u);
 }
 
 TEST(EngineDiff, RunParallelWaveAccountingIdentical) {
@@ -172,29 +210,43 @@ TEST(EngineDiff, RunParallelWaveAccountingIdentical) {
     VmOptions base;
     base.num_cores = 2;
     base.quantum = 500;  // tiny slices: many waves, mid-block preemptions
-    DiagEngine d1, d2;
+    DiagEngine d1;
     VmOptions ro = base;
     ro.engine = VmEngine::kRef;
-    VmOptions fo = base;
-    fo.engine = VmEngine::kFast;
     auto ref = MakeSession(src, preset, &d1, ro);
-    auto fast = MakeSession(src, preset, &d2, fo);
     ASSERT_NE(ref, nullptr) << d1.ToString();
-    ASSERT_NE(fast, nullptr) << d2.ToString();
     std::vector<Vm::ThreadSpec> specs;
     for (uint64_t n : {1000u, 3000u, 500u, 2000u, 1500u}) {
       specs.push_back({"spin", {n}});
     }
     const auto r = ref->vm->RunParallel(specs);
-    const auto f = fast->vm->RunParallel(specs);
-    EXPECT_EQ(r.ok, f.ok);
-    EXPECT_EQ(r.wall_cycles, f.wall_cycles);
-    ASSERT_EQ(r.per_thread.size(), f.per_thread.size());
-    for (size_t i = 0; i < r.per_thread.size(); ++i) {
-      SCOPED_TRACE(i);
-      ExpectSameResult(r.per_thread[i], f.per_thread[i]);
+    // Trace under a tiny quantum exercises the bounded-slice entry bail:
+    // the loop block promotes, and most promoted entries must still stop
+    // exactly at the reference engine's budget boundary.
+    for (VmEngine e : {VmEngine::kFast, VmEngine::kTrace}) {
+      SCOPED_TRACE(EngineName(e));
+      VmOptions fo = base;
+      fo.engine = e;
+      fo.trace_threshold = kTestTraceThreshold;
+      DiagEngine d2;
+      auto fast = MakeSession(src, preset, &d2, fo);
+      ASSERT_NE(fast, nullptr) << d2.ToString();
+      const auto f = fast->vm->RunParallel(specs);
+      EXPECT_EQ(r.ok, f.ok);
+      EXPECT_EQ(r.wall_cycles, f.wall_cycles);
+      ASSERT_EQ(r.per_thread.size(), f.per_thread.size());
+      for (size_t i = 0; i < r.per_thread.size(); ++i) {
+        SCOPED_TRACE(i);
+        ExpectSameResult(r.per_thread[i], f.per_thread[i]);
+      }
+      ExpectSameStats(*ref->vm, *fast->vm);
+      if (e == VmEngine::kTrace) {
+        const TraceTier* tier = fast->vm->trace_tier();
+        ASSERT_NE(tier, nullptr);
+        EXPECT_GT(tier->stats.promoted_blocks, 0u);
+        EXPECT_GT(tier->stats.entry_bails, 0u);
+      }
     }
-    ExpectSameStats(*ref->vm, *fast->vm);
   }
 }
 
@@ -253,17 +305,22 @@ INSTANTIATE_TEST_SUITE_P(
                   BuildPreset::kOurMpx, VmFault::kChkstk}),
     [](const auto& info) { return std::string(info.param.name); });
 
-TEST_P(FaultDiff, IdenticalFaultOnBothEngines) {
+TEST_P(FaultDiff, IdenticalFaultOnAllEngines) {
   const FaultCase& c = GetParam();
   auto p = MakePair(c.src, c.preset);
   ASSERT_NE(p.ref, nullptr);
   ASSERT_NE(p.fast, nullptr);
+  ASSERT_NE(p.trace, nullptr);
   const auto ref = p.ref->vm->Call(c.entry, c.args);
-  const auto fast = p.fast->vm->Call(c.entry, c.args);
   EXPECT_FALSE(ref.ok);
   EXPECT_EQ(ref.fault, c.want) << FaultName(ref.fault) << ": " << ref.fault_msg;
-  ExpectSameResult(ref, fast);
-  ExpectSameStats(*p.ref->vm, *p.fast->vm);
+  for (Session* s : {p.fast.get(), p.trace.get()}) {
+    SCOPED_TRACE(EngineName(s == p.fast.get() ? VmEngine::kFast
+                                              : VmEngine::kTrace));
+    const auto got = s->vm->Call(c.entry, c.args);
+    ExpectSameResult(ref, got);
+    ExpectSameStats(*p.ref->vm, *s->vm);
+  }
 }
 
 TEST(FaultDiffExtra, CfiTrapOnMidFunctionIndirectCall) {
@@ -272,11 +329,8 @@ TEST(FaultDiffExtra, CfiTrapOnMidFunctionIndirectCall) {
   ASSERT_NE(p.fast, nullptr);
   const uint64_t mid = CodeAddr(p.ref->compiled->prog->EntryWordOf("gadget") + 3);
   ASSERT_EQ(mid, CodeAddr(p.fast->compiled->prog->EntryWordOf("gadget") + 3));
-  const auto ref = p.ref->vm->Call("dispatch", {mid});
-  const auto fast = p.fast->vm->Call("dispatch", {mid});
-  EXPECT_EQ(ref.fault, VmFault::kCfiTrap) << ref.fault_msg;
-  ExpectSameResult(ref, fast);
-  ExpectSameStats(*p.ref->vm, *p.fast->vm);
+  DiffCall(&p, "dispatch", {mid});
+  EXPECT_EQ(p.ref->vm->Call("dispatch", {mid}).fault, VmFault::kCfiTrap);
 }
 
 TEST(FaultDiffExtra, BadJumpOnIndirectCallOutsideCode) {
@@ -286,9 +340,9 @@ TEST(FaultDiffExtra, BadJumpOnIndirectCallOutsideCode) {
   ASSERT_NE(p.fast, nullptr);
   const uint64_t heap = p.ref->compiled->prog->map.pub_heap + 64;
   const auto ref = p.ref->vm->Call("dispatch", {heap});
-  const auto fast = p.fast->vm->Call("dispatch", {heap});
   EXPECT_EQ(ref.fault, VmFault::kBadJump) << ref.fault_msg;
-  ExpectSameResult(ref, fast);
+  ExpectSameResult(ref, p.fast->vm->Call("dispatch", {heap}));
+  ExpectSameResult(ref, p.trace->vm->Call("dispatch", {heap}));
 }
 
 TEST(FaultDiffExtra, ExecDataOnIndirectCallIntoDataWord) {
@@ -313,10 +367,11 @@ TEST(FaultDiffExtra, ExecDataOnIndirectCallIntoDataWord) {
   }
   ASSERT_NE(data_word, 0u) << "expected a movimm64 payload word";
   const auto ref = p.ref->vm->Call("dispatch", {CodeAddr(data_word)});
-  const auto fast = p.fast->vm->Call("dispatch", {CodeAddr(data_word)});
   EXPECT_EQ(ref.fault, VmFault::kExecData) << ref.fault_msg;
-  ExpectSameResult(ref, fast);
-  ExpectSameStats(*p.ref->vm, *p.fast->vm);
+  for (Session* s : {p.fast.get(), p.trace.get()}) {
+    ExpectSameResult(ref, s->vm->Call("dispatch", {CodeAddr(data_word)}));
+    ExpectSameStats(*p.ref->vm, *s->vm);
+  }
 }
 
 TEST(FaultDiffExtra, BadJumpOnSmashedReturnAddress) {
@@ -336,12 +391,13 @@ TEST(FaultDiffExtra, BadJumpOnSmashedReturnAddress) {
   for (uint64_t off = 8; off <= 48; off += 8) {
     SCOPED_TRACE(off);
     const auto ref = p.ref->vm->Call("smash", {off, 0x1234});
-    const auto fast = p.fast->vm->Call("smash", {off, 0x1234});
-    ExpectSameResult(ref, fast);
+    ExpectSameResult(ref, p.fast->vm->Call("smash", {off, 0x1234}));
+    ExpectSameResult(ref, p.trace->vm->Call("smash", {off, 0x1234}));
     faulted = faulted || ref.fault == VmFault::kBadJump;
   }
   EXPECT_TRUE(faulted) << "no offset reached the saved return address";
   ExpectSameStats(*p.ref->vm, *p.fast->vm);
+  ExpectSameStats(*p.ref->vm, *p.trace->vm);
 }
 
 TEST(FaultDiffExtra, BadJumpOnJmpReg) {
@@ -351,10 +407,10 @@ TEST(FaultDiffExtra, BadJumpOnJmpReg) {
   for (const uint64_t bad :
        {uint64_t{0x1234}, kCodeBase + 7, kCodeBase + 8 * 1000000}) {
     SCOPED_TRACE(bad);
-    Vm::CallResult results[2];
-    VmStats stats[2];
+    Vm::CallResult results[3];
+    VmStats stats[3];
     int i = 0;
-    for (VmEngine e : {VmEngine::kRef, VmEngine::kFast}) {
+    for (VmEngine e : {VmEngine::kRef, VmEngine::kFast, VmEngine::kTrace}) {
       Binary bin;
       MInstr mov{};
       mov.op = Op::kMovImm64;
@@ -377,9 +433,12 @@ TEST(FaultDiffExtra, BadJumpOnJmpReg) {
     }
     EXPECT_EQ(results[0].fault, VmFault::kBadJump)
         << results[0].fault_msg;
-    ExpectSameResult(results[0], results[1]);
-    EXPECT_EQ(stats[0].instrs, stats[1].instrs);
-    EXPECT_EQ(stats[0].cycles, stats[1].cycles);
+    for (int j = 1; j < 3; ++j) {
+      SCOPED_TRACE(j);
+      ExpectSameResult(results[0], results[j]);
+      EXPECT_EQ(stats[0].instrs, stats[j].instrs);
+      EXPECT_EQ(stats[0].cycles, stats[j].cycles);
+    }
   }
 }
 
@@ -387,7 +446,7 @@ TEST(FaultDiffExtra, BadJumpOnJmpReg) {
 
 TEST(MaxInstrs, EnforcedExactlyOnBothEngines) {
   const char* spin = "int f() { int i = 0; while (i >= 0) { i = i + 1; } return i; }";
-  for (VmEngine e : {VmEngine::kRef, VmEngine::kFast}) {
+  for (VmEngine e : {VmEngine::kRef, VmEngine::kFast, VmEngine::kTrace}) {
     SCOPED_TRACE(EngineName(e));
     VmOptions o = EngineOpts(e);
     o.max_instrs = 777;
@@ -409,7 +468,7 @@ TEST(MaxInstrs, LimitEqualToProgramLengthIsNotAFault) {
   ASSERT_NE(probe, nullptr) << d.ToString();
   const auto full = probe->vm->Call("f", {});
   ASSERT_TRUE(full.ok);
-  for (VmEngine e : {VmEngine::kRef, VmEngine::kFast}) {
+  for (VmEngine e : {VmEngine::kRef, VmEngine::kFast, VmEngine::kTrace}) {
     SCOPED_TRACE(EngineName(e));
     VmOptions exact = EngineOpts(e);
     exact.max_instrs = full.instrs;
@@ -492,6 +551,246 @@ TEST(FunctionIndex, FindsAllAndTracksAppends) {
   // Duplicate names resolve to the first definition, like the old scan.
   bin.functions.push_back({"fn0", 101, 0, 0});
   EXPECT_EQ(bin.FunctionIndex("fn0"), 0);
+}
+
+// ---- satellite: ExecImage block metadata + trace-tier structure ----
+
+// A branchy program with a loop, a call, and a faulting edge: exercises
+// leader identification across jump targets, call targets and the
+// fall-through words after every terminator.
+const char* kBlocky = R"(
+    int helper(int x) { return x * 2 + 1; }
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 50; i = i + 1) {
+        if (i % 3 == 0) { s = s + helper(i); } else { s = s - i; }
+      }
+      return s;
+    })";
+
+TEST(BlockMetadata, LeadersCoverJumpCallAndFaultEdges) {
+  DiagEngine d;
+  auto s = MakeSession(kBlocky, BuildPreset::kOurMpx, &d);
+  ASSERT_NE(s, nullptr) << d.ToString();
+  const LoadedProgram& prog = *s->compiled->prog;
+  ASSERT_NE(prog.exec_image, nullptr);
+  const ExecImage& img = *prog.exec_image;
+  ASSERT_FALSE(img.blocks.empty());
+  ASSERT_EQ(img.block_of.size(), prog.decoded.size());
+
+  // Every function entry is a block leader.
+  for (const BinFunction& f : prog.binary.functions) {
+    const uint32_t bid = img.block_of[f.entry_word];
+    ASSERT_NE(bid, ExecImage::kNoBlock) << f.name;
+    EXPECT_EQ(img.blocks[bid].leader, f.entry_word) << f.name;
+  }
+
+  for (size_t bid = 0; bid < img.blocks.size(); ++bid) {
+    SCOPED_TRACE(bid);
+    const ExecBlock& b = img.blocks[bid];
+    // Extents are sane and every word in the block maps back to it.
+    ASSERT_LT(b.leader, b.end);
+    ASSERT_GE(b.num_instrs, 1u);
+    EXPECT_EQ(img.block_of[b.leader], bid);
+    if (b.has_term) {
+      EXPECT_EQ(img.block_of[b.term], bid);
+      EXPECT_LT(b.term, b.end);
+    } else {
+      // Fall-through block: ends where the next leader (or a data word)
+      // begins, and that edge is its only successor.
+      EXPECT_EQ(b.term, b.end);
+      ASSERT_EQ(b.nsucc, 1);
+      EXPECT_EQ(b.succ[0], b.end);
+    }
+    // Static successors land on leaders (or data words, where execution
+    // faults — those carry no block).
+    for (uint8_t k = 0; k < b.nsucc; ++k) {
+      const uint32_t succ = b.succ[k];
+      if (succ < img.block_of.size() &&
+          img.block_of[succ] != ExecImage::kNoBlock) {
+        EXPECT_EQ(img.blocks[img.block_of[succ]].leader, succ);
+      }
+    }
+    // A word after the terminator of a has_term block is a leader if it is
+    // an instruction (the fall-through resumption point).
+    if (b.has_term && b.end < img.block_of.size() &&
+        prog.decoded[b.end].instr.has_value()) {
+      ASSERT_NE(img.block_of[b.end], ExecImage::kNoBlock);
+      EXPECT_EQ(img.blocks[img.block_of[b.end]].leader, b.end);
+    }
+  }
+
+  // movimm64 payload (data) words belong to no block.
+  for (size_t w = 0; w < prog.decoded.size(); ++w) {
+    if (!prog.decoded[w].instr.has_value()) {
+      EXPECT_EQ(img.block_of[w], ExecImage::kNoBlock) << w;
+    }
+  }
+}
+
+TEST(BlockMetadata, FusedPairsMaySpanBlockBoundaries) {
+  // The fusion pass pairs adjacent records with no regard for block edges
+  // (a jmp fuses with its TARGET instruction, a leader). The trace tier
+  // must stay correct anyway: it patches only leader slots and compiles
+  // promoted blocks from unfused records, so spanning pairs merely
+  // undercount entries. This test proves such records exist, then that the
+  // trace engine is still bit-identical on the very program containing
+  // them (DiffCall), promotion included.
+  ArtifactCache cache;
+  size_t spanning = 0;
+  for (BuildPreset preset : kAllBuildPresets) {
+    SCOPED_TRACE(PresetName(preset));
+    auto p = MakePair(kBlocky, preset, &cache);
+    ASSERT_NE(p.ref, nullptr);
+    ASSERT_NE(p.trace, nullptr);
+    const LoadedProgram& prog = *p.trace->compiled->prog;
+    const ExecImage& img = *prog.exec_image;
+    for (size_t w = 0; w < img.recs.size(); ++w) {
+      if (img.recs[w].handler < kNumBaseHandlers) {
+        continue;  // unfused
+      }
+      ExecRecord base;
+      FillBaseExecRecord(prog, w, &base);
+      // The fused record's second element sits at the first element's
+      // natural successor; if that word is a leader (or in a different
+      // block), the pair spans a block boundary.
+      const uint32_t second = base.next;
+      if (second < img.block_of.size() &&
+          img.block_of[second] != ExecImage::kNoBlock &&
+          (img.blocks[img.block_of[second]].leader == second ||
+           img.block_of[second] != img.block_of[w])) {
+        ++spanning;
+      }
+    }
+    DiffCall(&p, "main", {});
+    const TraceTier* tier = p.trace->vm->trace_tier();
+    ASSERT_NE(tier, nullptr);
+    EXPECT_GT(tier->stats.promoted_blocks, 0u);
+  }
+  EXPECT_GT(spanning, 0u)
+      << "expected at least one fused record spanning a block boundary";
+}
+
+TEST(BlockMetadata, TraceTierPatchesOnlyLeaderSlotsOfItsPrivateCopy) {
+  DiagEngine d;
+  auto s = MakeSession(kBlocky, BuildPreset::kOurMpx, &d,
+                       EngineOpts(VmEngine::kTrace));
+  ASSERT_NE(s, nullptr) << d.ToString();
+  const LoadedProgram& prog = *s->compiled->prog;
+  const ExecImage& img = *prog.exec_image;
+  const TraceTier* tier = s->vm->trace_tier();
+  ASSERT_NE(tier, nullptr);
+  ASSERT_EQ(tier->recs.size(), img.recs.size());
+  EXPECT_GT(tier->stats.candidate_blocks, 0u);
+  for (size_t w = 0; w < img.recs.size(); ++w) {
+    SCOPED_TRACE(w);
+    // The shared image never carries trace handlers.
+    ASSERT_LT(img.recs[w].handler, kHTraceCount);
+    const uint32_t bid = img.block_of[w];
+    const bool is_candidate_leader =
+        bid != ExecImage::kNoBlock && img.blocks[bid].leader == w &&
+        img.blocks[bid].num_instrs >= 2;
+    if (is_candidate_leader) {
+      EXPECT_EQ(tier->recs[w].handler, kHTraceCount);
+      EXPECT_EQ(tier->blocks[bid].orig_handler, img.recs[w].handler);
+    } else {
+      // Non-leader (and single-instruction-block) records are untouched.
+      EXPECT_EQ(memcmp(&tier->recs[w], &img.recs[w], sizeof(ExecRecord)), 0);
+    }
+  }
+  // After running, promoted leaders hold the run slot; everything else is
+  // still bit-identical to the shared image.
+  const auto r = s->vm->Call("main", {});
+  EXPECT_TRUE(r.ok);
+  EXPECT_GT(tier->stats.promoted_blocks, 0u);
+  for (size_t w = 0; w < img.recs.size(); ++w) {
+    const uint32_t bid = img.block_of[w];
+    if (bid != ExecImage::kNoBlock && img.blocks[bid].leader == w &&
+        tier->blocks[bid].promoted) {
+      EXPECT_EQ(tier->recs[w].handler, kHTraceRun);
+      const TraceBlock& tb = tier->blocks[bid];
+      // The compiled region covers at least the whole root block (it may
+      // continue through inlined jmps and guarded branches); the peephole
+      // fuses adjacent ops, so the op list can be shorter than the
+      // instruction count but never longer than it plus one synthetic exit.
+      EXPECT_GE(tb.num_instrs, img.blocks[bid].num_instrs);
+      EXPECT_GE(tb.ops.size(), 1u);
+      EXPECT_LE(tb.ops.size(), tb.num_instrs + 1u);
+      // Every op carries an image handler id (base or fused) or a
+      // trace-only pseudo handler — never the patch slots themselves.
+      for (const ExecRecord& op : tb.ops) {
+        EXPECT_LT(op.handler, kTNumTraceHandlers);
+        EXPECT_NE(op.handler, kHTraceCount);
+        EXPECT_NE(op.handler, kHTraceRun);
+      }
+    }
+  }
+}
+
+TEST(BlockMetadata, PromotionUnderRunParallelWavesStaysIdentical) {
+  // Several threads share one trace Vm: promotion flips handler slots
+  // while other threads are mid-program between waves. Wave accounting and
+  // per-thread results must still match the reference exactly, and the
+  // SHARED image must stay pristine (promotion only writes the Vm-private
+  // copy).
+  VmOptions base;
+  base.num_cores = 3;
+  base.quantum = 2000;
+  DiagEngine d1, d2;
+  VmOptions ro = base;
+  ro.engine = VmEngine::kRef;
+  VmOptions to = base;
+  to.engine = VmEngine::kTrace;
+  to.trace_threshold = 16;  // promote mid-run, not instantly
+  auto ref = MakeSession(kBlocky, BuildPreset::kOurMpx, &d1, ro);
+  auto trace = MakeSession(kBlocky, BuildPreset::kOurMpx, &d2, to);
+  ASSERT_NE(ref, nullptr) << d1.ToString();
+  ASSERT_NE(trace, nullptr) << d2.ToString();
+  std::vector<Vm::ThreadSpec> specs(5, {"main", {}});
+  const auto r = ref->vm->RunParallel(specs);
+  const auto t = trace->vm->RunParallel(specs);
+  EXPECT_EQ(r.ok, t.ok);
+  EXPECT_EQ(r.wall_cycles, t.wall_cycles);
+  ASSERT_EQ(r.per_thread.size(), t.per_thread.size());
+  for (size_t i = 0; i < r.per_thread.size(); ++i) {
+    SCOPED_TRACE(i);
+    ExpectSameResult(r.per_thread[i], t.per_thread[i]);
+  }
+  ExpectSameStats(*ref->vm, *trace->vm);
+  const TraceTier* tier = trace->vm->trace_tier();
+  ASSERT_NE(tier, nullptr);
+  EXPECT_GT(tier->stats.promoted_blocks, 0u);
+  for (const ExecRecord& rec : trace->compiled->prog->exec_image->recs) {
+    ASSERT_LT(rec.handler, kHTraceCount);  // shared image untouched
+  }
+}
+
+// ---- satellite: the reference engine's block profiler ----
+
+TEST(BlockProfile, EntryCountsAccountForEveryInstruction) {
+  // In a fault-free run every executed instruction belongs to exactly one
+  // block entry (jump targets are always leaders, so control never enters
+  // a block mid-way): total instructions must equal the entry-weighted sum
+  // of block lengths. This is the invariant the bench's --block-histogram
+  // report builds on.
+  std::vector<uint64_t> profile;
+  VmOptions o = EngineOpts(VmEngine::kRef);
+  o.block_profile = &profile;
+  DiagEngine d;
+  auto s = MakeSession(kBlocky, BuildPreset::kOurMpx, &d, o);
+  ASSERT_NE(s, nullptr) << d.ToString();
+  const ExecImage& img = *s->compiled->prog->exec_image;
+  ASSERT_EQ(profile.size(), img.blocks.size());
+  const auto r = s->vm->Call("main", {});
+  ASSERT_TRUE(r.ok) << r.fault_msg;
+  uint64_t weighted = 0;
+  uint64_t entries = 0;
+  for (size_t bid = 0; bid < profile.size(); ++bid) {
+    weighted += profile[bid] * img.blocks[bid].num_instrs;
+    entries += profile[bid];
+  }
+  EXPECT_GT(entries, 0u);
+  EXPECT_EQ(weighted, r.instrs);
 }
 
 // ---- ExecImage construction ----

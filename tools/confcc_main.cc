@@ -6,13 +6,18 @@
 //          [--disasm] [--stats] [--time-passes] [--jobs=N] [--all-private]
 //          [--incremental] [--cache-stats] [--cache-bytes=N]
 //          [--cache-dir=D] [--cache-disk-bytes=N] [--cache-stats-json=F]
-//          [--emit-bin=F] [--engine=ref|fast] file.mc
+//          [--emit-bin=F] [--engine=ref|fast|trace] [--trace-threshold=N]
+//          [--trace-stats-json=F] file.mc
 //
 // --preset=all batch-compiles every §7.1/§7.2 configuration concurrently
 // (--jobs workers) through CompileBatch and reports one line per preset.
-// --engine selects the VM interpreter: the reference stepper or the
-// token-threaded fast engine (default; observable behaviour is identical —
-// see ARCHITECTURE.md "Execution engine").
+// --engine selects the VM interpreter: the reference stepper, the
+// token-threaded fast engine (default), or the hot-block trace tier
+// (observable behaviour is identical on all three — see ARCHITECTURE.md
+// "Engine tiers"). --trace-threshold sets the per-block entry count at
+// which the trace tier promotes a block to a whole-block handler;
+// --trace-stats-json writes the tier's telemetry (candidate/promoted
+// blocks, block runs, bails) to F — F.<preset> per preset in sweep mode.
 // --incremental routes compilation through the artifact cache, sharing the
 // Parse/Sema/IrGen prefix across the sweep; --cache-stats appends the cache
 // counters (hits, misses, bytes retained, prefix shares, disk tier) to the
@@ -37,6 +42,7 @@
 #include "src/driver/disk_cache.h"
 #include "src/driver/pipeline.h"
 #include "src/isa/binary.h"
+#include "src/vm/trace_tier.h"
 #include "src/verifier/verifier.h"
 
 using namespace confllvm;
@@ -60,7 +66,8 @@ int Usage() {
           "              [--all-private] [--incremental] [--cache-stats]\n"
           "              [--cache-bytes=N] [--cache-dir=D] [--cache-disk-bytes=N]\n"
           "              [--cache-stats-json=F] [--emit-bin=F]\n"
-          "              [--engine=ref|fast] file.mc\n"
+          "              [--engine=ref|fast|trace] [--trace-threshold=N]\n"
+          "              [--trace-stats-json=F] file.mc\n"
           "       confcc --link [options] [--graph-stats-json=F] a.mc b.mc ...\n"
           "presets: Base BaseOA Our1Mem OurBare OurCFI OurMPX OurMPX-Sep OurSeg\n"
           "--link builds each file as a module (name = basename), resolves\n"
@@ -88,7 +95,9 @@ struct Options {
   size_t cache_disk_bytes = 0;  // disk-tier byte cap, 0 = unbounded
   std::string cache_stats_json;  // write the stats snapshot as JSON here
   std::string emit_bin;       // serialize compiled Binary(s) here
-  VmEngine engine = VmOptions{}.engine;  // --engine=ref|fast
+  VmEngine engine = VmOptions{}.engine;  // --engine=ref|fast|trace
+  uint64_t trace_threshold = VmOptions{}.trace_threshold;
+  std::string trace_stats_json;  // write TraceTierStats JSON here
   bool link = false;          // multi-module build-graph mode
   std::string graph_stats_json;  // write BuildGraphStats JSON here (--link)
   std::string file;
@@ -164,13 +173,30 @@ BuildConfig ConfigFor(BuildPreset preset, const Options& opt) {
 
 // Runs `entry` of one compiled program; returns false on fault. `quiet`
 // suppresses the per-run summary line (sweep mode prints a table instead).
+// `label` suffixes the --trace-stats-json path in sweep mode so presets
+// don't clobber each other.
 bool RunProgram(std::unique_ptr<CompiledProgram> compiled, const Options& opt,
                 uint64_t* cycles_out, uint64_t* ret_out = nullptr,
-                bool quiet = false) {
+                bool quiet = false, const std::string& label = "") {
   VmOptions vm_opts;
   vm_opts.engine = opt.engine;
+  vm_opts.trace_threshold = opt.trace_threshold;
   auto s = MakeSessionFor(std::move(compiled), vm_opts);
   auto r = s->vm->Call(opt.entry, opt.args);
+  if (!opt.trace_stats_json.empty()) {
+    const std::string path = label.empty()
+                                 ? opt.trace_stats_json
+                                 : opt.trace_stats_json + "." + label;
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      fprintf(stderr, "confcc: cannot write %s\n", path.c_str());
+      return false;
+    }
+    // Engines below kTrace have no tier; an empty telemetry object keeps the
+    // sink well-formed for whoever diffs it.
+    const TraceTier* tt = s->vm->trace_tier();
+    out << (tt != nullptr ? tt->Telemetry().ToJson() : TraceTierStats{}.ToJson());
+  }
   if (!r.ok) {
     fprintf(stderr, "confcc: %s faulted: %s (%s)\n", opt.entry.c_str(),
             FaultName(r.fault), r.fault_msg.c_str());
@@ -232,6 +258,9 @@ int RunSweep(const std::string& source, const Options& opt) {
   auto outcomes = CompileBatch(jobs, opt.jobs, cache.get());
 
   int failures = 0;
+  if (opt.time_passes) {
+    fprintf(stderr, "vm engine: %s\n", EngineName(opt.engine));
+  }
   fprintf(stderr, "%-12s%8s%10s%10s%12s%14s\n", "preset", "ok", "ms", "words",
           "constraints", "cycles");
   for (auto& out : outcomes) {
@@ -257,7 +286,7 @@ int RunSweep(const std::string& source, const Options& opt) {
     }
     uint64_t cycles = 0;
     if (!RunProgram(std::move(out.program), opt, &cycles, nullptr,
-                    /*quiet=*/true)) {
+                    /*quiet=*/true, out.label)) {
       ++failures;
       continue;
     }
@@ -371,6 +400,9 @@ int RunLink(const Options& opt) {
   }
 
   int rc = 0;
+  if (opt.time_passes) {
+    fprintf(stderr, "vm engine: %s\n", EngineName(opt.engine));
+  }
   std::string graph_json;
   if (opt.sweep) {
     int failures = 0;
@@ -398,7 +430,8 @@ int RunLink(const Options& opt) {
         continue;
       }
       uint64_t cycles = 0;
-      if (!RunProgram(std::move(compiled), opt, &cycles, nullptr, /*quiet=*/true)) {
+      if (!RunProgram(std::move(compiled), opt, &cycles, nullptr, /*quiet=*/true,
+                      PresetName(p))) {
         ++failures;
         continue;
       }
@@ -491,10 +524,17 @@ int main(int argc, char** argv) {
         opt.engine = VmEngine::kRef;
       } else if (name == "fast") {
         opt.engine = VmEngine::kFast;
+      } else if (name == "trace") {
+        opt.engine = VmEngine::kTrace;
       } else {
-        fprintf(stderr, "unknown engine '%s'\n", name.c_str());
+        fprintf(stderr, "unknown engine '%s' (expected ref, fast or trace)\n",
+                name.c_str());
         return Usage();
       }
+    } else if (a.rfind("--trace-threshold=", 0) == 0) {
+      opt.trace_threshold = strtoull(a.substr(18).c_str(), nullptr, 0);
+    } else if (a.rfind("--trace-stats-json=", 0) == 0) {
+      opt.trace_stats_json = a.substr(19);
     } else if (a == "--incremental") {
       opt.incremental = true;
     } else if (a == "--cache-stats") {
@@ -558,6 +598,7 @@ int main(int argc, char** argv) {
   fputs(inv.diags().ToString().c_str(), stderr);
   if (opt.time_passes) {
     fputs(inv.stats().ToTable().c_str(), stderr);
+    fprintf(stderr, "vm engine: %s\n", EngineName(opt.engine));
   }
   if (cache != nullptr && !ReportCacheStats(*cache, opt)) {
     return 1;

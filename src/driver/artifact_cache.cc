@@ -181,6 +181,23 @@ std::string CacheStats::ToRow() const {
         static_cast<unsigned long long>(disk_evictions),
         static_cast<unsigned long long>(disk_invalid));
   }
+  // The degradation ladder's own line: only when the tier actually hit
+  // trouble, so healthy runs keep the familiar two-row output.
+  if (disk_retries != 0 || disk_io_failures != 0 || disk_store_failures != 0 ||
+      disk_breaker_opens != 0 || disk_breaker_short_circuits != 0 ||
+      disk_breaker_probes != 0 || disk_breaker_open) {
+    row += StrFormat(
+        "  disk-resilience: retries=%llu io-failures=%llu "
+        "store-failures=%llu breaker(opens=%llu short-circuits=%llu "
+        "probes=%llu state=%s)\n",
+        static_cast<unsigned long long>(disk_retries),
+        static_cast<unsigned long long>(disk_io_failures),
+        static_cast<unsigned long long>(disk_store_failures),
+        static_cast<unsigned long long>(disk_breaker_opens),
+        static_cast<unsigned long long>(disk_breaker_short_circuits),
+        static_cast<unsigned long long>(disk_breaker_probes),
+        disk_breaker_open ? "open" : "closed");
+  }
   return row;
 }
 
@@ -202,6 +219,10 @@ std::string CacheStats::ToJson() const {
       "\"prefix_shares\":%llu,"
       "\"disk_hits\":%llu,\"disk_misses\":%llu,\"disk_stores\":%llu,"
       "\"disk_evictions\":%llu,\"disk_invalid\":%llu,"
+      "\"disk_retries\":%llu,\"disk_io_failures\":%llu,"
+      "\"disk_store_failures\":%llu,\"disk_breaker_opens\":%llu,"
+      "\"disk_breaker_short_circuits\":%llu,\"disk_breaker_probes\":%llu,"
+      "\"disk_breaker_open\":%s,"
       "\"hits_by_stage\":%s,\"misses_by_stage\":%s}\n",
       static_cast<unsigned long long>(hits),
       static_cast<unsigned long long>(misses),
@@ -213,7 +234,14 @@ std::string CacheStats::ToJson() const {
       static_cast<unsigned long long>(disk_misses),
       static_cast<unsigned long long>(disk_stores),
       static_cast<unsigned long long>(disk_evictions),
-      static_cast<unsigned long long>(disk_invalid), hits_json.c_str(),
+      static_cast<unsigned long long>(disk_invalid),
+      static_cast<unsigned long long>(disk_retries),
+      static_cast<unsigned long long>(disk_io_failures),
+      static_cast<unsigned long long>(disk_store_failures),
+      static_cast<unsigned long long>(disk_breaker_opens),
+      static_cast<unsigned long long>(disk_breaker_short_circuits),
+      static_cast<unsigned long long>(disk_breaker_probes),
+      disk_breaker_open ? "true" : "false", hits_json.c_str(),
       misses_json.c_str());
 }
 
@@ -421,8 +449,26 @@ CacheStats ArtifactCache::stats() const {
   // hits_by_stage, bytes_retained matches the retained entries, and a reader
   // racing live compiles can never observe a torn struct. Guarded by
   // ArtifactCache.StatsSnapshotIsCoherentUnderConcurrentCompiles.
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  CacheStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = stats_;
+  }
+  // The tier's resilience counters live behind the tier's own mutex (they
+  // are mutated mid-I/O, outside mu_); merge a snapshot of them here. They
+  // are monotonic, so the merged struct is still a consistent point-in-time
+  // view of each counter even though the two locks are taken in sequence.
+  if (disk_ != nullptr) {
+    const DiskCacheTier::ResilienceStats rs = disk_->resilience();
+    out.disk_retries = rs.retries;
+    out.disk_io_failures = rs.io_failures;
+    out.disk_store_failures = rs.store_failures;
+    out.disk_breaker_opens = rs.breaker_opens;
+    out.disk_breaker_short_circuits = rs.breaker_short_circuits;
+    out.disk_breaker_probes = rs.breaker_probes;
+    out.disk_breaker_open = rs.breaker_open;
+  }
+  return out;
 }
 
 }  // namespace confllvm

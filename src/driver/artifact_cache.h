@@ -95,6 +95,18 @@ struct CacheStats {
   uint64_t disk_evictions = 0;  // entry files removed by the byte cap
   uint64_t disk_invalid = 0;    // corrupt/stale entries quarantined on read
 
+  // Disk-tier resilience counters (DiskCacheTier::ResilienceStats, merged in
+  // by stats()): the degradation ladder's own report. Nonzero values mean
+  // the tier hit trouble and degraded gracefully rather than failing the
+  // build — visible here precisely so degradation is never silent.
+  uint64_t disk_retries = 0;         // I/O re-attempts after a failed attempt
+  uint64_t disk_io_failures = 0;     // operations that failed after all retries
+  uint64_t disk_store_failures = 0;  // stores lost to I/O errors or the breaker
+  uint64_t disk_breaker_opens = 0;
+  uint64_t disk_breaker_short_circuits = 0;  // ops skipped while breaker open
+  uint64_t disk_breaker_probes = 0;          // self-healing probes let through
+  bool disk_breaker_open = false;            // breaker state at snapshot time
+
   // Hits on the Parse/Sema/IrGen prefix: how many stage executions batch
   // mode avoided by sharing the front end.
   uint64_t PrefixShares() const;

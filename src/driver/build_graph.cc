@@ -213,10 +213,11 @@ std::string BuildGraphStats::ToJson() const {
   for (size_t i = 0; i < per_module.size(); ++i) {
     const PerModule& m = per_module[i];
     s += StrFormat(
-        "%s{\"name\": \"%s\", \"wave\": %zu, \"ok\": %s, "
+        "%s{\"name\": \"%s\", \"wave\": %zu, \"ok\": %s, \"skipped\": %s, "
         "\"codegen_cached\": %s, \"ms\": %.3f}",
         i == 0 ? "" : ", ", m.name.c_str(), m.wave, m.ok ? "true" : "false",
-        m.codegen_cached ? "true" : "false", m.ms);
+        m.skipped ? "true" : "false", m.codegen_cached ? "true" : "false",
+        m.ms);
   }
   s += "]}\n";
   return s;
@@ -237,13 +238,44 @@ LinkedBuild BuildScheduler::Run(ArtifactCache* cache) {
   }
 
   // 1. Compile wave by wave; modules within a wave run concurrently on the
-  // batch pool, all through the shared cache.
+  // batch pool, all through the shared cache. Failure isolation: a broken
+  // module fails only its own wave entry — its transitive dependents are
+  // skipped with a diagnostic, every independent module still compiles, and
+  // all waves run to completion so a partial build warms the cache for the
+  // fixed rebuild.
+  std::vector<char> failed(graph_->num_modules(), 0);
   bool compile_ok = true;
-  for (size_t w = 0; w < graph_->waves().size() && compile_ok; ++w) {
+  for (size_t w = 0; w < graph_->waves().size(); ++w) {
     const std::vector<size_t>& wave = graph_->waves()[w];
-    std::vector<BatchJob> jobs;
-    jobs.reserve(wave.size());
+    std::vector<size_t> runnable;
+    runnable.reserve(wave.size());
     for (const size_t i : wave) {
+      size_t bad_dep = graph_->num_modules();
+      for (const size_t dep : graph_->deps(i)) {
+        if (failed[dep]) {
+          bad_dep = dep;
+          break;
+        }
+      }
+      if (bad_dep != graph_->num_modules()) {
+        failed[i] = 1;
+        compile_ok = false;
+        out.modules[i].skipped = true;
+        out.diags.Error(
+            SourceLoc{},
+            StrFormat("module '%s' skipped: dependency '%s' failed to compile",
+                      graph_->module_name(i).c_str(),
+                      graph_->module_name(bad_dep).c_str()));
+        continue;
+      }
+      runnable.push_back(i);
+    }
+    if (runnable.empty()) {
+      continue;
+    }
+    std::vector<BatchJob> jobs;
+    jobs.reserve(runnable.size());
+    for (const size_t i : runnable) {
       BatchJob job;
       job.label = graph_->module_name(i);
       job.source = graph_->module_source(i);
@@ -251,15 +283,27 @@ LinkedBuild BuildScheduler::Run(ArtifactCache* cache) {
       job.object_only = true;
       job.interfaces = &graph_->interfaces();
       job.imports_fingerprint = graph_->ImportsFingerprint(i);
+      job.deadline_ms = opts_.deadline_ms;
       jobs.push_back(std::move(job));
     }
     std::vector<BatchOutcome> outcomes =
         CompileBatch(jobs, opts_.num_workers, cache);
-    for (size_t k = 0; k < wave.size(); ++k) {
-      ModuleOutcome& mo = out.modules[wave[k]];
+    for (size_t k = 0; k < runnable.size(); ++k) {
+      ModuleOutcome& mo = out.modules[runnable[k]];
       mo.ok = outcomes[k].ok;
       mo.invocation = std::move(outcomes[k].invocation);
-      compile_ok = compile_ok && mo.ok;
+      if (!mo.ok) {
+        failed[runnable[k]] = 1;
+        compile_ok = false;
+        // Aggregate the module's own diagnostics so a caller reading only
+        // LinkedBuild.diags sees every failure, attributed to its module.
+        out.diags.Error(SourceLoc{},
+                        StrFormat("module '%s' failed to compile:",
+                                  mo.name.c_str()));
+        if (mo.invocation != nullptr) {
+          out.diags.Append(mo.invocation->diags());
+        }
+      }
     }
   }
 
@@ -269,6 +313,7 @@ LinkedBuild BuildScheduler::Run(ArtifactCache* cache) {
     pm.name = mo.name;
     pm.wave = mo.wave;
     pm.ok = mo.ok;
+    pm.skipped = mo.skipped;
     if (mo.invocation != nullptr) {
       const StageStats* cg = mo.invocation->stats().Find(StageId::kCodegen);
       pm.codegen_cached = cg != nullptr && cg->cached;

@@ -84,6 +84,10 @@ struct ModuleOutcome {
   std::string name;
   size_t wave = 0;
   bool ok = false;
+  // Never compiled because a (transitive) dependency failed; the scheduler
+  // records why in LinkedBuild.diags. `invocation` is null for skipped
+  // modules.
+  bool skipped = false;
   std::unique_ptr<CompilerInvocation> invocation;
 };
 
@@ -93,6 +97,7 @@ struct BuildGraphStats {
     std::string name;
     size_t wave = 0;
     bool ok = false;
+    bool skipped = false;         // dependency failed; module never compiled
     bool codegen_cached = false;  // backend restored from the cache, not run
     double ms = 0;
   };
@@ -120,6 +125,10 @@ class BuildScheduler {
   struct Options {
     unsigned num_workers = 0;  // per-wave CompileBatch workers (0 = hw)
     bool verify = false;       // link-time ConfVerify on the merged image
+    // Per-module compile deadline forwarded to every BatchJob (0 = none):
+    // one hung or pathological module fails its own wave entry instead of
+    // stalling the whole build.
+    uint64_t deadline_ms = 0;
   };
 
   BuildScheduler(const BuildGraph* graph, BuildConfig config)
@@ -128,8 +137,11 @@ class BuildScheduler {
       : graph_(graph), config_(config), opts_(opts) {}
 
   // Compiles, links, loads, and optionally verifies. The graph must be
-  // finalized. Stops after the first wave with failures (dependents of a
-  // broken module are never compiled).
+  // finalized. Failure isolation: every wave still runs — a broken module
+  // fails its own wave entry (with its diagnostics aggregated into
+  // LinkedBuild.diags), only its transitive dependents are skipped, and
+  // every independent module still compiles (warming the cache for the
+  // fixed rebuild). Linking proceeds only when all modules compiled.
   LinkedBuild Run(ArtifactCache* cache = nullptr);
 
  private:

@@ -9,10 +9,12 @@
 #include <filesystem>
 #include <fstream>
 #include <system_error>
+#include <thread>
 #include <vector>
 
 #include "src/isa/binary.h"
 #include "src/support/bytes.h"
+#include "src/support/fault_injection.h"
 
 namespace fs = std::filesystem;
 
@@ -21,6 +23,17 @@ namespace confllvm {
 namespace {
 
 constexpr const char* kEntrySuffix = ".art";
+// Quarantined (validation-failed) entries keep their bytes on disk under
+// this extra extension for postmortems, but count against the byte cap and
+// age out through the same LRU eviction as live entries.
+constexpr const char* kQuarantineSuffix = ".quar";
+
+// Bounded backoff between I/O retry attempts: long enough to ride out a
+// transient EMFILE/EIO, short enough that a fully failing disk costs a
+// sweep only a few milliseconds before the circuit breaker takes over.
+void RetryBackoff(int attempt) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(attempt));
+}
 
 // The artifact payload (everything Restore needs for a Codegen-stage
 // artifact; see Snapshot in src/driver/pipeline.cc).
@@ -117,7 +130,9 @@ bool ReadFileBytes(const fs::path& path, std::vector<uint8_t>* out) {
 }
 
 bool IsEntryFile(const fs::path& p) {
-  return p.extension() == kEntrySuffix;
+  // `.quar` files are quarantined entries: still cap-accounted and
+  // LRU-evictable, so repeated corruption cannot grow the directory.
+  return p.extension() == kEntrySuffix || p.extension() == kQuarantineSuffix;
 }
 
 }  // namespace
@@ -222,28 +237,85 @@ std::string DiskCacheTier::EntryPath(const std::string& key) const {
   return (fs::path(options_.dir) / (name + fp + kEntrySuffix)).string();
 }
 
+bool DiskCacheTier::BreakerAdmits(bool* probe) {
+  *probe = false;
+  std::lock_guard<std::mutex> lock(res_mu_);
+  if (!res_.breaker_open) {
+    return true;
+  }
+  if (++ops_while_open_ % kDiskCacheBreakerProbeInterval == 0) {
+    ++res_.breaker_probes;
+    *probe = true;
+    return true;
+  }
+  ++res_.breaker_short_circuits;
+  return false;
+}
+
+void DiskCacheTier::RecordIoOutcome(bool success) {
+  std::lock_guard<std::mutex> lock(res_mu_);
+  if (success) {
+    consecutive_failures_ = 0;
+    res_.breaker_open = false;  // a successful probe self-heals
+    return;
+  }
+  ++res_.io_failures;
+  if (++consecutive_failures_ >= kDiskCacheBreakerThreshold &&
+      !res_.breaker_open) {
+    res_.breaker_open = true;
+    ++res_.breaker_opens;
+    ops_while_open_ = 0;
+  }
+}
+
+DiskCacheTier::ResilienceStats DiskCacheTier::resilience() const {
+  std::lock_guard<std::mutex> lock(res_mu_);
+  return res_;
+}
+
 DiskCacheTier::LoadResult DiskCacheTier::Load(const std::string& key) {
   LoadResult result;
   if (!ok_) {
     return result;
   }
+  bool probe = false;
+  if (!BreakerAdmits(&probe)) {
+    return result;  // breaker open: degrade to memory-only (plain miss)
+  }
   const fs::path path = EntryPath(key);
   std::error_code ec;
   if (!fs::exists(path, ec) || ec) {
-    return result;  // plain miss: no entry
+    return result;  // plain miss: no entry (not an I/O outcome)
   }
   std::vector<uint8_t> bytes;
   // A failed open/read is a *plain miss*, not corruption: the entry may be
   // perfectly valid and merely unreadable right now (EMFILE under a
   // parallel sweep, a cross-process eviction racing the exists() check, a
-  // transient mount hiccup). Only an entry whose *bytes* fail validation is
-  // quarantined.
-  try {
-    if (!ReadFileBytes(path, &bytes)) {
-      return result;
+  // transient mount hiccup). Retry a couple of times with bounded backoff
+  // before conceding; the concession feeds the circuit breaker. Only an
+  // entry whose *bytes* fail validation is quarantined.
+  bool read_ok = false;
+  for (int attempt = 0; attempt < kDiskCacheIoAttempts && !read_ok; ++attempt) {
+    if (attempt > 0) {
+      {
+        std::lock_guard<std::mutex> lock(res_mu_);
+        ++res_.retries;
+      }
+      RetryBackoff(attempt);
     }
-  } catch (...) {
-    return result;  // e.g. bad_alloc sizing the read buffer
+    if (InjectFault("disk.read.open")) {
+      continue;
+    }
+    try {
+      bytes.clear();
+      read_ok = ReadFileBytes(path, &bytes) && !InjectFault("disk.read.data");
+    } catch (...) {
+      read_ok = false;  // e.g. bad_alloc sizing the read buffer
+    }
+  }
+  RecordIoOutcome(read_ok);
+  if (!read_ok) {
+    return result;
   }
   const auto validated = [&] {
     ByteReader r(bytes.data(), bytes.size());
@@ -289,9 +361,15 @@ DiskCacheTier::LoadResult DiskCacheTier::Load(const std::string& key) {
     return result;
   }
   if (!ok) {
-    // Quarantine: drop the bad entry so the recompute's store replaces it
-    // and later lookups don't re-pay the failed validation.
-    fs::remove(path, ec);
+    // Quarantine: move the bad entry aside so the recompute's store replaces
+    // it and later lookups don't re-pay the failed validation. The rename
+    // keeps the bytes available for postmortems while IsEntryFile keeps the
+    // `.quar` file inside the byte cap and the LRU eviction order; a
+    // re-corruption of the same key overwrites its previous quarantine file.
+    fs::rename(path, fs::path(path.string() + kQuarantineSuffix), ec);
+    if (ec) {
+      fs::remove(path, ec);  // rename failed (e.g. ENOSPC): just drop it
+    }
     result.invalid = true;
     result.artifact = nullptr;
     return result;
@@ -304,6 +382,14 @@ DiskCacheTier::LoadResult DiskCacheTier::Load(const std::string& key) {
 bool DiskCacheTier::Store(const std::string& key, const StageArtifact& artifact) {
   if (!ok_ || artifact.stage != StageId::kCodegen ||
       artifact.binary == nullptr) {
+    return false;  // precondition, not an I/O failure: no counters
+  }
+  bool probe = false;
+  if (!BreakerAdmits(&probe)) {
+    // Breaker open: degrade to compute-without-store. The compile already
+    // succeeded in memory; only persistence is lost, and it is counted.
+    std::lock_guard<std::mutex> lock(res_mu_);
+    ++res_.store_failures;
     return false;
   }
   const std::vector<uint8_t> payload = SerializePayload(artifact);
@@ -319,33 +405,59 @@ bool DiskCacheTier::Store(const std::string& key, const StageArtifact& artifact)
   const std::vector<uint8_t> entry = w.Take();
 
   // Unique temp name per process × store so concurrent writers (threads or
-  // processes) never collide; the rename publishes atomically.
+  // processes) never collide; the rename publishes atomically. The whole
+  // write-then-publish sequence retries on transient failure; a failed
+  // attempt never leaves a partial entry visible (only its private temp
+  // file, which is removed here and swept by the next attach if we die).
   static std::atomic<uint64_t> seq{0};
   const fs::path final_path = EntryPath(key);
-  const fs::path tmp_path =
-      final_path.string() + ".tmp." + std::to_string(::getpid()) + "." +
-      std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return false;
+  bool stored = false;
+  for (int attempt = 0; attempt < kDiskCacheIoAttempts && !stored; ++attempt) {
+    if (attempt > 0) {
+      {
+        std::lock_guard<std::mutex> lock(res_mu_);
+        ++res_.retries;
+      }
+      RetryBackoff(attempt);
     }
-    out.write(reinterpret_cast<const char*>(entry.data()),
-              static_cast<std::streamsize>(entry.size()));
-    out.flush();
-    if (!out) {
-      std::error_code ec;
+    const fs::path tmp_path =
+        final_path.string() + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+    {
+      if (InjectFault("disk.write.open")) {
+        continue;
+      }
+      std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        continue;
+      }
+      out.write(reinterpret_cast<const char*>(entry.data()),
+                static_cast<std::streamsize>(entry.size()));
+      out.flush();
+      if (!out || InjectFault("disk.write.data")) {
+        std::error_code ec;
+        fs::remove(tmp_path, ec);
+        continue;  // e.g. ENOSPC mid-write
+      }
+    }
+    std::error_code ec;
+    if (InjectFault("disk.write.rename")) {
       fs::remove(tmp_path, ec);
-      return false;
+      continue;  // e.g. ENOSPC materializing the directory entry
     }
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+      fs::remove(tmp_path, ec);
+      continue;
+    }
+    stored = true;
   }
-  std::error_code ec;
-  fs::rename(tmp_path, final_path, ec);
-  if (ec) {
-    fs::remove(tmp_path, ec);
-    return false;
+  RecordIoOutcome(stored);
+  if (!stored) {
+    std::lock_guard<std::mutex> lock(res_mu_);
+    ++res_.store_failures;
   }
-  return true;
+  return stored;
 }
 
 size_t DiskCacheTier::EvictToCap() {

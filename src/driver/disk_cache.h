@@ -27,9 +27,12 @@
 // Validation on load, in order: magic, format version, toolchain
 // fingerprint, stage, exact key match, exact payload size, FNV-1a payload
 // checksum, then the bounds-checked payload decode. Any failure is a miss:
-// the bad entry is quarantined (removed) so the recompute's store replaces
-// it, and compilation proceeds from upstream artifacts — corruption can
-// degrade performance, never correctness.
+// the bad entry is quarantined (renamed to `<entry>.art.quar`) so the
+// recompute's store replaces it and later lookups don't re-pay the failed
+// validation, and compilation proceeds from upstream artifacts — corruption
+// can degrade performance, never correctness. Quarantined files count
+// against `max_bytes` and are LRU-evicted like live entries, so repeated
+// corruption cannot grow the directory unboundedly.
 //
 // Write discipline: serialize to `<entry>.tmp.<pid>.<seq>` in the cache
 // directory, then atomically rename over the final name. Readers therefore
@@ -39,6 +42,19 @@
 // Eviction: when `max_bytes` is set, after each store the tier removes
 // least-recently-used entries (by mtime; loads touch their entry) until the
 // directory's entry bytes fit the cap.
+//
+// Resilience (see ARCHITECTURE.md "Failure model and degradation ladder"):
+// every file operation retries up to kDiskCacheIoAttempts times with a
+// small bounded backoff (transient EMFILE/EIO under a parallel sweep), and
+// a circuit breaker opens after kDiskCacheBreakerThreshold consecutive
+// post-retry failures — the tier then degrades to memory-only, answering
+// loads with a plain miss and stores with a failure, except that every
+// kDiskCacheBreakerProbeInterval-th operation passes through as a
+// self-healing probe; one successful probe closes the breaker. All of it is
+// counted in ResilienceStats, merged into `confcc --cache-stats-json` —
+// degradation is reported, never hidden. Injection sites (disk.read.*,
+// disk.write.*; see src/support/fault_injection.h) let tests and CI chaos
+// sweeps drive these paths deterministically.
 #ifndef CONFLLVM_SRC_DRIVER_DISK_CACHE_H_
 #define CONFLLVM_SRC_DRIVER_DISK_CACHE_H_
 
@@ -68,6 +84,12 @@ inline constexpr size_t kDiskCacheFingerprintOffset = 12;
 // struct change invalidates every existing entry wholesale instead of
 // risking a misdecode.
 uint64_t DiskCacheFingerprint();
+
+// Retry/circuit-breaker tuning (exposed so the tests can reason about when
+// the breaker must have opened).
+inline constexpr int kDiskCacheIoAttempts = 3;
+inline constexpr uint32_t kDiskCacheBreakerThreshold = 5;
+inline constexpr uint64_t kDiskCacheBreakerProbeInterval = 16;
 
 class DiskCacheTier {
  public:
@@ -107,6 +129,20 @@ class DiskCacheTier {
   // tests, which patch entries in place).
   std::string EntryPath(const std::string& key) const;
 
+  // Retry / circuit-breaker counters (see file comment). Snapshot under the
+  // tier's resilience mutex; ArtifactCache::stats() merges these into the
+  // CacheStats it reports.
+  struct ResilienceStats {
+    uint64_t retries = 0;         // re-attempts after a failed I/O attempt
+    uint64_t io_failures = 0;     // operations that failed after all retries
+    uint64_t store_failures = 0;  // Store() calls lost to I/O or the breaker
+    uint64_t breaker_opens = 0;
+    uint64_t breaker_short_circuits = 0;  // ops answered without touching disk
+    uint64_t breaker_probes = 0;          // ops let through while open
+    bool breaker_open = false;            // current state
+  };
+  ResilienceStats resilience() const;
+
  private:
   // Proves the directory writable by creating and removing a probe file —
   // an existing but read-only dir must fail attach loudly, not degrade to a
@@ -117,9 +153,23 @@ class DiskCacheTier {
   // crashed builds can't grow the directory without bound.
   void SweepStaleTempFiles();
 
+  // Circuit-breaker gate: true when the operation may touch the disk. While
+  // the breaker is open, every kDiskCacheBreakerProbeInterval-th operation
+  // is admitted as a self-healing probe (*probe set); the rest are counted
+  // as short-circuits and denied.
+  bool BreakerAdmits(bool* probe);
+  // Reports a disk operation's post-retry outcome: success resets the
+  // failure streak and closes an open breaker; failure counts toward
+  // kDiskCacheBreakerThreshold.
+  void RecordIoOutcome(bool success);
+
   DiskCacheOptions options_;
   bool ok_ = false;
   std::mutex evict_mu_;
+  mutable std::mutex res_mu_;
+  ResilienceStats res_;
+  uint32_t consecutive_failures_ = 0;
+  uint64_t ops_while_open_ = 0;
 };
 
 }  // namespace confllvm

@@ -5,11 +5,13 @@
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <stdexcept>
 #include <thread>
 
 #include "src/driver/artifact_cache.h"
 #include "src/ir/irgen.h"
 #include "src/lang/parser.h"
+#include "src/support/fault_injection.h"
 #include "src/support/strings.h"
 
 namespace confllvm {
@@ -526,50 +528,86 @@ bool PassManager::Run(CompilerInvocation* inv) const {
     const bool track_ir =
         stage.id() >= StageId::kIrGen && stage.id() <= StageId::kCodegen;
     s.ir_instrs_in = track_ir && inv->ir != nullptr ? CountInstrs(*inv->ir) : 0;
+
+    // Per-job deadline (CompilerInvocation::set_deadline_ms): checked between
+    // stages so one pathological module fails its own invocation with a
+    // diagnostic instead of stalling the whole batch indefinitely.
+    if (inv->DeadlineExpired()) {
+      inv->diags().Error({}, Fmt("compile deadline exceeded before stage %s",
+                                 stage.name()));
+      s.ok = false;
+      inv->stats().stages.push_back(s);
+      return false;
+    }
+
     const auto t0 = std::chrono::steady_clock::now();
 
     const std::string key =
         cache != nullptr ? stage.CacheKey(*inv) : std::string();
     bool stage_ok;
-    if (!key.empty()) {
-      // Single-flight: either restore a published artifact (possibly after
-      // waiting out a concurrent producer) or become the producer and
-      // publish what this run computes.
-      const bool probe_disk_missed =
-          std::find(probed_missed.begin(), probed_missed.end(), key) !=
-          probed_missed.end();
-      auto artifact = cache->Acquire(key, stage.id(), probe_disk_missed);
-      if (artifact != nullptr && artifact->source != nullptr &&
-          *artifact->source != inv->source()) {
-        // Key collision with a different source: the slot belongs to the
-        // other program, so run uncached rather than restore or republish.
-        stage_ok = stage.Run(inv);
-      } else if (artifact != nullptr) {
-        Restore(inv, *artifact, diag_base);
-        s.cached = true;
-        stage_ok = true;
-      } else {
-        // Producer: the registration MUST be resolved even if Run or the
-        // snapshot clone throws (e.g. bad_alloc) — otherwise every waiter
-        // on this key blocks forever. The guard abandons on any unwind.
-        struct ProducerGuard {
-          ArtifactCache* cache;
-          const std::string& key;
-          bool resolved = false;
-          ~ProducerGuard() {
-            if (!resolved) {
-              cache->Abandon(key);
-            }
-          }
-        } guard{cache, key};
-        stage_ok = stage.Run(inv);
-        if (stage_ok && !inv->diags().HasErrors()) {
-          cache->Put(key, Snapshot(*inv, stage.id(), diag_base));
-          guard.resolved = true;
+    // Failure isolation: a throwing stage (bad_alloc, a compiler bug, an
+    // injected pipeline.<stage> fault) fails *this* invocation with a
+    // diagnostic instead of propagating out of the batch worker and
+    // terminating the process. The ProducerGuard below abandons any cache
+    // registration during the unwind, so waiters on the key are released.
+    try {
+      if (FaultInjector::Instance().enabled()) {
+        // Test hooks: pipeline.stall.<stage> simulates a slow stage (drives
+        // the deadline path); pipeline.<stage> simulates a stage crash.
+        if (InjectFault(std::string("pipeline.stall.") + stage.name())) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        if (InjectFault(std::string("pipeline.") + stage.name())) {
+          throw std::runtime_error("injected fault");
         }
       }
-    } else {
-      stage_ok = stage.Run(inv);
+      if (!key.empty()) {
+        // Single-flight: either restore a published artifact (possibly after
+        // waiting out a concurrent producer) or become the producer and
+        // publish what this run computes.
+        const bool probe_disk_missed =
+            std::find(probed_missed.begin(), probed_missed.end(), key) !=
+            probed_missed.end();
+        auto artifact = cache->Acquire(key, stage.id(), probe_disk_missed);
+        if (artifact != nullptr && artifact->source != nullptr &&
+            *artifact->source != inv->source()) {
+          // Key collision with a different source: the slot belongs to the
+          // other program, so run uncached rather than restore or republish.
+          stage_ok = stage.Run(inv);
+        } else if (artifact != nullptr) {
+          Restore(inv, *artifact, diag_base);
+          s.cached = true;
+          stage_ok = true;
+        } else {
+          // Producer: the registration MUST be resolved even if Run or the
+          // snapshot clone throws (e.g. bad_alloc) — otherwise every waiter
+          // on this key blocks forever. The guard abandons on any unwind.
+          struct ProducerGuard {
+            ArtifactCache* cache;
+            const std::string& key;
+            bool resolved = false;
+            ~ProducerGuard() {
+              if (!resolved) {
+                cache->Abandon(key);
+              }
+            }
+          } guard{cache, key};
+          stage_ok = stage.Run(inv);
+          if (stage_ok && !inv->diags().HasErrors()) {
+            cache->Put(key, Snapshot(*inv, stage.id(), diag_base));
+            guard.resolved = true;
+          }
+        }
+      } else {
+        stage_ok = stage.Run(inv);
+      }
+    } catch (const std::exception& e) {
+      inv->diags().Error({}, Fmt("internal error in stage %s: %s",
+                                 stage.name(), e.what()));
+      stage_ok = false;
+    } catch (...) {
+      inv->diags().Error({}, Fmt("internal error in stage %s", stage.name()));
+      stage_ok = false;
     }
 
     s.ms = MsSince(t0);
@@ -607,6 +645,7 @@ std::vector<BatchOutcome> CompileBatch(const std::vector<BatchJob>& jobs,
       out.invocation = std::make_unique<CompilerInvocation>(job.source, job.config);
       out.invocation->set_cache(cache);
       out.invocation->set_interfaces(job.interfaces, job.imports_fingerprint);
+      out.invocation->set_deadline_ms(job.deadline_ms);
       if (job.object_only) {
         // Module object compile: the product is the invocation's Binary;
         // link/load/verify happen on the merged program (build_graph.h).

@@ -29,6 +29,7 @@
 #ifndef CONFLLVM_SRC_DRIVER_PIPELINE_H_
 #define CONFLLVM_SRC_DRIVER_PIPELINE_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -125,6 +126,20 @@ class CompilerInvocation {
   const ModuleInterfaceSet* interfaces() const { return interfaces_; }
   uint64_t imports_fingerprint() const { return imports_fingerprint_; }
 
+  // Per-job wall-clock deadline, measured from this call: PassManager::Run
+  // checks it between stages and fails the invocation with a diagnostic
+  // once it has passed — one pathological module times out on its own wave
+  // entry instead of hanging a whole batch. 0 (the default) disables it.
+  void set_deadline_ms(uint64_t ms) {
+    has_deadline_ = ms != 0;
+    if (has_deadline_) {
+      deadline_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    }
+  }
+  bool DeadlineExpired() const {
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
   // Intermediate artifacts, populated as stages run and retained so a failed
   // or partial invocation can be inspected by tests and tools. Exception:
   // the AST is consumed by the Sema stage (RunSema takes ownership), so
@@ -149,6 +164,8 @@ class CompilerInvocation {
   ArtifactCache* cache_ = nullptr;
   const ModuleInterfaceSet* interfaces_ = nullptr;
   uint64_t imports_fingerprint_ = 0;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
   mutable uint64_t source_hash_ = 0;
   mutable bool source_hash_valid_ = false;
 };
@@ -225,6 +242,8 @@ struct BatchJob {
   bool object_only = false;
   const ModuleInterfaceSet* interfaces = nullptr;
   uint64_t imports_fingerprint = 0;
+  // Per-job compile deadline (CompilerInvocation::set_deadline_ms); 0 = none.
+  uint64_t deadline_ms = 0;
 };
 
 struct BatchOutcome {

@@ -66,6 +66,87 @@ const char* OpName(Op op) {
 
 namespace {
 constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Op::kMovIF);
+
+// Register-class validation: the 5-bit encoding fields can name registers
+// 0..31, but the machine has 16 integer and 8 float registers. Every engine
+// indexes its register file directly with these fields, so a word whose
+// *dereferenced* fields fall outside the op's register class is not a valid
+// encoding — Decode treats it as data, and executing it faults cleanly
+// instead of reading or writing past the register file. Fields an op never
+// touches (encoded as kNoMReg) are deliberately not constrained.
+bool ValidRegs(const MInstr& in) {
+  const auto ir = [](uint8_t r) { return r < kNumIntRegs; };
+  const auto fl = [](uint8_t r) { return r < kNumFloatRegs; };
+  const auto mr = [](uint8_t r) { return r < kNumIntRegs || r == kNoMReg; };
+  switch (in.op) {
+    case Op::kMovImm:
+    case Op::kMovImm64:
+    case Op::kPush:
+    case Op::kPop:
+    case Op::kJnz:
+    case Op::kJz:
+      return ir(in.rd);
+    case Op::kMov:
+    case Op::kAddImm:
+    case Op::kNeg:
+    case Op::kNot:
+    case Op::kLoadCode:
+      return ir(in.rd) && ir(in.rs1);
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kRem:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kCmp:
+      return ir(in.rd) && ir(in.rs1) && ir(in.rs2);
+    case Op::kICall:
+    case Op::kJmpReg:
+    case Op::kBndclR:
+    case Op::kBndcuR:
+      return ir(in.rs1);
+    case Op::kLoad:
+    case Op::kStore:
+    case Op::kLea:
+      return ir(in.rd) && mr(in.mem.base) && mr(in.mem.index);
+    case Op::kBndclM:
+    case Op::kBndcuM:
+      return mr(in.mem.base) && mr(in.mem.index);
+    case Op::kFLoad:
+    case Op::kFStore:
+      return fl(in.rd) && mr(in.mem.base) && mr(in.mem.index);
+    case Op::kFAdd:
+    case Op::kFSub:
+    case Op::kFMul:
+    case Op::kFDiv:
+      return fl(in.rd) && fl(in.rs1) && fl(in.rs2);
+    case Op::kFNeg:
+    case Op::kFMov:
+      return fl(in.rd) && fl(in.rs1);
+    case Op::kFCmp:
+      return ir(in.rd) && fl(in.rs1) && fl(in.rs2);
+    case Op::kCvtIF:
+    case Op::kMovIF:
+      return fl(in.rd) && ir(in.rs1);
+    case Op::kCvtFI:
+      return ir(in.rd) && fl(in.rs1);
+    case Op::kJmp:
+    case Op::kCall:
+    case Op::kRet:
+    case Op::kChkstk:
+    case Op::kTrap:
+    case Op::kCallExt:
+    case Op::kHalt:
+    case Op::kNop:
+    case Op::kInvalid:
+      return true;
+  }
+  return false;
+}
 }  // namespace
 
 void Encode(const MInstr& in, std::vector<uint64_t>* out) {
@@ -134,6 +215,9 @@ std::optional<MInstr> Decode(const std::vector<uint64_t>& words, size_t idx,
     in.rs1 = f1;
     in.rs2 = f2;
     in.imm = imm;
+  }
+  if (!ValidRegs(in)) {
+    return std::nullopt;  // names a register the machine does not have
   }
   *consumed = 1;
   if (in.op == Op::kMovImm64) {

@@ -1,5 +1,6 @@
 #include "src/runtime/loader.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -76,6 +77,72 @@ std::unique_ptr<LoadedProgram> LoadBinary(Binary bin, const LoadOptions& opts,
                            bin.mod_imports.size(), bin.mod_call_sites.size()));
     return nullptr;
   }
+  // Semantic validation (paper §6's "distrust the compiler" posture, applied
+  // to the object format): DeserializeBinary guarantees the *encoding* is
+  // well-formed, but a structurally valid Binary can still carry indices and
+  // sizes that would make the patch loops below write out of bounds. Reject
+  // every such binary with a diagnostic instead of corrupting memory —
+  // whether it came from a bit-flipped cache entry, a truncated --emit-bin
+  // file, or a hostile producer.
+  const auto corrupt = [&](const std::string& why) {
+    diags->Error(SourceLoc{}, "corrupt binary: " + why);
+    return nullptr;
+  };
+  for (const BinFunction& f : bin.functions) {
+    if (f.entry_word >= bin.code.size()) {
+      return corrupt(StrFormat("function '%s' entry word %u outside code image",
+                               f.name.c_str(), f.entry_word));
+    }
+  }
+  for (size_t g = 0; g < bin.globals.size(); ++g) {
+    const BinGlobal& bg = bin.globals[g];
+    // Overflow guard only: sizes/alignments no real program can have would
+    // overflow the layout cursor arithmetic below. A plausible-but-too-big
+    // global falls through to the region-limit check, which reports it as a
+    // program error ("globals exceed ..."), not corruption.
+    constexpr uint64_t kImplausibleGlobal = 1ull << 40;
+    if (bg.size > kImplausibleGlobal || bg.align > kImplausibleGlobal) {
+      return corrupt(StrFormat("global '%s' has an implausible size/alignment",
+                               bg.name.c_str()));
+    }
+    if (bg.init.size() > bg.size) {
+      return corrupt(StrFormat("global '%s' initializer larger than the global",
+                               bg.name.c_str()));
+    }
+    for (const auto& [off, target] : bg.relocs) {
+      if (off > bg.size || bg.size - off < 8 ||
+          target >= bin.globals.size()) {
+        return corrupt(StrFormat("global '%s' has an out-of-range relocation",
+                                 bg.name.c_str()));
+      }
+    }
+  }
+  for (const GlobalRef& ref : bin.global_refs) {
+    if (ref.word >= bin.code.size() || ref.global_idx >= bin.globals.size()) {
+      return corrupt("global reference outside code image or global table");
+    }
+  }
+  for (const FuncRef& ref : bin.func_refs) {
+    if (ref.word >= bin.code.size() || ref.func_idx >= bin.functions.size()) {
+      return corrupt("function reference outside code image or function table");
+    }
+  }
+  for (const MagicSite& s : bin.magic_sites) {
+    if (s.word >= bin.code.size()) {
+      return corrupt("magic site outside code image");
+    }
+  }
+  for (const BinImport& imp : bin.imports) {
+    // InvokeTrusted reads params[0..min(num_params,4)); the two fields are
+    // serialized independently, so a corrupted count must not out-read the
+    // parameter table.
+    if (imp.params.size() < std::min<uint32_t>(imp.num_params, 4)) {
+      return corrupt(StrFormat("import '%s' declares %u params but carries %zu",
+                               imp.name.c_str(), imp.num_params,
+                               imp.params.size()));
+    }
+  }
+
   auto prog = std::make_unique<LoadedProgram>();
   prog->separate_t_memory = opts.separate_t_memory;
   prog->unified_bounds = opts.unified_bounds;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <mutex>
@@ -38,6 +39,7 @@ const char* FaultName(VmFault f) {
     case VmFault::kBadJump: return "bad-jump";
     case VmFault::kTrustedCheck: return "trusted-check";
     case VmFault::kInstrLimit: return "instr-limit";
+    case VmFault::kDeadline: return "deadline";
   }
   return "?";
 }
@@ -213,7 +215,28 @@ Vm::CallResult Vm::Call(const std::string& fn, const std::vector<uint64_t>& args
   bool ok = false;
   SetupThread(&t, 0, fn, args, &ok);
   if (ok) {
-    RunSlice(&t, kNoBudget);
+    if (opts_.deadline_ms == 0) {
+      RunSlice(&t, kNoBudget);
+    } else {
+      // Wall-clock watchdog: run in bounded slices and consult the clock
+      // only between them. Every engine stops a bounded slice at exactly
+      // the same instruction, so the guest-visible stop point is
+      // engine-independent; only the wall-clock moment varies. The quantum
+      // is large enough that the clock read is noise, small enough that a
+      // tight guest loop cannot overshoot the deadline by more than one
+      // slice.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(opts_.deadline_ms);
+      constexpr uint64_t kWatchdogQuantum = 1ull << 20;  // cycles per slice
+      while (!t.halted && t.fault == VmFault::kNone) {
+        RunSlice(&t, kWatchdogQuantum);
+        if (!t.halted && t.fault == VmFault::kNone &&
+            std::chrono::steady_clock::now() >= deadline) {
+          Fault(&t, VmFault::kDeadline, "wall-clock deadline exceeded");
+        }
+      }
+    }
   }
   return Finish(t);
 }
@@ -228,6 +251,12 @@ Vm::ParallelResult Vm::RunParallel(const std::vector<ThreadSpec>& specs) {
   auto runnable = [&](const ThreadCtx& t) {
     return !t.halted && t.fault == VmFault::kNone;
   };
+  // Optional wall-clock watchdog, checked between waves (the parallel
+  // analogue of Call's between-slice check): expiry faults every still-
+  // runnable thread with kDeadline, identically across engines.
+  const bool has_deadline = opts_.deadline_ms != 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opts_.deadline_ms);
   // Waves: up to num_cores threads run one quantum "in parallel"; the wave's
   // wall time is the largest slice actually consumed.
   bool any = true;
@@ -249,6 +278,14 @@ Vm::ParallelResult Vm::RunParallel(const std::vector<ThreadSpec>& specs) {
       any = true;
     }
     out.wall_cycles += wave_wall;
+    if (has_deadline && any && std::chrono::steady_clock::now() >= deadline) {
+      for (ThreadCtx& t : threads) {
+        if (runnable(t)) {
+          Fault(&t, VmFault::kDeadline, "wall-clock deadline exceeded");
+        }
+      }
+      break;
+    }
     // Rotate so waves beyond num_cores make progress fairly.
     if (threads.size() > opts_.num_cores && any) {
       std::rotate(threads.begin(), threads.begin() + 1, threads.end());

@@ -44,6 +44,7 @@ enum class VmFault : uint8_t {
   kBadJump,       // control left the code image
   kTrustedCheck,  // T wrapper rejected an argument
   kInstrLimit,
+  kDeadline,      // VmOptions::deadline_ms wall-clock watchdog expired
 };
 
 const char* FaultName(VmFault f);
@@ -99,6 +100,14 @@ struct VmOptions {
   uint32_t num_cores = 4;
   uint64_t quantum = 20000;          // cycles per scheduling slice
   uint64_t max_instrs = 4000000000;  // per Call limit, enforced exactly
+  // Wall-clock watchdog per Call/RunParallel invocation (0 = none). The
+  // clock is only consulted *between* bounded slices — every engine stops a
+  // slice at exactly the same instruction, so which instruction the guest
+  // had reached when the deadline fired is engine-independent even though
+  // the wall-clock moment itself is not. Expiry halts the thread(s) with
+  // VmFault::kDeadline, reported like any other fault (ok=false in the
+  // CallResult), never by killing the process.
+  uint64_t deadline_ms = 0;
   VmEngine engine = VmEngine::kFast;
   // When non-null, the *reference* engine counts every dynamically executed
   // opcode pair into (*pair_histogram)[prev_op * 256 + op] (resized to

@@ -1,0 +1,220 @@
+// End-to-end regression tests for the confcc driver's failure behaviour,
+// run against the real binary (CONFCC_PATH, injected by CMake): every
+// operational failure — missing input, unreadable cache dir, malformed
+// injection spec — exits nonzero with a one-line diagnostic, injected
+// chaos never changes emitted bytes, and the injector's hit-count report
+// lands where --inject-report points.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr, interleaved
+};
+
+// Runs the real confcc with `args` through the shell (so env-var prefixes
+// work), capturing both streams.
+RunResult RunConfcc(const std::string& args, const std::string& env = "") {
+  const std::string cmd =
+      env + (env.empty() ? "" : " ") + CONFCC_PATH + " " + args + " 2>&1";
+  RunResult r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  if (pipe == nullptr) {
+    return r;
+  }
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof buf, pipe)) > 0) {
+    r.output.append(buf, n);
+  }
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+struct TempDir {
+  TempDir() {
+    static std::atomic<int> counter{0};
+    path = (fs::temp_directory_path() /
+            ("confcc_cli_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1))))
+               .string();
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string File(const std::string& name) const {
+    return (fs::path(path) / name).string();
+  }
+  std::string path;
+};
+
+void WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  ASSERT_TRUE(out.is_open()) << path;
+  out << text;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// filename -> bytes for every regular file in `dir`.
+std::map<std::string, std::string> DirContents(const std::string& dir) {
+  std::map<std::string, std::string> m;
+  for (const auto& de : fs::directory_iterator(dir)) {
+    if (de.is_regular_file()) {
+      m[de.path().filename().string()] = ReadFile(de.path().string());
+    }
+  }
+  return m;
+}
+
+const char* kSource =
+    "int main() { int s = 0; for (int i = 1; i <= 10; i = i + 1) "
+    "{ s = s + i; } return s; }\n";
+
+int CountLines(const std::string& s) {
+  int lines = 0;
+  for (const char c : s) {
+    lines += c == '\n' ? 1 : 0;
+  }
+  return lines;
+}
+
+TEST(ConfccCli, MissingInputFileExitsNonzeroWithOneLineDiagnostic) {
+  TempDir dir;
+  const auto r = RunConfcc(dir.File("does_not_exist.mc"));
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("confcc: cannot open"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(CountLines(r.output), 1) << r.output;
+}
+
+TEST(ConfccCli, UnreadableInputFileExitsNonzeroWithDiagnostic) {
+  if (::geteuid() == 0) {
+    GTEST_SKIP() << "root ignores file permissions";
+  }
+  TempDir dir;
+  const std::string src = dir.File("locked.mc");
+  WriteFile(src, kSource);
+  fs::permissions(fs::path(src), fs::perms::none);
+  const auto r = RunConfcc(src);
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("confcc: cannot open"), std::string::npos)
+      << r.output;
+}
+
+TEST(ConfccCli, UncreatableCacheDirExitsNonzeroWithOneLineDiagnostic) {
+  TempDir dir;
+  const std::string src = dir.File("p.mc");
+  WriteFile(src, kSource);
+  // A path *through a regular file* can never be created as a directory —
+  // works whether or not the test runs as root.
+  const std::string blocker = dir.File("blocker");
+  WriteFile(blocker, "not a directory\n");
+  const auto r =
+      RunConfcc("--cache-dir=" + blocker + "/cache " + src);
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("confcc: cannot create cache dir"),
+            std::string::npos)
+      << r.output;
+  EXPECT_EQ(CountLines(r.output), 1) << r.output;
+}
+
+TEST(ConfccCli, MalformedInjectSpecExitsWithUsage) {
+  TempDir dir;
+  const std::string src = dir.File("p.mc");
+  WriteFile(src, kSource);
+  for (const char* bad : {"disk.read.open=p2.0", "disk.read.open", "seed="}) {
+    SCOPED_TRACE(bad);
+    const auto r =
+        RunConfcc(std::string("--inject-faults=") + bad + " " + src);
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("confcc: bad --inject-faults spec:"),
+              std::string::npos)
+        << r.output;
+  }
+}
+
+TEST(ConfccCli, MalformedInjectEnvExitsWithDiagnostic) {
+  TempDir dir;
+  const std::string src = dir.File("p.mc");
+  WriteFile(src, kSource);
+  const auto r = RunConfcc(src, "CONFCC_INJECT_FAULTS=bogus");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("confcc: bad CONFCC_INJECT_FAULTS:"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(ConfccCli, VmDeadlineFlagReportsDeadlineFault) {
+  TempDir dir;
+  const std::string src = dir.File("spin.mc");
+  WriteFile(src,
+            "int main() { int s = 0; for (int i = 0; i < 2000000000; "
+            "i = i + 1) { s = s + i; } return s; }\n");
+  const auto r = RunConfcc("--deadline-ms=25 " + src);
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("faulted: deadline"), std::string::npos)
+      << r.output;
+}
+
+// The CLI face of the chaos gate: a faulted cold→warm --preset=all sweep
+// exits 0, emits byte-identical binaries to the fault-free sweep, and
+// writes an injector hit-count report.
+TEST(ConfccCli, InjectedDiskChaosKeepsSweepOutputsIdenticalAndWritesReport) {
+  TempDir dir;
+  const std::string src = dir.File("p.mc");
+  WriteFile(src, kSource);
+
+  // Fault-free reference sweep.
+  const std::string ref_dir = dir.File("ref");
+  fs::create_directories(ref_dir);
+  auto r = RunConfcc("--preset=all --emit-bin=" + ref_dir + "/out " + src);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  const auto ref = DirContents(ref_dir);
+  ASSERT_FALSE(ref.empty());
+
+  // Chaos sweeps, cold then warm, through one cache dir.
+  const std::string cache_dir = dir.File("cache");
+  const std::string report = dir.File("report.json");
+  for (const char* round : {"cold", "warm"}) {
+    SCOPED_TRACE(round);
+    const std::string out_dir = dir.File(std::string("chaos_") + round);
+    fs::create_directories(out_dir);
+    r = RunConfcc("--inject-faults=seed=11,disk.*=p0.3 --inject-report=" +
+                  report + " --cache-dir=" + cache_dir +
+                  " --preset=all --emit-bin=" + out_dir + "/out " + src);
+    ASSERT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_EQ(DirContents(out_dir), ref);
+  }
+
+  // The report landed and names the disk sites.
+  const std::string json = ReadFile(report);
+  EXPECT_NE(json.find("\"seed\":11"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sites\""), std::string::npos) << json;
+  EXPECT_NE(json.find("disk."), std::string::npos) << json;
+}
+
+}  // namespace

@@ -608,6 +608,51 @@ TEST(DiskCache, EvictsLruByMtimeUnderByteCap) {
   EXPECT_LE(total, cap);
 }
 
+TEST(DiskCache, QuarantinedEntriesCountAgainstCapAndAreEvicted) {
+  TempCacheDir dir;
+  const CorruptionProbe probe = PrimeEntry(dir.path);
+
+  // Corrupt the entry in place; the next process quarantines it (rename to
+  // `<entry>.quar`) and recomputes.
+  std::vector<uint8_t> corrupt = probe.pristine;
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  WriteAll(probe.entry, corrupt);
+  {
+    auto cache = MakeDiskCache(dir.path);
+    CompileVia(kSmallSource, probe.config, cache.get());
+    EXPECT_GE(cache->stats().disk_invalid, 1u);
+  }
+  const std::string quar = probe.entry + ".quar";
+  ASSERT_TRUE(fs::exists(quar));
+  ASSERT_TRUE(fs::exists(probe.entry));  // the recompute's replacement
+
+  // Make the quarantined file the LRU victim.
+  std::error_code ec;
+  fs::last_write_time(
+      fs::path(quar), fs::file_time_type::clock::now() - std::chrono::hours(1),
+      ec);
+  ASSERT_FALSE(ec);
+
+  // Cap at two kSmallSource-sized entries: the live entry + the quarantined
+  // file + one more (smaller) store exceed it, so the store must evict —
+  // and if quarantined bytes were NOT counted, the live entries alone would
+  // fit and nothing would be evicted. The quarantined file disappearing
+  // proves both halves of the satellite: it is counted against the cap and
+  // LRU-evicted like any entry.
+  const size_t one_entry = ReadAll(probe.entry).size();
+  const size_t cap = 2 * one_entry;
+  auto capped = MakeDiskCache(dir.path, cap);
+  CompileVia("int main() { return 61; }", probe.config, capped.get());
+  EXPECT_GT(capped->stats().disk_evictions, 0u);
+  EXPECT_FALSE(fs::exists(quar));
+  EXPECT_TRUE(fs::exists(probe.entry));  // fresher entries survive
+
+  // The surviving entry still hits.
+  auto again = MakeDiskCache(dir.path);
+  CompileVia(kSmallSource, probe.config, again.get());
+  EXPECT_EQ(again->stats().disk_hits, 1u);
+}
+
 // ---- sweep-mode --emit-bin coverage ----
 //
 // `confcc --preset=all --emit-bin=base` writes one file per preset via

@@ -294,22 +294,48 @@ TEST(Liveness, CrossCallDetection) {
 
 TEST(IsaProperty, EncodeDecodeRoundTrip) {
   Rng rng(2024);
+  // Decode enforces register classes (16 int, 8 float, kNoMReg for unused
+  // memory operands), so the generator draws each field from its op's class.
+  const auto is_float_op = [](Op op) {
+    switch (op) {
+      case Op::kFAdd:
+      case Op::kFSub:
+      case Op::kFMul:
+      case Op::kFDiv:
+      case Op::kFNeg:
+      case Op::kFMov:
+        return true;
+      default:
+        return false;
+    }
+  };
   for (int trial = 0; trial < 5000; ++trial) {
     MInstr in;
     in.op = static_cast<Op>(rng.Range(1, static_cast<int64_t>(Op::kMovIF)));
-    in.rd = static_cast<uint8_t>(rng.Below(32));
+    const bool frd = is_float_op(in.op) || in.op == Op::kFLoad ||
+                     in.op == Op::kFStore || in.op == Op::kCvtIF ||
+                     in.op == Op::kMovIF;
+    const bool frs = is_float_op(in.op) || in.op == Op::kFCmp ||
+                     in.op == Op::kCvtFI;
+    in.rd = static_cast<uint8_t>(rng.Below(frd ? kNumFloatRegs : kNumIntRegs));
     in.cc = static_cast<Cond>(rng.Below(6));
     in.size1 = rng.Chance(0.5);
     in.bnd = static_cast<uint8_t>(rng.Below(2));
+    const auto mem_reg = [&]() -> uint8_t {
+      const uint64_t v = rng.Below(kNumIntRegs + 1);
+      return v == kNumIntRegs ? kNoMReg : static_cast<uint8_t>(v);
+    };
     if (UsesMem(in.op)) {
-      in.mem.base = static_cast<uint8_t>(rng.Below(32));
-      in.mem.index = static_cast<uint8_t>(rng.Below(32));
+      in.mem.base = mem_reg();
+      in.mem.index = mem_reg();
       in.mem.scale_log2 = static_cast<uint8_t>(rng.Below(4));
       in.mem.seg = static_cast<Seg>(rng.Below(3));
       in.mem.disp = static_cast<int32_t>(rng.Next());
     } else {
-      in.rs1 = static_cast<uint8_t>(rng.Below(32));
-      in.rs2 = static_cast<uint8_t>(rng.Below(32));
+      in.rs1 =
+          static_cast<uint8_t>(rng.Below(frs ? kNumFloatRegs : kNumIntRegs));
+      in.rs2 =
+          static_cast<uint8_t>(rng.Below(frs ? kNumFloatRegs : kNumIntRegs));
       in.imm = static_cast<int32_t>(rng.Next());
       in.mem.seg = static_cast<Seg>(rng.Below(3));
       in.mem.scale_log2 = static_cast<uint8_t>(rng.Below(4));
@@ -340,6 +366,48 @@ TEST(IsaProperty, EncodeDecodeRoundTrip) {
     }
     // Instruction words never look like magic words.
     EXPECT_FALSE(HasMagicShape(words[0]));
+  }
+}
+
+// A word whose dereferenced register fields name registers the machine does
+// not have is not a valid encoding: Decode must treat it as data, never hand
+// an engine an out-of-range register index.
+TEST(IsaProperty, DecodeRejectsOutOfClassRegisterFields) {
+  const auto reject = [](MInstr in) {
+    std::vector<uint64_t> words;
+    Encode(in, &words);
+    uint32_t consumed = 0;
+    EXPECT_FALSE(Decode(words, 0, &consumed).has_value())
+        << OpName(in.op) << " rd=" << int(in.rd) << " rs1=" << int(in.rs1);
+  };
+  {
+    MInstr in;  // integer destination past the 16-register file
+    in.op = Op::kAdd;
+    in.rd = kNumIntRegs;
+    in.rs1 = 0;
+    in.rs2 = 1;
+    reject(in);
+  }
+  {
+    MInstr in;  // float destination past the 8-register file
+    in.op = Op::kFAdd;
+    in.rd = kNumFloatRegs;
+    in.rs1 = 0;
+    in.rs2 = 1;
+    reject(in);
+  }
+  {
+    MInstr in;  // memory base that is neither a real register nor kNoMReg
+    in.op = Op::kLoad;
+    in.rd = 0;
+    in.mem.base = kNumIntRegs + 3;
+    reject(in);
+  }
+  {
+    MInstr in;  // indirect jump through a nonexistent register
+    in.op = Op::kJmpReg;
+    in.rs1 = 29;
+    reject(in);
   }
 }
 

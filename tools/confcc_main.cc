@@ -31,8 +31,20 @@
 // mode, or F.<preset>.bin per preset in sweep mode — byte-identical across
 // cold and warm runs, which is what the CI disk-cache job diffs.
 // In single-preset mode --jobs=N shards per-function codegen emission.
+//
+// Resilience/chaos flags (ARCHITECTURE.md "Failure model and degradation
+// ladder"): --inject-faults=SPEC arms the deterministic fault injector
+// (spec syntax in src/support/fault_injection.h — e.g.
+// seed=42,disk.*=p0.05,pipeline.codegen=n1; the CONFCC_INJECT_FAULTS
+// environment variable is read first, the flag overrides it);
+// --inject-report=F writes the injector's per-site hit/fired counts as JSON
+// to F at exit, even after a fatal error. --deadline-ms=N arms the VM
+// wall-clock watchdog: a guest run exceeding N ms halts with a `deadline`
+// fault instead of hanging confcc. Any uncaught internal error exits 1 with
+// a one-line `confcc: fatal:` diagnostic.
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <sstream>
 
@@ -42,6 +54,7 @@
 #include "src/driver/disk_cache.h"
 #include "src/driver/pipeline.h"
 #include "src/isa/binary.h"
+#include "src/support/fault_injection.h"
 #include "src/vm/trace_tier.h"
 #include "src/verifier/verifier.h"
 
@@ -67,7 +80,8 @@ int Usage() {
           "              [--cache-bytes=N] [--cache-dir=D] [--cache-disk-bytes=N]\n"
           "              [--cache-stats-json=F] [--emit-bin=F]\n"
           "              [--engine=ref|fast|trace] [--trace-threshold=N]\n"
-          "              [--trace-stats-json=F] file.mc\n"
+          "              [--trace-stats-json=F] [--inject-faults=SPEC]\n"
+          "              [--inject-report=F] [--deadline-ms=N] file.mc\n"
           "       confcc --link [options] [--graph-stats-json=F] a.mc b.mc ...\n"
           "presets: Base BaseOA Our1Mem OurBare OurCFI OurMPX OurMPX-Sep OurSeg\n"
           "--link builds each file as a module (name = basename), resolves\n"
@@ -97,6 +111,7 @@ struct Options {
   std::string emit_bin;       // serialize compiled Binary(s) here
   VmEngine engine = VmOptions{}.engine;  // --engine=ref|fast|trace
   uint64_t trace_threshold = VmOptions{}.trace_threshold;
+  uint64_t deadline_ms = 0;  // VM wall-clock watchdog (0 = none)
   std::string trace_stats_json;  // write TraceTierStats JSON here
   bool link = false;          // multi-module build-graph mode
   std::string graph_stats_json;  // write BuildGraphStats JSON here (--link)
@@ -181,6 +196,7 @@ bool RunProgram(std::unique_ptr<CompiledProgram> compiled, const Options& opt,
   VmOptions vm_opts;
   vm_opts.engine = opt.engine;
   vm_opts.trace_threshold = opt.trace_threshold;
+  vm_opts.deadline_ms = opt.deadline_ms;
   auto s = MakeSessionFor(std::move(compiled), vm_opts);
   auto r = s->vm->Call(opt.entry, opt.args);
   if (!opt.trace_stats_json.empty()) {
@@ -380,6 +396,10 @@ int RunLink(const Options& opt) {
     }
     std::stringstream buf;
     buf << in.rdbuf();
+    if (in.bad()) {
+      fprintf(stderr, "confcc: error reading %s\n", f.c_str());
+      return 1;
+    }
     if (!graph.AddModule(ModuleNameOf(f), buf.str(), &gdiags)) {
       fputs(gdiags.ToString().c_str(), stderr);
       return 1;
@@ -473,9 +493,12 @@ int RunLink(const Options& opt) {
   return rc;
 }
 
-}  // namespace
+// Written at exit by main() when --inject-report=F was given: the fault
+// injector's per-site counters survive even a fatal error, so a chaos run
+// that dies still reports what fired.
+std::string g_inject_report;
 
-int main(int argc, char** argv) {
+int Main(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -535,6 +558,16 @@ int main(int argc, char** argv) {
       opt.trace_threshold = strtoull(a.substr(18).c_str(), nullptr, 0);
     } else if (a.rfind("--trace-stats-json=", 0) == 0) {
       opt.trace_stats_json = a.substr(19);
+    } else if (a.rfind("--inject-faults=", 0) == 0) {
+      std::string err;
+      if (!FaultInjector::Instance().Configure(a.substr(16), &err)) {
+        fprintf(stderr, "confcc: bad --inject-faults spec: %s\n", err.c_str());
+        return Usage();
+      }
+    } else if (a.rfind("--inject-report=", 0) == 0) {
+      g_inject_report = a.substr(16);
+    } else if (a.rfind("--deadline-ms=", 0) == 0) {
+      opt.deadline_ms = strtoull(a.substr(14).c_str(), nullptr, 0);
     } else if (a == "--incremental") {
       opt.incremental = true;
     } else if (a == "--cache-stats") {
@@ -577,6 +610,10 @@ int main(int argc, char** argv) {
   }
   std::stringstream buf;
   buf << in.rdbuf();
+  if (in.bad()) {
+    fprintf(stderr, "confcc: error reading %s\n", opt.file.c_str());
+    return 1;
+  }
 
   if (opt.sweep) {
     return RunSweep(buf.str(), opt);
@@ -636,4 +673,39 @@ int main(int argc, char** argv) {
     return 1;
   }
   return static_cast<int>(ret & 0xff);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Environment-armed injection (the CI chaos job): read before flag parsing
+  // so an explicit --inject-faults overrides the environment.
+  std::string env_err;
+  if (!FaultInjector::Instance().ConfigureFromEnv(&env_err)) {
+    fprintf(stderr, "confcc: bad CONFCC_INJECT_FAULTS: %s\n", env_err.c_str());
+    return 2;
+  }
+  // Last-resort failure isolation: any error that escapes the driver —
+  // including injected chaos faults surfacing somewhere unhardened — exits
+  // with a one-line diagnostic, never a raw terminate/core.
+  int rc;
+  try {
+    rc = Main(argc, argv);
+  } catch (const std::exception& e) {
+    fprintf(stderr, "confcc: fatal: %s\n", e.what());
+    rc = 1;
+  } catch (...) {
+    fprintf(stderr, "confcc: fatal: unknown error\n");
+    rc = 1;
+  }
+  if (!g_inject_report.empty()) {
+    std::ofstream out(g_inject_report, std::ios::trunc);
+    if (out) {
+      out << FaultInjector::Instance().ReportJson();
+    } else {
+      fprintf(stderr, "confcc: cannot write %s\n", g_inject_report.c_str());
+      rc = rc == 0 ? 1 : rc;
+    }
+  }
+  return rc;
 }

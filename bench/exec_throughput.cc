@@ -42,6 +42,7 @@
 #include <cstdio>
 #include <cstring>
 #include <functional>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -326,6 +327,35 @@ int RunPairHistogram() {
       ++rows;
     }
   }
+  // The ct workloads shift the dynamic mix toward select (the linearizer's
+  // workhorse) — exactly the kind of drift this histogram exists to catch
+  // before the fusion set goes stale.
+  for (int k = 0; k < workloads::kNumCtKernels; ++k) {
+    const auto& kernel = workloads::kCtKernels[k];
+    ArtifactCache cache;
+    for (const BuildPreset preset : kCtBuildPresets) {
+      DiagEngine diags;
+      auto compiled = Compile(kernel.source, BuildConfig::For(preset), &diags,
+                              nullptr, &cache);
+      if (compiled == nullptr) {
+        fprintf(stderr, "compile failed under %s:\n%s", PresetName(preset),
+                diags.ToString().c_str());
+        return 1;
+      }
+      VmOptions opts;
+      opts.engine = VmEngine::kRef;
+      opts.pair_histogram = &hist;
+      auto s = MakeSessionFor(std::move(compiled), opts);
+      const auto r = s->vm->Call("kernel", {42, 7});
+      if (!r.ok) {
+        fprintf(stderr, "%s/%s: kernel fault: %s\n", kernel.name,
+                PresetName(preset), r.fault_msg.c_str());
+        return 1;
+      }
+      total_instrs += r.instrs;
+      ++rows;
+    }
+  }
 
   struct Pair {
     uint16_t key;
@@ -513,6 +543,180 @@ int RunBlockHistogram() {
   return 0;
 }
 
+// ---- --ct-trace-diff mode ----
+
+// The machine-readable form of the constant-time gate: for every ct
+// workload × ct preset × engine, run the kernel with several secret inputs
+// and record the full observable trace surface (cycles, instrs, loads,
+// stores, cache hit/miss counters, and the per-access hit/miss stream).
+// One JSON file per workload (`ct_trace_<name>.json`) carries every
+// observation plus the two verdicts — secrets indistinguishable per engine,
+// engines identical per secret — so a CI failure ships the exact diverging
+// numbers as an artifact instead of just a red X. Exits non-zero on any
+// divergence. (tests/ct_preset_test.cc asserts the same property with
+// first-divergence diagnostics; this mode exists for artifact harvesting.)
+
+constexpr uint64_t kCtSecrets[] = {0, 1, 42, 1000000007};
+constexpr uint64_t kCtPublicArg = 7;
+constexpr uint64_t kCtTraceThreshold = 2;  // force trace-tier promotion
+
+struct CtObservation {
+  bool ok = false;
+  uint64_t ret = 0;
+  VmStats stats;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  std::vector<uint8_t> stream;
+};
+
+uint64_t Fnv1a64(const std::vector<uint8_t>& bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool SameCtObservation(const CtObservation& a, const CtObservation& b) {
+  return a.ok == b.ok && a.ret == b.ret && a.stats.cycles == b.stats.cycles &&
+         a.stats.instrs == b.stats.instrs && a.stats.loads == b.stats.loads &&
+         a.stats.stores == b.stats.stores && a.cache_hits == b.cache_hits &&
+         a.cache_misses == b.cache_misses && a.stream == b.stream;
+}
+
+// Trace equality across *secrets* additionally requires equal return
+// values to be a non-goal: the result legitimately depends on the secret.
+bool SameCtTrace(const CtObservation& a, const CtObservation& b) {
+  return a.ok == b.ok && a.stats.cycles == b.stats.cycles &&
+         a.stats.instrs == b.stats.instrs && a.stats.loads == b.stats.loads &&
+         a.stats.stores == b.stats.stores && a.cache_hits == b.cache_hits &&
+         a.cache_misses == b.cache_misses && a.stream == b.stream;
+}
+
+int RunCtTraceDiff() {
+  constexpr VmEngine kEngines[] = {VmEngine::kRef, VmEngine::kFast,
+                                   VmEngine::kTrace};
+  constexpr const char* kEngineNames[] = {"ref", "fast", "trace"};
+  constexpr int kNumEngines = 3;
+  constexpr int kNumSecrets =
+      static_cast<int>(sizeof(kCtSecrets) / sizeof(kCtSecrets[0]));
+  bool all_ok = true;
+
+  for (int k = 0; k < workloads::kNumCtKernels; ++k) {
+    const auto& kernel = workloads::kCtKernels[k];
+    ArtifactCache cache;
+    bool workload_ok = true;
+    std::string body;
+
+    for (size_t pi = 0; pi < std::size(kCtBuildPresets); ++pi) {
+      const BuildPreset preset = kCtBuildPresets[pi];
+      // grid[engine][secret]
+      CtObservation grid[kNumEngines][kNumSecrets];
+      for (int e = 0; e < kNumEngines; ++e) {
+        for (int si = 0; si < kNumSecrets; ++si) {
+          DiagEngine diags;
+          auto compiled = Compile(kernel.source, BuildConfig::For(preset),
+                                  &diags, nullptr, &cache);
+          if (compiled == nullptr) {
+            fprintf(stderr, "%s/%s: compile failed:\n%s", kernel.name,
+                    PresetName(preset), diags.ToString().c_str());
+            return 1;
+          }
+          VmOptions opts;
+          opts.engine = kEngines[e];
+          if (kEngines[e] == VmEngine::kTrace) {
+            opts.trace_threshold = kCtTraceThreshold;
+          }
+          auto s = MakeSessionFor(std::move(compiled), opts);
+          CtObservation& o = grid[e][si];
+          s->vm->cache().set_stream_log(&o.stream);
+          const auto r = s->vm->Call("kernel", {kCtSecrets[si], kCtPublicArg});
+          s->vm->cache().set_stream_log(nullptr);
+          o.ok = r.ok;
+          o.ret = r.ret;
+          o.stats = s->vm->stats();
+          o.cache_hits = s->vm->cache().hits();
+          o.cache_misses = s->vm->cache().misses();
+          if (!r.ok) {
+            fprintf(stderr, "%s/%s/%s secret=%llu: fault: %s\n", kernel.name,
+                    PresetName(preset), kEngineNames[e],
+                    static_cast<unsigned long long>(kCtSecrets[si]),
+                    r.fault_msg.c_str());
+            workload_ok = false;
+          }
+        }
+      }
+      bool secret_invariant = true;
+      for (int e = 0; e < kNumEngines; ++e) {
+        for (int si = 1; si < kNumSecrets; ++si) {
+          secret_invariant &= SameCtTrace(grid[e][0], grid[e][si]);
+        }
+      }
+      bool engines_agree = true;
+      for (int si = 0; si < kNumSecrets; ++si) {
+        for (int e = 1; e < kNumEngines; ++e) {
+          engines_agree &= SameCtObservation(grid[0][si], grid[e][si]);
+        }
+      }
+      workload_ok = workload_ok && secret_invariant && engines_agree;
+
+      body += StrFormat(
+          "    {\"preset\": \"%s\", \"secret_invariant\": %s, "
+          "\"engines_agree\": %s, \"engines\": [\n",
+          PresetName(preset), secret_invariant ? "true" : "false",
+          engines_agree ? "true" : "false");
+      for (int e = 0; e < kNumEngines; ++e) {
+        body += StrFormat("      {\"engine\": \"%s\", \"runs\": [\n",
+                          kEngineNames[e]);
+        for (int si = 0; si < kNumSecrets; ++si) {
+          const CtObservation& o = grid[e][si];
+          body += StrFormat(
+              "        {\"secret\": %llu, \"ok\": %s, \"ret\": %llu, "
+              "\"cycles\": %llu, \"instrs\": %llu, \"loads\": %llu, "
+              "\"stores\": %llu, \"cache_hits\": %llu, \"cache_misses\": "
+              "%llu, \"stream_len\": %zu, \"stream_fnv\": \"%016llx\"}%s\n",
+              static_cast<unsigned long long>(kCtSecrets[si]),
+              o.ok ? "true" : "false", static_cast<unsigned long long>(o.ret),
+              static_cast<unsigned long long>(o.stats.cycles),
+              static_cast<unsigned long long>(o.stats.instrs),
+              static_cast<unsigned long long>(o.stats.loads),
+              static_cast<unsigned long long>(o.stats.stores),
+              static_cast<unsigned long long>(o.cache_hits),
+              static_cast<unsigned long long>(o.cache_misses),
+              o.stream.size(),
+              static_cast<unsigned long long>(Fnv1a64(o.stream)),
+              si + 1 == kNumSecrets ? "" : ",");
+        }
+        body += StrFormat("      ]}%s\n", e + 1 == kNumEngines ? "" : ",");
+      }
+      body += StrFormat("    ]}%s\n",
+                        pi + 1 == std::size(kCtBuildPresets) ? "" : ",");
+    }
+
+    std::string doc = StrFormat(
+        "{\n  \"bench\": \"ct_trace_diff\",\n  \"workload\": \"%s\",\n"
+        "  \"public_arg\": %llu,\n  \"ok\": %s,\n  \"presets\": [\n",
+        kernel.name, static_cast<unsigned long long>(kCtPublicArg),
+        workload_ok ? "true" : "false");
+    doc += body;
+    doc += "  ]\n}\n";
+
+    const std::string path = StrFormat("ct_trace_%s.json", kernel.name);
+    FILE* f = fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    fputs(doc.c_str(), f);
+    fclose(f);
+    fprintf(stderr, "ct_trace_diff: %s -> %s (%s)\n", kernel.name,
+            path.c_str(), workload_ok ? "ok" : "DIVERGENCE");
+    all_ok = all_ok && workload_ok;
+  }
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace confllvm
 
@@ -523,6 +727,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--block-histogram") == 0) {
       return confllvm::RunBlockHistogram();
+    }
+    if (std::strcmp(argv[i], "--ct-trace-diff") == 0) {
+      return confllvm::RunCtTraceDiff();
     }
   }
   return confllvm::Run();

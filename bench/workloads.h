@@ -44,6 +44,21 @@ extern const char* kPrivado;
 //   int merkle_read_all(int tid, int nblocks);  // verify-read every block
 extern const char* kMerkle;
 
+// Constant-time kernels for the ct presets (ct-mpx / ct-seg). Each exports
+//   private int kernel(private int s, int p);
+// whose *timing* must not depend on `s`: every secret-dependent branch is
+// linearizable (straight-line int arms), all memory is indexed by public
+// values, all loop bounds and divisors are public. The ct differential
+// suite and the throughput bench both sweep this table, demanding
+// bit-identical cycle counts and cache hit/miss streams across secrets.
+struct CtKernel {
+  const char* name;
+  const char* source;
+};
+
+extern const CtKernel kCtKernels[];
+extern const int kNumCtKernels;
+
 }  // namespace confllvm::workloads
 
 #endif  // CONFLLVM_BENCH_WORKLOADS_H_

@@ -1,0 +1,84 @@
+// Constant-time workload kernels (see workloads.h). Each stays inside the
+// ct-typeable MiniC subset: secret branches carry only straight-line integer
+// arms (the linearizer turns them into selects), memory is indexed by public
+// expressions, loop bounds and divisors are public. Anything outside that
+// subset is a sema error under the ct presets, so these sources double as a
+// living definition of the supported language.
+#include "bench/workloads.h"
+
+namespace confllvm::workloads {
+
+// Secret-dependent branch chains, including a nested secret branch: the
+// densest select traffic per instruction of the set.
+static const char* kCtBranchy = R"(
+private int kernel(private int s, int p) {
+  private int a = s ^ 23;
+  private int b = s + p;
+  if (a > b) { a = a - b; } else { a = a + b; b = b ^ a; }
+  if (s < p) { b = b * 3; a = a ^ 7; } else { b = b - 7; }
+  if (a == b) { a = a + 11; }
+  if (a > 0) {
+    if (b > 0) { a = a ^ b; } else { a = a - 1; b = b + 5; }
+  }
+  return a * 2 + b;
+})";
+
+// Conditional-swap loop (the sorting-network / crypto cmov idiom): the swap
+// must compile to selects, never a branch.
+static const char* kCtCmovMix = R"(
+private int kernel(private int s, int p) {
+  private int x = s;
+  private int y = p + 1;
+  for (int r = 0; r < 16; r = r + 1) {
+    private int t = 0;
+    if (x < y) { t = x; x = y; y = t; }
+    x = x + (y ^ r);
+    if ((x & 1) == 1) { y = y + 3; }
+  }
+  return x ^ y;
+})";
+
+// Secret-guarded stores into a private table at public indexes: the
+// linearizer's load/select/store rewrite, so both arms touch the same
+// addresses and the cache stream is secret-independent by construction.
+static const char* kCtTable = R"(
+private int kernel(private int s, int p) {
+  private int tab[16];
+  for (int i = 0; i < 16; i = i + 1) { tab[i] = i * p; }
+  private int acc = 0;
+  for (int i = 0; i < 16; i = i + 1) {
+    if (s > i) { tab[i] = tab[i] + 1; acc = acc + tab[i]; }
+    else { acc = acc ^ tab[i]; }
+  }
+  acc = acc / 5;
+  return acc;
+})";
+
+// Streaming pass over a private buffer big enough to generate real cache
+// traffic, with a secret-conditional accumulator in the hot loop.
+static const char* kCtStream = R"(
+private int kernel(private int s, int p) {
+  private int buf[64];
+  for (int i = 0; i < 64; i = i + 1) {
+    buf[i] = s * i + p;
+  }
+  private int acc = 0;
+  for (int i = 0; i < 64; i = i + 1) {
+    private int v = buf[i & 63];
+    if (v > acc) { acc = v; } else { acc = acc + v; }
+    if (s < i) { buf[i & 63] = acc ^ i; }
+  }
+  for (int i = 0; i < 64; i = i + 1) { acc = acc + buf[i]; }
+  return acc;
+})";
+
+const CtKernel kCtKernels[] = {
+    {"ct_branchy", kCtBranchy},
+    {"ct_cmov_mix", kCtCmovMix},
+    {"ct_table", kCtTable},
+    {"ct_stream", kCtStream},
+};
+
+const int kNumCtKernels = sizeof(kCtKernels) / sizeof(kCtKernels[0]);
+
+}  // namespace confllvm::workloads

@@ -31,6 +31,10 @@ struct Pending {
     kModEntry,   // imm <- link-time entry of module_imports[fix_id] (ModCallSite)
     kGlobalAddr, // payload word becomes a GlobalRef (global fix_id + addend)
     kMagicImm,   // payload word becomes an inverted MagicSite
+    kCodeOfs,    // imm64 <- CodeAddr of a function-local word; fix_id is the
+                 // pending index until ResolveLocalFixups turns it into the
+                 // local word offset. The payload is recorded as a CodeRef
+                 // for link-time rebasing (jump-table base addresses).
   };
   MInstr mi;
   Fix fix = Fix::kNone;
@@ -688,6 +692,96 @@ class FuncEmitter {
         Push(jmp, Pending::Fix::kBlock, in.bb_f);
         return;
       }
+      case IrOp::kSelect: {
+        // dst = (a != 0) ? b : dst(old) — destructive machine select. When
+        // dst is spilled we stage the old value through r0 (the return
+        // register, never allocated and dead between calls) because both
+        // scratch registers may already hold a and b. The whole sequence is
+        // straight-line: no branch regardless of a's value.
+        const uint8_t ra = UseInt(in.a, kScrA);
+        const uint8_t rb = UseInt(in.b, kScrB);
+        const VRegAssignment& d = ra_.loc[in.dst];
+        if (d.kind == VRegAssignment::Kind::kReg) {
+          MInstr sel{};
+          sel.op = Op::kSelect;
+          sel.rd = d.reg;
+          sel.rs1 = ra;
+          sel.rs2 = rb;
+          Push(sel);
+          return;
+        }
+        MInstr ld{};
+        ld.op = Op::kLoad;
+        ld.rd = kRegRet;
+        ld.mem = StackMem(spill_off_[d.spill], ra_.spill_region[d.spill]);
+        EmitStackAccessChecks(ld.mem, ra_.spill_region[d.spill]);
+        Push(ld);
+        MInstr sel{};
+        sel.op = Op::kSelect;
+        sel.rd = kRegRet;
+        sel.rs1 = ra;
+        sel.rs2 = rb;
+        Push(sel);
+        SpillDef(in.dst, kRegRet);
+        return;
+      }
+      case IrOp::kBrTable: {
+        // Jump ladder: bounds-check the dense index against [0, N), fall to
+        // bb_f when out of range, otherwise jump through a table of
+        // one-word kJmp instructions placed right after the kJmpReg. The
+        // table base is materialized as an absolute code address via
+        // Fix::kCodeOfs so the linker can rebase it (Binary::code_refs).
+        const uint8_t rx = UseInt(in.a, kScrA);
+        const uint32_t n = static_cast<uint32_t>(in.args.size());
+        EmitMovImm(kScrB, 0);
+        MInstr lt{};
+        lt.op = Op::kCmp;
+        lt.cc = Cond::kLt;
+        lt.rd = kScrB;
+        lt.rs1 = rx;
+        lt.rs2 = kScrB;
+        Push(lt);
+        MInstr jneg{};
+        jneg.op = Op::kJnz;
+        jneg.rd = kScrB;
+        Push(jneg, Pending::Fix::kBlock, in.bb_f);
+        EmitMovImm(kScrB, n);
+        MInstr ge{};
+        ge.op = Op::kCmp;
+        ge.cc = Cond::kGe;
+        ge.rd = kScrB;
+        ge.rs1 = rx;
+        ge.rs2 = kScrB;
+        Push(ge);
+        MInstr jhi{};
+        jhi.op = Op::kJnz;
+        jhi.rd = kScrB;
+        Push(jhi, Pending::Fix::kBlock, in.bb_f);
+        // Table base. The fix_id is the *pending index* of the first table
+        // entry: base movimm64 + lea + jmpreg precede it.
+        const uint32_t table_pending = static_cast<uint32_t>(out_.size()) + 3;
+        MInstr base{};
+        base.op = Op::kMovImm64;
+        base.rd = kScrB;
+        Push(base, Pending::Fix::kCodeOfs, table_pending);
+        MInstr lea{};
+        lea.op = Op::kLea;
+        lea.rd = kScrA;
+        lea.mem.base = kScrB;
+        lea.mem.index = rx;
+        lea.mem.scale_log2 = 3;  // one word per table entry
+        Push(lea);
+        MInstr jr{};
+        jr.op = Op::kJmpReg;
+        jr.rs1 = kScrA;
+        Push(jr);
+        for (uint32_t k = 0; k < n; ++k) {
+          MInstr e{};
+          e.op = Op::kJmp;
+          Push(e, Pending::Fix::kBlock, in.args[k]);
+        }
+        return;
+      }
       case IrOp::kRet: {
         if (in.a != kNoReg) {
           const uint8_t rs = UseInt(in.a, kScrA);
@@ -976,6 +1070,10 @@ class FuncEmitter {
         p.mi.imm = static_cast<int32_t>(trap_word_);
         p.fix = Pending::Fix::kNone;
         p.addend = 1;
+      } else if (p.fix == Pending::Fix::kCodeOfs) {
+        // fix_id was a pending index; turn it into the function-local word
+        // offset. The absolute address is materialized at layout time.
+        p.fix_id = word_of[p.fix_id];
       }
     }
   }
@@ -1006,6 +1104,7 @@ Binary GenerateCode(const IrModule& mod, const CodegenOptions& opts, DiagEngine*
   bin.scheme = opts.scheme;
   bin.cfi = opts.cfi;
   bin.separate_stacks = opts.separate_stacks;
+  bin.ct = opts.ct;
 
   for (const IrGlobal& g : mod.globals) {
     BinGlobal bg;
@@ -1163,6 +1262,16 @@ Binary GenerateCode(const IrModule& mod, const CodegenOptions& opts, DiagEngine*
                                      static_cast<uint8_t>(p.addend),
                                      /*inverted=*/true});
           break;
+        case Pending::Fix::kCodeOfs: {
+          // Jump-table base: absolute address of a function-local word. The
+          // payload (word +1) is a code address baked into a constant, so
+          // record a CodeRef for link-time rebasing.
+          const uint32_t target = func_base[i] + p.fix_id;
+          p.mi.imm64 = static_cast<int64_t>(CodeAddr(target));
+          bin.code_refs.push_back(
+              {static_cast<uint32_t>(bin.code.size()) + 1, target});
+          break;
+        }
         default:
           break;
       }

@@ -36,6 +36,10 @@ struct CodegenOptions {
   bool mpx_guard_disp_opt = true;
   bool mpx_elide_stack_checks = true;
   bool emit_chkstk = true;
+  // Constant-time preset: stamps Binary::ct so the loader/verifier apply the
+  // stricter ct taint rules to this binary (the linearization itself happens
+  // upstream in Opt).
+  bool ct = false;
 
   bool ConfMode() const { return confllvm_abi || scheme != Scheme::kNone || cfi; }
 };

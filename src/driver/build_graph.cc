@@ -280,6 +280,9 @@ LinkedBuild BuildScheduler::Run(ArtifactCache* cache) {
       job.label = graph_->module_name(i);
       job.source = graph_->module_source(i);
       job.config = config_;
+      // Object compiles feed the linker: other modules call into this one,
+      // so whole-program call-site rewrites (dead-arg elim) are unsound.
+      job.config.whole_program = false;
       job.object_only = true;
       job.interfaces = &graph_->interfaces();
       job.imports_fingerprint = graph_->ImportsFingerprint(i);

@@ -36,6 +36,8 @@ const char* PresetName(BuildPreset p) {
     case BuildPreset::kOurMpx: return "OurMPX";
     case BuildPreset::kOurMpxSep: return "OurMPX-Sep";
     case BuildPreset::kOurSeg: return "OurSeg";
+    case BuildPreset::kCtMpx: return "ct-mpx";
+    case BuildPreset::kCtSeg: return "ct-seg";
   }
   return "?";
 }
@@ -91,6 +93,18 @@ BuildConfig BuildConfig::For(BuildPreset preset) {
       c.codegen.scheme = Scheme::kSeg;
       c.codegen.separate_stacks = true;
       break;
+    case BuildPreset::kCtMpx:
+      c = For(BuildPreset::kOurMpx);
+      c.preset = preset;
+      c.sema.ct = true;
+      c.codegen.ct = true;
+      break;
+    case BuildPreset::kCtSeg:
+      c = For(BuildPreset::kOurSeg);
+      c.preset = preset;
+      c.sema.ct = true;
+      c.codegen.ct = true;
+      break;
   }
   return c;
 }
@@ -98,7 +112,11 @@ BuildConfig BuildConfig::For(BuildPreset preset) {
 std::unique_ptr<CompiledProgram> Compile(const std::string& source,
                                          const BuildConfig& config, DiagEngine* diags,
                                          PipelineStats* stats, ArtifactCache* cache) {
-  CompilerInvocation inv(source, config, diags);
+  // Compile() always produces a fully-loaded single-module program, so
+  // whole-program interprocedural passes are sound here.
+  BuildConfig cfg = config;
+  cfg.whole_program = true;
+  CompilerInvocation inv(source, cfg, diags);
   inv.set_cache(cache);
   const bool ok = RunStandardPipeline(&inv);
   if (stats != nullptr) {

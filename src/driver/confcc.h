@@ -36,21 +36,40 @@ enum class BuildPreset : uint8_t {
   kOurMpx,    // full ConfLLVM, MPX bounds
   kOurMpxSep, // full MPX instrumentation, single U stack (perf ablation)
   kOurSeg,    // full ConfLLVM, segmentation bounds
+  // Constant-time family (not part of the paper's table): OurMPX/OurSeg plus
+  // secret-branch linearization in Opt, the stricter ct sema rules, and the
+  // verifier's ct taint checks on the emitted binary.
+  kCtMpx,
+  kCtSeg,
 };
 
 const char* PresetName(BuildPreset p);
 
-// All presets, in the §7.1 table order (sweep helpers iterate this).
+// All §7.1/§7.2 presets, in the table order (sweep helpers iterate this;
+// deliberately excludes the ct family so the paper-replication sweeps and
+// their baselines are unchanged).
 inline constexpr BuildPreset kAllBuildPresets[] = {
     BuildPreset::kBase,      BuildPreset::kBaseOA, BuildPreset::kOur1Mem,
     BuildPreset::kOurBare,   BuildPreset::kOurCFI, BuildPreset::kOurMpx,
     BuildPreset::kOurMpxSep, BuildPreset::kOurSeg,
 };
 
+// The constant-time preset family (ct tests and the ct CI gate iterate this).
+inline constexpr BuildPreset kCtBuildPresets[] = {
+    BuildPreset::kCtMpx,
+    BuildPreset::kCtSeg,
+};
+
 struct BuildConfig {
   BuildPreset preset = BuildPreset::kOurMpx;
   SemaOptions sema;
   OptLevel opt_level = OptLevel::kReduced;
+  // Whole-program compile: no separately-compiled module will ever call into
+  // this one, so interprocedural passes that rewrite call sites against
+  // callee bodies (dead-argument elimination at kFull) are sound. Compile()
+  // and the tools set it for single-module builds; BuildScheduler object
+  // compiles leave it false. Part of the Opt cache key.
+  bool whole_program = false;
   CodegenOptions codegen;
   LoadOptions load;
   AllocPolicy alloc_policy = AllocPolicy::kCustom;

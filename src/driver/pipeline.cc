@@ -90,6 +90,7 @@ std::string SemaKey(const CompilerInvocation& inv) {
       .Add(ParseKey(inv))
       .Add(static_cast<uint64_t>(s.implicit_flows))
       .Add(s.all_private)
+      .Add(s.ct)
       .Add(inv.imports_fingerprint())
       .Finish("sema");
 }
@@ -100,10 +101,16 @@ std::string IrGenKey(const CompilerInvocation& inv) {
 }
 
 std::string OptKey(const CompilerInvocation& inv) {
+  PassPipelineOptions popts;
+  popts.level = inv.config().opt_level;
+  popts.ct = inv.config().sema.ct;
+  popts.whole_program = inv.config().whole_program;
   return KeyHasher()
       .Add(IrGenKey(inv))
-      .Add(static_cast<uint64_t>(inv.config().opt_level))
-      .Add(PassScheduleFingerprint(inv.config().opt_level))
+      .Add(static_cast<uint64_t>(popts.level))
+      .Add(popts.ct)
+      .Add(popts.whole_program)
+      .Add(PassScheduleFingerprint(popts))
       .Finish("opt");
 }
 
@@ -121,6 +128,7 @@ std::string CodegenKey(const CompilerInvocation& inv) {
       .Add(c.mpx_guard_disp_opt)
       .Add(c.mpx_elide_stack_checks)
       .Add(c.emit_chkstk)
+      .Add(c.ct)
       .Finish("codegen");
 }
 
@@ -182,10 +190,10 @@ class IrGenStage : public Stage {
 // optimized IR is bit-identical to the pre-pipeline compiler.
 class OptStage : public Stage {
  public:
-  explicit OptStage(OptLevel level) : level_(level) {}
+  explicit OptStage(PassPipelineOptions opts) : opts_(opts) {}
   StageId id() const override { return StageId::kOpt; }
   bool Run(CompilerInvocation* inv) override {
-    OptimizeModule(inv->ir.get(), level_, &inv->stats().passes);
+    OptimizeModule(inv->ir.get(), opts_, &inv->stats().passes);
     return true;
   }
   std::string CacheKey(const CompilerInvocation& inv) const override {
@@ -193,7 +201,7 @@ class OptStage : public Stage {
   }
 
  private:
-  OptLevel level_;
+  PassPipelineOptions opts_;
 };
 
 class CodegenStage : public Stage {
@@ -456,7 +464,11 @@ PassManager PassManager::Object(const BuildConfig& config) {
   pm.AddStage(std::make_unique<ParseStage>());
   pm.AddStage(std::make_unique<SemaStage>());
   pm.AddStage(std::make_unique<IrGenStage>());
-  pm.AddStage(std::make_unique<OptStage>(config.opt_level));
+  PassPipelineOptions popts;
+  popts.level = config.opt_level;
+  popts.ct = config.sema.ct;
+  popts.whole_program = config.whole_program;
+  pm.AddStage(std::make_unique<OptStage>(popts));
   pm.AddStage(std::make_unique<CodegenStage>(config.codegen, config.codegen_jobs));
   return pm;
 }
@@ -694,6 +706,7 @@ std::vector<BatchJob> PresetSweepJobs(const std::string& source, bool verify) {
     job.label = PresetName(p);
     job.source = source;
     job.config = BuildConfig::For(p);
+    job.config.whole_program = true;  // sweep compiles are single-module
     job.verify = verify && WantsVerify(job.config);
     jobs.push_back(std::move(job));
   }

@@ -158,6 +158,20 @@ std::string IrToString(const IrFunction& f) {
         case IrOp::kBr:
           os << "br " << R(in.a) << ", bb" << in.bb_t << ", bb" << in.bb_f;
           break;
+        case IrOp::kBrTable:
+          os << "brtable " << R(in.a) << ", [";
+          for (size_t i = 0; i < in.args.size(); ++i) {
+            if (i != 0) {
+              os << ", ";
+            }
+            os << "bb" << in.args[i];
+          }
+          os << "], default bb" << in.bb_f;
+          break;
+        case IrOp::kSelect:
+          os << R(in.dst) << " = select " << R(in.a) << " ? " << R(in.b)
+             << " : " << R(in.dst);
+          break;
         case IrOp::kRet:
           os << "ret";
           if (in.a != kNoReg) {

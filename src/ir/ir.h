@@ -53,7 +53,10 @@ enum class IrOp : uint8_t {
   kFloatToInt,  // dst = (int) a
   kJmp,         // goto bb_t
   kBr,          // if a != 0 goto bb_t else bb_f
+  kBrTable,     // goto args[a] (a = dense index vreg; args = block ids;
+                // bb_f = default when a is out of range)
   kRet,         // return a (kNoReg for void)
+  kSelect,      // dst = (a != 0) ? b : dst  (destructive: reads old dst)
 };
 
 enum class BinOp : uint8_t {
@@ -115,7 +118,8 @@ struct Instr {
   SourceLoc loc;
 
   bool IsTerminator() const {
-    return op == IrOp::kJmp || op == IrOp::kBr || op == IrOp::kRet;
+    return op == IrOp::kJmp || op == IrOp::kBr || op == IrOp::kBrTable ||
+           op == IrOp::kRet;
   }
   bool IsCall() const {
     return op == IrOp::kCall || op == IrOp::kCallExt || op == IrOp::kCallMod ||

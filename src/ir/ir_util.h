@@ -32,6 +32,17 @@ void ForEachUse(const Instr& in, F&& fn) {
       fn(in.a);
       fn(in.b);
       break;
+    case IrOp::kSelect:
+      // Destructive: dst keeps its old value when a == 0, so the old dst is
+      // an input too (keeps liveness/DCE honest about the read).
+      fn(in.a);
+      fn(in.b);
+      fn(in.dst);
+      break;
+    case IrOp::kBrTable:
+      // args holds *block ids* here, not vregs — only the index is a use.
+      fn(in.a);
+      break;
     case IrOp::kLoad:
       if (!in.mem_is_slot && in.a != kNoReg) {
         fn(in.a);
@@ -80,6 +91,15 @@ void RewriteUses(Instr* in, F&& fn) {
     case IrOp::kCmp:
       in->a = fn(in->a);
       in->b = fn(in->b);
+      break;
+    case IrOp::kSelect:
+      // Never rewrite dst: it is simultaneously the def, and copy
+      // propagation rewriting it would corrupt the merge.
+      in->a = fn(in->a);
+      in->b = fn(in->b);
+      break;
+    case IrOp::kBrTable:
+      in->a = fn(in->a);
       break;
     case IrOp::kLoad:
       if (!in->mem_is_slot && in->a != kNoReg) {

@@ -134,9 +134,16 @@ std::vector<uint8_t> SerializeBinary(const Binary& bin) {
     w.U32(s.import_idx);
   }
 
+  w.U64(bin.code_refs.size());
+  for (const CodeRef& s : bin.code_refs) {
+    w.U32(s.word);
+    w.U32(s.target_word);
+  }
+
   w.U8(static_cast<uint8_t>(bin.scheme));
   w.Bool(bin.cfi);
   w.Bool(bin.separate_stacks);
+  w.Bool(bin.ct);
   w.U64(bin.magic_call_prefix);
   w.U64(bin.magic_ret_prefix);
   return w.Take();
@@ -248,6 +255,13 @@ bool DeserializeBinary(const uint8_t* data, size_t size, Binary* out) {
     s.import_idx = r.U32();
   }
 
+  const size_t num_code_refs = r.Count(4 + 4);
+  bin.code_refs.resize(num_code_refs);
+  for (CodeRef& s : bin.code_refs) {
+    s.word = r.U32();
+    s.target_word = r.U32();
+  }
+
   const uint8_t scheme = r.U8();
   if (scheme > static_cast<uint8_t>(Scheme::kSeg)) {
     return false;
@@ -255,6 +269,7 @@ bool DeserializeBinary(const uint8_t* data, size_t size, Binary* out) {
   bin.scheme = static_cast<Scheme>(scheme);
   bin.cfi = r.Bool();
   bin.separate_stacks = r.Bool();
+  bin.ct = r.Bool();
   bin.magic_call_prefix = r.U64();
   bin.magic_ret_prefix = r.U64();
 

@@ -106,6 +106,14 @@ struct ModCallSite {
   uint32_t import_idx = 0;  // index into Binary::mod_imports
 };
 
+// A movimm64 payload word holding CodeAddr(target_word) for a code location
+// that is not a function entry (jump-table bases). The linker rebases both
+// fields when module code is relocated and rewrites the payload.
+struct CodeRef {
+  uint32_t word = 0;         // payload word index
+  uint32_t target_word = 0;  // code word the payload's address points at
+};
+
 struct Binary {
   std::vector<uint64_t> code;
   std::vector<BinFunction> functions;
@@ -119,12 +127,17 @@ struct Binary {
   // loader refuses to load a binary that still has entries here.
   std::vector<BinModImport> mod_imports;
   std::vector<ModCallSite> mod_call_sites;
+  std::vector<CodeRef> code_refs;
 
   // Instrumentation configuration this binary was compiled with; the loader
   // sets up regions/bounds accordingly and ConfVerify checks against it.
   Scheme scheme = Scheme::kNone;
   bool cfi = false;
   bool separate_stacks = true;
+  // Compiled under the constant-time preset: secret-dependent control flow
+  // was linearized and ConfVerify additionally rejects secret-dependent
+  // branches, secret-based memory addressing, and secret divisors.
+  bool ct = false;
 
   // Chosen by the post-link pass (0 until then).
   uint64_t magic_call_prefix = 0;
@@ -159,7 +172,7 @@ std::string Disassemble(const Binary& bin);
 // Bump kBinaryFormatVersion whenever the encoding or any encoded struct
 // changes shape; readers reject any other version.
 
-inline constexpr uint32_t kBinaryFormatVersion = 2;  // v2: separate-compilation tables
+inline constexpr uint32_t kBinaryFormatVersion = 3;  // v3: ct flag + code_refs
 
 std::vector<uint8_t> SerializeBinary(const Binary& bin);
 

@@ -60,12 +60,13 @@ const char* OpName(Op op) {
     case Op::kFMov: return "fmov";
     case Op::kNop: return "nop";
     case Op::kMovIF: return "movif";
+    case Op::kSelect: return "select";
   }
   return "?";
 }
 
 namespace {
-constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Op::kMovIF);
+constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Op::kSelect);
 
 // Register-class validation: the 5-bit encoding fields can name registers
 // 0..31, but the machine has 16 integer and 8 float registers. Every engine
@@ -103,6 +104,7 @@ bool ValidRegs(const MInstr& in) {
     case Op::kShl:
     case Op::kShr:
     case Op::kCmp:
+    case Op::kSelect:
       return ir(in.rd) && ir(in.rs1) && ir(in.rs2);
     case Op::kICall:
     case Op::kJmpReg:
@@ -327,6 +329,7 @@ std::string ToString(const MInstr& in) {
     case Op::kFSub:
     case Op::kFMul:
     case Op::kFDiv:
+    case Op::kSelect:
       os << " " << RegName(in.rd) << ", " << RegName(in.rs1) << ", " << RegName(in.rs2);
       break;
     case Op::kAddImm:

@@ -108,6 +108,7 @@ enum class Op : uint8_t {
   kFMov = 0x31,
   kNop = 0x32,
   kMovIF = 0x33,  // fd = raw bits of rs1 (float-constant materialization)
+  kSelect = 0x34,  // rd = (rs1 != 0) ? rs2 : rd (constant-time, no branch)
 };
 
 const char* OpName(Op op);

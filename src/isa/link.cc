@@ -44,14 +44,15 @@ std::unique_ptr<Binary> LinkBinaries(const std::vector<const Binary*>& modules,
   for (size_t m = 1; m < modules.size(); ++m) {
     const Binary& b = *modules[m];
     if (b.scheme != first.scheme || b.cfi != first.cfi ||
-        b.separate_stacks != first.separate_stacks) {
+        b.separate_stacks != first.separate_stacks || b.ct != first.ct) {
       diags->Error(SourceLoc{},
                    StrFormat("link: module %zu instrumentation config (%s, cfi=%d, "
-                             "sep-stacks=%d) differs from module 0 (%s, cfi=%d, "
-                             "sep-stacks=%d)",
+                             "sep-stacks=%d, ct=%d) differs from module 0 (%s, "
+                             "cfi=%d, sep-stacks=%d, ct=%d)",
                              m, SchemeName(b.scheme), b.cfi ? 1 : 0,
-                             b.separate_stacks ? 1 : 0, SchemeName(first.scheme),
-                             first.cfi ? 1 : 0, first.separate_stacks ? 1 : 0));
+                             b.separate_stacks ? 1 : 0, b.ct ? 1 : 0,
+                             SchemeName(first.scheme), first.cfi ? 1 : 0,
+                             first.separate_stacks ? 1 : 0, first.ct ? 1 : 0));
       return nullptr;
     }
   }
@@ -69,6 +70,7 @@ std::unique_ptr<Binary> LinkBinaries(const std::vector<const Binary*>& modules,
   out->scheme = first.scheme;
   out->cfi = first.cfi;
   out->separate_stacks = first.separate_stacks;
+  out->ct = first.ct;
 
   // 2. Per-module bases and the merged symbol tables.
   std::vector<uint32_t> code_base(modules.size());
@@ -232,12 +234,27 @@ std::unique_ptr<Binary> LinkBinaries(const std::vector<const Binary*>& modules,
       nr.func_idx += func_base[m];
       out->func_refs.push_back(nr);
     }
+    for (const CodeRef& r : b.code_refs) {
+      if (!in_module(r.word) || !in_module(r.target_word)) {
+        diags->Error(SourceLoc{}, StrFormat("link: module %zu code ref out of "
+                                            "range (word %u)", m, r.word));
+        return nullptr;
+      }
+      CodeRef nr = r;
+      nr.word += base;
+      nr.target_word += base;
+      out->code_refs.push_back(nr);
+    }
   }
 
-  // 5. Rebase address-of-function payloads against the merged entries.
+  // 5. Rebase address-of-function payloads against the merged entries, and
+  // code-address payloads (jump-table bases) against the module's new base.
   for (const FuncRef& r : out->func_refs) {
     out->code[r.word] =
         CodeAddr(out->functions[r.func_idx].entry_word);
+  }
+  for (const CodeRef& r : out->code_refs) {
+    out->code[r.word] = CodeAddr(r.target_word);
   }
 
   // 6. Resolve cross-module call edges and enforce the interface contract.

@@ -1,5 +1,6 @@
 #include "src/opt/passes.h"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <unordered_map>
@@ -266,6 +267,20 @@ bool SimplifyCfg(IrFunction* f) {
               changed = true;
             }
           }
+        } else if (in.op == IrOp::kBrTable) {
+          // args are block ids for this op.
+          for (uint32_t& t : in.args) {
+            const uint32_t nt = chase(t);
+            if (nt != t) {
+              t = nt;
+              changed = true;
+            }
+          }
+          const uint32_t nf = chase(in.bb_f);
+          if (nf != in.bb_f) {
+            in.bb_f = nf;
+            changed = true;
+          }
         }
       }
     }
@@ -293,6 +308,11 @@ bool SimplifyCfg(IrFunction* f) {
           visit(in.bb_t);
         } else if (in.op == IrOp::kBr) {
           visit(in.bb_t);
+          visit(in.bb_f);
+        } else if (in.op == IrOp::kBrTable) {
+          for (uint32_t t : in.args) {
+            visit(t);
+          }
           visit(in.bb_f);
         }
       }
@@ -348,6 +368,11 @@ bool SimplifyCfg(IrFunction* f) {
           if (in.bb_f != kNoBlock) {
             in.bb_f = remap[in.bb_f];
           }
+          if (in.op == IrOp::kBrTable) {
+            for (uint32_t& t : in.args) {
+              t = remap[t];
+            }
+          }
         }
       }
       f->blocks = std::move(kept);
@@ -357,6 +382,478 @@ bool SimplifyCfg(IrFunction* f) {
     }
   }
   return any;
+}
+
+namespace {
+
+// --- linearize-secrets -----------------------------------------------------
+
+// Predecessor counts over the current CFG (all terminator kinds).
+std::vector<uint32_t> PredCounts(const IrFunction& f) {
+  std::vector<uint32_t> preds(f.blocks.size(), 0);
+  auto visit = [&](uint32_t t) {
+    if (t != kNoBlock && t < preds.size()) {
+      preds[t]++;
+    }
+  };
+  for (const BasicBlock& bb : f.blocks) {
+    for (const Instr& in : bb.instrs) {
+      if (in.op == IrOp::kJmp) {
+        visit(in.bb_t);
+      } else if (in.op == IrOp::kBr) {
+        visit(in.bb_t);
+        visit(in.bb_f);
+      } else if (in.op == IrOp::kBrTable) {
+        for (uint32_t t : in.args) {
+          visit(t);
+        }
+        visit(in.bb_f);
+      }
+    }
+  }
+  return preds;
+}
+
+// True if the block can be predicated: straight-line int-only code ending in
+// an unconditional jump, with no effect that cannot execute unconditionally.
+// Public-region stores are excluded — executing one under a false predicate
+// would need masking too, but sema's ct mode already rejects them as
+// implicit flows, so seeing one here means the input is not ct-typeable.
+bool IsSimpleArm(const IrFunction& f, const BasicBlock& bb) {
+  if (bb.instrs.empty() || bb.instrs.back().op != IrOp::kJmp) {
+    return false;
+  }
+  for (size_t i = 0; i + 1 < bb.instrs.size(); ++i) {
+    const Instr& in = bb.instrs[i];
+    switch (in.op) {
+      case IrOp::kConstInt:
+      case IrOp::kMov:
+      case IrOp::kNeg:
+      case IrOp::kNot:
+      case IrOp::kCmp:
+      case IrOp::kLoad:
+      case IrOp::kAddrGlobal:
+      case IrOp::kAddrSlot:
+      case IrOp::kAddrFunc:
+      case IrOp::kSelect:
+        break;
+      case IrOp::kBin:
+        // Division faults on a zero divisor; hoisting it out of the branch
+        // could fault on the path the program never took.
+        if (in.bin == BinOp::kSDiv || in.bin == BinOp::kSRem) {
+          return false;
+        }
+        if (f.vregs[in.dst].cls != RegClass::kInt) {
+          return false;
+        }
+        break;
+      case IrOp::kStore:
+        if (in.region != Qual::kPrivate) {
+          return false;
+        }
+        break;
+      default:
+        return false;  // calls, float defs, control flow, ...
+    }
+    if (in.HasDst() && f.vregs[in.dst].cls != RegClass::kInt) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Clones `arm`'s body into `out` under predicate `mask` (an int vreg that is
+// 1 when this arm would have executed). Defs are renamed to fresh private
+// vregs; stores become load/select/store sequences at the same (public-taint
+// by ct typing) address. Records the arm's final binding of every original
+// vreg it defines in `defs`.
+void PredicateArm(IrFunction* f, const BasicBlock& arm, uint32_t mask,
+                  std::vector<Instr>* out,
+                  std::unordered_map<uint32_t, uint32_t>* defs) {
+  std::unordered_map<uint32_t, uint32_t>& map = *defs;
+  auto resolve = [&](uint32_t v) {
+    auto it = map.find(v);
+    return it == map.end() ? v : it->second;
+  };
+  for (size_t i = 0; i + 1 < arm.instrs.size(); ++i) {
+    Instr in = arm.instrs[i];  // copy
+    if (in.op == IrOp::kStore) {
+      // store [addr] = val  ==>  old = load [addr];
+      //                          old = mask ? val : old; store [addr] = old
+      const uint32_t old = f->NewVReg(RegClass::kInt, Qual::kPrivate);
+      Instr ld = in;
+      ld.op = IrOp::kLoad;
+      ld.dst = old;
+      ld.b = kNoReg;
+      if (!ld.mem_is_slot && ld.a != kNoReg) {
+        ld.a = resolve(ld.a);
+      }
+      out->push_back(ld);
+      Instr sel{};
+      sel.op = IrOp::kSelect;
+      sel.dst = old;
+      sel.a = mask;
+      sel.b = resolve(in.b);
+      sel.loc = in.loc;
+      out->push_back(sel);
+      Instr st = in;
+      if (!st.mem_is_slot && st.a != kNoReg) {
+        st.a = resolve(st.a);
+      }
+      st.b = old;
+      out->push_back(st);
+      continue;
+    }
+    const uint32_t orig_dst = in.dst;
+    const uint32_t fresh = f->NewVReg(RegClass::kInt, Qual::kPrivate);
+    if (in.op == IrOp::kSelect) {
+      // Destructive read of the old dst: seed the fresh clone with the
+      // current binding first.
+      Instr init{};
+      init.op = IrOp::kMov;
+      init.dst = fresh;
+      init.a = resolve(orig_dst);
+      init.loc = in.loc;
+      out->push_back(init);
+    }
+    RewriteUses(&in, resolve);
+    in.dst = fresh;
+    out->push_back(in);
+    map[orig_dst] = fresh;
+  }
+}
+
+// Rewrites one branch on a private condition into straight-line predicated
+// code. Returns true if a branch was linearized.
+bool LinearizeOne(IrFunction* f) {
+  const std::vector<uint32_t> preds = PredCounts(*f);
+  for (BasicBlock& bb : f->blocks) {
+    if (bb.instrs.empty()) {
+      continue;
+    }
+    Instr& br = bb.instrs.back();
+    if (br.op != IrOp::kBr || f->vregs[br.a].taint != Qual::kPrivate) {
+      continue;
+    }
+    const uint32_t b = bb.id;
+    const uint32_t t = br.bb_t;
+    const uint32_t fblk = br.bb_f;
+    if (t == b || fblk == b || t == fblk || t == 0 || fblk == 0) {
+      continue;
+    }
+    // Diamond: both arms simple, joining at the same block. Triangle: one
+    // "arm" is the join itself.
+    const BasicBlock* arm_t = nullptr;
+    const BasicBlock* arm_f = nullptr;
+    uint32_t join = kNoBlock;
+    const BasicBlock& tb = f->blocks[t];
+    const BasicBlock& fb = f->blocks[fblk];
+    const bool t_simple = preds[t] == 1 && IsSimpleArm(*f, tb);
+    const bool f_simple = preds[fblk] == 1 && IsSimpleArm(*f, fb);
+    if (t_simple && f_simple &&
+        tb.instrs.back().bb_t == fb.instrs.back().bb_t) {
+      arm_t = &tb;
+      arm_f = &fb;
+      join = tb.instrs.back().bb_t;
+    } else if (t_simple && tb.instrs.back().bb_t == fblk) {
+      arm_t = &tb;  // if (c) { ... } with no else
+      join = fblk;
+    } else if (f_simple && fb.instrs.back().bb_t == t) {
+      arm_f = &fb;  // else-only shape
+      join = t;
+    } else {
+      continue;
+    }
+    // In the triangle shapes the join IS the other branch target (that is
+    // what makes them triangles); only a join equal to the branching block
+    // itself is a loop, and loops are not linearizable. A diamond join can
+    // never alias an arm: the arm would then have two predecessors.
+    if (join == b) {
+      continue;
+    }
+
+    // Build the predicated replacement for the terminator.
+    std::vector<Instr> seq;
+    const uint32_t cond = br.a;
+    const SourceLoc loc = br.loc;
+    // Snapshot the condition: the merge below may overwrite the vreg that
+    // holds it (e.g. `if (x) x = ...`).
+    const uint32_t c = f->NewVReg(RegClass::kInt, Qual::kPrivate);
+    {
+      Instr mv{};
+      mv.op = IrOp::kMov;
+      mv.dst = c;
+      mv.a = cond;
+      mv.loc = loc;
+      seq.push_back(mv);
+    }
+    const uint32_t zero = f->NewVReg(RegClass::kInt, Qual::kPublic);
+    {
+      Instr z{};
+      z.op = IrOp::kConstInt;
+      z.dst = zero;
+      z.imm = 0;
+      z.loc = loc;
+      seq.push_back(z);
+    }
+    const uint32_t notc = f->NewVReg(RegClass::kInt, Qual::kPrivate);
+    {
+      Instr n{};
+      n.op = IrOp::kCmp;
+      n.cc = CmpCc::kEq;
+      n.dst = notc;
+      n.a = c;
+      n.b = zero;
+      n.loc = loc;
+      seq.push_back(n);
+    }
+    std::unordered_map<uint32_t, uint32_t> defs_t;
+    std::unordered_map<uint32_t, uint32_t> defs_f;
+    if (arm_t != nullptr) {
+      PredicateArm(f, *arm_t, c, &seq, &defs_t);
+    }
+    if (arm_f != nullptr) {
+      PredicateArm(f, *arm_f, notc, &seq, &defs_f);
+    }
+    // Merge arm definitions back into the original vregs. Public defs are
+    // statement-local expression temporaries (sema's ct mode forces every
+    // variable assigned under a secret branch to be private); they never
+    // outlive the arm, so only private vregs need the select merge.
+    auto merge = [&](const std::unordered_map<uint32_t, uint32_t>& defs,
+                     uint32_t mask) {
+      std::vector<uint32_t> keys;
+      keys.reserve(defs.size());
+      for (const auto& [v, clone] : defs) {
+        (void)clone;
+        keys.push_back(v);
+      }
+      std::sort(keys.begin(), keys.end());  // deterministic output order
+      for (uint32_t v : keys) {
+        if (f->vregs[v].taint != Qual::kPrivate) {
+          continue;
+        }
+        Instr sel{};
+        sel.op = IrOp::kSelect;
+        sel.dst = v;
+        sel.a = mask;
+        sel.b = defs.at(v);
+        sel.loc = loc;
+        seq.push_back(sel);
+      }
+    };
+    merge(defs_t, c);
+    merge(defs_f, notc);
+    Instr jmp{};
+    jmp.op = IrOp::kJmp;
+    jmp.bb_t = join;
+    jmp.loc = loc;
+    seq.push_back(jmp);
+
+    bb.instrs.pop_back();  // the kBr
+    for (Instr& in : seq) {
+      bb.instrs.push_back(std::move(in));
+    }
+    // The arm blocks are now unreachable; simplify-cfg collects them.
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool LinearizeSecrets(IrFunction* f) {
+  bool any = false;
+  // Each rewrite invalidates the predecessor counts; recompute and rescan.
+  while (LinearizeOne(f)) {
+    any = true;
+  }
+  return any;
+}
+
+// --- jump-table lowering ----------------------------------------------------
+
+namespace {
+
+// Matches `K = const; c = cmp.eq x, K; br c, target, next` as the last three
+// instructions of a block. Returns true and fills the outputs on a match.
+bool MatchCompareLink(const IrFunction& f, const BasicBlock& bb, size_t start,
+                      uint32_t* x, int64_t* key, uint32_t* target,
+                      uint32_t* next) {
+  if (bb.instrs.size() < start + 3) {
+    return false;
+  }
+  const Instr& k = bb.instrs[bb.instrs.size() - 3];
+  const Instr& c = bb.instrs[bb.instrs.size() - 2];
+  const Instr& br = bb.instrs.back();
+  if (k.op != IrOp::kConstInt || c.op != IrOp::kCmp || br.op != IrOp::kBr) {
+    return false;
+  }
+  if (c.cc != CmpCc::kEq || br.a != c.dst) {
+    return false;
+  }
+  uint32_t scrut = kNoReg;
+  if (c.b == k.dst && c.a != k.dst) {
+    scrut = c.a;
+  } else if (c.a == k.dst && c.b != k.dst) {
+    scrut = c.b;
+  } else {
+    return false;
+  }
+  if (f.vregs[scrut].taint != Qual::kPublic) {
+    return false;  // never turn a secret compare chain into an indexed jump
+  }
+  *x = scrut;
+  *key = k.imm;
+  *target = br.bb_t;
+  *next = br.bb_f;
+  return true;
+}
+
+}  // namespace
+
+bool JumpTableLower(IrFunction* f) {
+  const std::vector<uint32_t> preds = PredCounts(*f);
+  bool any = false;
+  for (BasicBlock& bb : f->blocks) {
+    uint32_t x = kNoReg;
+    int64_t key = 0;
+    uint32_t target = kNoBlock;
+    uint32_t next = kNoBlock;
+    if (!MatchCompareLink(*f, bb, 0, &x, &key, &target, &next)) {
+      continue;
+    }
+    // Walk the else-if chain: each link is a 3-instruction block comparing
+    // the same public scrutinee against a distinct constant.
+    std::vector<std::pair<int64_t, uint32_t>> cases{{key, target}};
+    uint32_t tail = next;
+    while (tail != kNoBlock && tail < f->blocks.size() && preds[tail] == 1) {
+      const BasicBlock& link = f->blocks[tail];
+      if (link.instrs.size() != 3) {
+        break;
+      }
+      uint32_t lx = kNoReg;
+      int64_t lk = 0;
+      uint32_t lt = kNoBlock;
+      uint32_t ln = kNoBlock;
+      if (!MatchCompareLink(*f, link, 0, &lx, &lk, &lt, &ln) || lx != x) {
+        break;
+      }
+      cases.push_back({lk, lt});
+      tail = ln;
+    }
+    if (cases.size() < 4) {
+      continue;
+    }
+    int64_t lo = cases[0].first;
+    int64_t hi = cases[0].first;
+    bool distinct = true;
+    for (size_t i = 0; i < cases.size(); ++i) {
+      lo = std::min(lo, cases[i].first);
+      hi = std::max(hi, cases[i].first);
+      for (size_t j = i + 1; j < cases.size(); ++j) {
+        distinct &= cases[i].first != cases[j].first;
+      }
+    }
+    const uint64_t range = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    if (!distinct || range > 64 || range > 2 * cases.size()) {
+      continue;  // too sparse for a table
+    }
+    // Replace the head's compare + branch with `idx = x - lo; brtable idx`.
+    const SourceLoc loc = bb.instrs.back().loc;
+    bb.instrs.pop_back();  // br
+    bb.instrs.pop_back();  // cmp
+    bb.instrs.pop_back();  // const
+    const uint32_t lo_v = f->NewVReg(RegClass::kInt, Qual::kPublic);
+    Instr clo{};
+    clo.op = IrOp::kConstInt;
+    clo.dst = lo_v;
+    clo.imm = lo;
+    clo.loc = loc;
+    bb.instrs.push_back(clo);
+    const uint32_t idx = f->NewVReg(RegClass::kInt, Qual::kPublic);
+    Instr sub{};
+    sub.op = IrOp::kBin;
+    sub.bin = BinOp::kSub;
+    sub.dst = idx;
+    sub.a = x;
+    sub.b = lo_v;
+    sub.loc = loc;
+    bb.instrs.push_back(sub);
+    Instr table{};
+    table.op = IrOp::kBrTable;
+    table.a = idx;
+    table.bb_f = tail;  // the chain's final else
+    table.args.assign(range, tail);
+    for (const auto& [k, t] : cases) {
+      table.args[static_cast<size_t>(k - lo)] = t;
+    }
+    table.loc = loc;
+    bb.instrs.push_back(table);
+    any = true;
+  }
+  return any;
+}
+
+// --- dead-argument elimination ----------------------------------------------
+
+bool DeadArgEliminate(IrModule* module) {
+  // Per function: bitmask of parameters whose vreg is never read.
+  std::vector<uint32_t> dead(module->functions.size(), 0);
+  bool have_dead = false;
+  for (size_t fi = 0; fi < module->functions.size(); ++fi) {
+    const IrFunction& f = module->functions[fi];
+    std::vector<bool> used(f.vregs.size(), false);
+    for (const BasicBlock& bb : f.blocks) {
+      for (const Instr& in : bb.instrs) {
+        ForEachUse(in, [&](uint32_t v) { used[v] = true; });
+      }
+    }
+    for (uint32_t p = 0; p < f.num_params && p < f.param_vregs.size(); ++p) {
+      if (!used[f.param_vregs[p]]) {
+        dead[fi] |= 1u << p;
+        have_dead = true;
+      }
+    }
+  }
+  if (!have_dead) {
+    return false;
+  }
+  // Rewrite direct call sites: a dead argument's operand becomes a fresh
+  // constant zero, so the original computation loses its last use and DCE
+  // deletes it. The callee ABI (argument registers, taint bits) is
+  // unchanged — indirect calls and harness entry points stay valid.
+  bool changed = false;
+  for (IrFunction& f : module->functions) {
+    for (BasicBlock& bb : f.blocks) {
+      for (size_t i = 0; i < bb.instrs.size(); ++i) {
+        // Note: inserting below invalidates references into bb.instrs, so
+        // the call is always re-indexed via `i`.
+        if (bb.instrs[i].op != IrOp::kCall ||
+            dead[bb.instrs[i].func_idx] == 0) {
+          continue;
+        }
+        const uint32_t callee_idx = bb.instrs[i].func_idx;
+        const IrFunction& callee = module->functions[callee_idx];
+        for (uint32_t p = 0; p < bb.instrs[i].args.size(); ++p) {
+          if ((dead[callee_idx] & (1u << p)) == 0 ||
+              f.vregs[bb.instrs[i].args[p]].cls != RegClass::kInt) {
+            continue;
+          }
+          Instr z{};
+          z.op = IrOp::kConstInt;
+          z.dst = f.NewVReg(RegClass::kInt, callee.taints.args[p]);
+          z.imm = 0;
+          z.loc = bb.instrs[i].loc;
+          const uint32_t zv = z.dst;
+          bb.instrs.insert(bb.instrs.begin() + static_cast<long>(i), z);
+          ++i;  // the call moved one slot down
+          bb.instrs[i].args[p] = zv;
+          changed = true;
+        }
+      }
+    }
+  }
+  return changed;
 }
 
 const char* OptLevelName(OptLevel level) {
@@ -369,41 +866,64 @@ const char* OptLevelName(OptLevel level) {
 }
 
 const std::vector<FunctionPass>& AllFunctionPasses() {
-  // ConfLLVM keeps "the most important" optimizations (paper §5.1); the few
-  // it disables (jump tables, remove-dead-args) have no counterpart in this
-  // pipeline, so every pass here is scheduled at kReduced and up — the
-  // OurBare-vs-Base gap in this reproduction comes from chkstk, taint-aware
-  // register allocation, and T-memory separation, which the paper also
-  // identifies as the dominant Bare costs.
+  // ConfLLVM keeps "the most important" optimizations (paper §5.1) and
+  // disables a few; the disabled ones (jump tables, remove-dead-args) run
+  // only at kFull, i.e. in Base/BaseOA builds that model the vanilla
+  // compiler. linearize-secrets is the ct-preset addition: it is scheduled
+  // before simplify-cfg so each round linearizes the innermost secret
+  // branches and the cfg cleanup exposes the next nesting level.
   static const auto* kPasses = new std::vector<FunctionPass>{
       {"constant-fold", ConstantFold, OptLevel::kReduced},
       {"copy-propagate", CopyPropagate, OptLevel::kReduced},
       {"dce", DeadCodeEliminate, OptLevel::kReduced},
+      {"linearize-secrets", LinearizeSecrets, OptLevel::kReduced,
+       /*ct_only=*/true},
       {"simplify-cfg", SimplifyCfg, OptLevel::kReduced},
+      {"jump-table", JumpTableLower, OptLevel::kFull},
   };
   return *kPasses;
 }
 
-std::vector<FunctionPass> PassesForLevel(OptLevel level) {
+std::vector<FunctionPass> PassesForLevel(const PassPipelineOptions& opts) {
   std::vector<FunctionPass> out;
-  if (level == OptLevel::kNone) {
+  if (opts.level == OptLevel::kNone) {
     return out;
   }
   for (const FunctionPass& p : AllFunctionPasses()) {
-    if (static_cast<uint8_t>(level) >= static_cast<uint8_t>(p.min_level)) {
-      out.push_back(p);
+    if (static_cast<uint8_t>(opts.level) < static_cast<uint8_t>(p.min_level)) {
+      continue;
     }
+    if (p.ct_only && !opts.ct) {
+      continue;
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<FunctionPass> PassesForLevel(OptLevel level) {
+  PassPipelineOptions opts;
+  opts.level = level;
+  return PassesForLevel(opts);
+}
+
+std::string PassScheduleFingerprint(const PassPipelineOptions& opts) {
+  std::string out;
+  if (opts.level != OptLevel::kNone && opts.whole_program &&
+      opts.level == OptLevel::kFull) {
+    out += "dead-arg;";
+  }
+  for (const FunctionPass& p : PassesForLevel(opts)) {
+    out += p.name;
+    out += ';';
   }
   return out;
 }
 
 std::string PassScheduleFingerprint(OptLevel level) {
-  std::string out;
-  for (const FunctionPass& p : PassesForLevel(level)) {
-    out += p.name;
-    out += ';';
-  }
-  return out;
+  PassPipelineOptions opts;
+  opts.level = level;
+  return PassScheduleFingerprint(opts);
 }
 
 uint64_t OptimizeFunction(IrFunction* f, const std::vector<FunctionPass>& passes,
@@ -443,12 +963,22 @@ uint64_t OptimizeFunction(IrFunction* f, const std::vector<FunctionPass>& passes
   return num_changed;
 }
 
-void OptimizeModule(IrModule* module, OptLevel level,
+void OptimizeModule(IrModule* module, const PassPipelineOptions& opts,
                     std::vector<PassRunStats>* stats) {
-  const std::vector<FunctionPass> passes = PassesForLevel(level);
+  if (opts.level == OptLevel::kFull && opts.whole_program) {
+    DeadArgEliminate(module);
+  }
+  const std::vector<FunctionPass> passes = PassesForLevel(opts);
   for (IrFunction& f : module->functions) {
     OptimizeFunction(&f, passes, stats);
   }
+}
+
+void OptimizeModule(IrModule* module, OptLevel level,
+                    std::vector<PassRunStats>* stats) {
+  PassPipelineOptions opts;
+  opts.level = level;
+  OptimizeModule(module, opts, stats);
 }
 
 size_t CountInstrs(const IrModule& module) {

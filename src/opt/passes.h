@@ -29,6 +29,18 @@ enum class OptLevel : uint8_t {
 
 const char* OptLevelName(OptLevel level);
 
+// Knobs that select the pass schedule beyond the plain level:
+//  * ct: constant-time builds schedule linearize-secrets, which rewrites
+//    every secret-conditioned branch into predicated straight-line code.
+//  * whole_program: the module is the whole program (monolithic compile, not
+//    a to-be-linked object), so cross-function passes that rewrite call
+//    sites (dead-arg elimination) are sound.
+struct PassPipelineOptions {
+  OptLevel level = OptLevel::kReduced;
+  bool ct = false;
+  bool whole_program = false;
+};
+
 // A function-local IR transformation. Returns true if it changed the IR.
 // Instances are stateless value objects taken from the registry; the same
 // pass may run on many functions (and threads) concurrently.
@@ -36,20 +48,25 @@ struct FunctionPass {
   const char* name;
   bool (*run)(IrFunction* f);
   // Lowest level at which the pass is scheduled (kReduced passes also run at
-  // kFull). ConfLLVM-unsupported passes would set this to kFull.
+  // kFull). ConfLLVM-unsupported passes (jump tables) set this to kFull.
   OptLevel min_level;
+  // Scheduled only when PassPipelineOptions::ct is set.
+  bool ct_only = false;
 };
 
 // All known passes, in schedule order.
 const std::vector<FunctionPass>& AllFunctionPasses();
 
-// The subset of AllFunctionPasses() scheduled at `level`, in schedule order.
+// The subset of AllFunctionPasses() scheduled under `opts`, in schedule
+// order. The level-only overload is the common non-ct object schedule.
+std::vector<FunctionPass> PassesForLevel(const PassPipelineOptions& opts);
 std::vector<FunctionPass> PassesForLevel(OptLevel level);
 
-// Stable fingerprint of the schedule at `level` (the pass names in order).
-// Folded into the Opt stage's artifact-cache key so editing the registry —
-// adding a pass, reordering, gating one behind a different min_level —
-// invalidates every cached post-opt artifact.
+// Stable fingerprint of the schedule (the pass names in order, including
+// module-level passes). Folded into the Opt stage's artifact-cache key so
+// editing the registry — adding a pass, reordering, gating one behind a
+// different min_level or flag — invalidates every cached post-opt artifact.
+std::string PassScheduleFingerprint(const PassPipelineOptions& opts);
 std::string PassScheduleFingerprint(OptLevel level);
 
 // Per-pass aggregate counters for one OptimizeModule/pipeline run. Parallel
@@ -63,7 +80,11 @@ struct PassRunStats {
 
 // Runs the registered pipeline in place; iterates each function to a local
 // fixpoint (bounded rounds). When `stats` is non-null it is resized to the
-// scheduled pass list and accumulated into.
+// scheduled pass list and accumulated into. Module-level passes (dead-arg
+// elimination under kFull + whole_program) run once, before the
+// per-function fixpoint, so the function passes clean up after them.
+void OptimizeModule(IrModule* module, const PassPipelineOptions& opts,
+                    std::vector<PassRunStats>* stats = nullptr);
 void OptimizeModule(IrModule* module, OptLevel level,
                     std::vector<PassRunStats>* stats = nullptr);
 
@@ -77,6 +98,28 @@ bool ConstantFold(IrFunction* f);
 bool CopyPropagate(IrFunction* f);
 bool DeadCodeEliminate(IrFunction* f);
 bool SimplifyCfg(IrFunction* f);
+
+// ct-only: rewrites branches on private conditions whose arms are simple
+// straight-line blocks into predicated code merged with destructive
+// kSelect, leaving a secret-independent instruction and address stream.
+// Arms containing calls, loops, float defs, divisions, or public-region
+// stores are left alone (sema already diagnosed them in ct mode; ConfVerify
+// rejects whatever still reaches a binary). Runs interleaved with
+// simplify-cfg in the fixpoint so nested secret branches linearize
+// inside-out across rounds.
+bool LinearizeSecrets(IrFunction* f);
+
+// kFull-only (paper §5.1 lists jump tables among the passes ConfLLVM
+// disables): recognizes dense `if (x == K0) ... else if (x == K1) ...`
+// compare chains on a public vreg and lowers them to a kBrTable dispatch.
+bool JumpTableLower(IrFunction* f);
+
+// kFull + whole_program module pass (the paper's other disabled pass,
+// remove-dead-args): arguments proven dead in the callee are replaced with
+// a constant 0 at every direct call site so DCE can delete the computation.
+// Signatures and the register ABI are deliberately left untouched — any
+// function may still be an external entry point of the VM harness.
+bool DeadArgEliminate(IrModule* module);
 
 // Counts IR instructions across all blocks of all functions (stage stats).
 size_t CountInstrs(const IrModule& module);

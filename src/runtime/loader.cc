@@ -127,6 +127,11 @@ std::unique_ptr<LoadedProgram> LoadBinary(Binary bin, const LoadOptions& opts,
       return corrupt("function reference outside code image or function table");
     }
   }
+  for (const CodeRef& ref : bin.code_refs) {
+    if (ref.word >= bin.code.size() || ref.target_word >= bin.code.size()) {
+      return corrupt("code reference outside code image");
+    }
+  }
   for (const MagicSite& s : bin.magic_sites) {
     if (s.word >= bin.code.size()) {
       return corrupt("magic site outside code image");

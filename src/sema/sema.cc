@@ -40,6 +40,7 @@ class Checker {
       return nullptr;
     }
     CheckConditions();
+    CheckCt();
     Substitute();
     tp_->num_qual_vars = solver_.num_vars();
     tp_->num_constraints = solver_.num_constraints();
@@ -680,6 +681,10 @@ class Checker {
           diags_->Error(e->loc, "whole-struct assignment is not supported; copy fields");
           return info;
         }
+        CtFlowGuardsInto(li.type.quals[0], e->loc);
+        if (CtMode() && li.type.shape->kind == TypeKind::kFloat) {
+          CtViolationIfGuarded(e->loc, "floating-point assignment");
+        }
         CheckAssignTo(li.type, e->rhs.get(), e->loc, "assignment");
         info.type = li.type;
         info.is_lvalue = false;
@@ -697,6 +702,7 @@ class Checker {
           diags_->Error(e->loc, "array index must be an integer");
           return info;
         }
+        CtRequirePublic(xi.type.quals[0], e->rhs->loc, "array index");
         QType base = bi.type;
         if (base.shape->kind == TypeKind::kArray) {
           info.type.shape = base.shape->elem;
@@ -709,6 +715,7 @@ class Checker {
           diags_->Error(e->loc, "subscripted value is not an array or pointer");
           return info;
         }
+        CtRequirePublic(base.quals[0], e->loc, "subscripted pointer");
         info.type.shape = base.shape->elem;
         info.type.quals.assign(base.quals.begin() + 1, base.quals.end());
         info.is_lvalue = true;
@@ -726,6 +733,7 @@ class Checker {
             diags_->Error(e->loc, "'->' requires a pointer to struct");
             return info;
           }
+          CtRequirePublic(bi.type.quals[0], e->loc, "dereferenced pointer");
           agg = agg->elem;
           obj_qual = bi.type.quals[1];
         } else {
@@ -769,6 +777,7 @@ class Checker {
           diags_->Error(e->loc, "cannot dereference void*");
           return info;
         }
+        CtRequirePublic(base.quals[0], e->loc, "dereferenced pointer");
         info.type.shape = base.shape->elem;
         info.type.quals.assign(base.quals.begin() + 1, base.quals.end());
         info.is_lvalue = true;
@@ -880,7 +889,18 @@ class Checker {
   ExprInfo CheckBinary(const Expr* e) {
     ExprInfo info;
     const ExprInfo& li = CheckExpr(e->lhs.get());
+    // ct: the right operand of a short-circuit operator only evaluates on
+    // one side of a branch on the left operand — same guard as an if arm.
+    const bool sc_guard = CtMode() &&
+                          (e->op1 == Tok::kAndAnd || e->op1 == Tok::kOrOr) &&
+                          li.type.IsValid();
+    if (sc_guard) {
+      ct_guards_.push_back(li.type.quals[0]);
+    }
     const ExprInfo& ri = CheckExpr(e->rhs.get());
+    if (sc_guard) {
+      ct_guards_.pop_back();
+    }
     if (!li.type.IsValid() || !ri.type.IsValid()) {
       return info;
     }
@@ -953,6 +973,15 @@ class Checker {
         }
         const bool is_float =
             l.shape->kind == TypeKind::kFloat || r.shape->kind == TypeKind::kFloat;
+        if (is_float) {
+          CtViolationIfGuarded(e->loc, "floating-point operation");
+        } else if (op == Tok::kSlash) {
+          // Integer division faults on a zero divisor, so the divisor's
+          // value is observable through the fault channel, and the
+          // linearizer cannot hoist a division out of a secret branch.
+          CtRequirePublic(r.quals[0], e->rhs->loc, "divisor");
+          CtViolationIfGuarded(e->loc, "division");
+        }
         info.type.shape = is_float ? Types().FloatType() : Types().IntType();
         info.type.quals = {JoinTerms(l.quals[0], r.quals[0], e->loc)};
         return info;
@@ -967,6 +996,10 @@ class Checker {
           diags_->Error(e->loc, "bitwise/modulo operators require integer operands");
           return info;
         }
+        if (op == Tok::kPercent) {
+          CtRequirePublic(r.quals[0], e->rhs->loc, "divisor");
+          CtViolationIfGuarded(e->loc, "division");
+        }
         int_result(JoinTerms(l.quals[0], r.quals[0], e->loc));
         return info;
       default:
@@ -977,6 +1010,7 @@ class Checker {
 
   ExprInfo CheckCall(const Expr* e) {
     ExprInfo info;
+    CtViolationIfGuarded(e->loc, "call");
     const FnSig* sig = nullptr;
     if (e->lhs->kind == ExprKind::kVarRef) {
       Symbol* s = Lookup(e->lhs->name);
@@ -1044,6 +1078,40 @@ class Checker {
 
   void RecordCondition(const Expr* e) { conditions_.push_back(e); }
 
+  // ---- ct-mode helpers ----
+
+  bool CtMode() const { return tp_->options.ct; }
+
+  // Records that `what` at `loc` is illegal if any enclosing branch turns
+  // out to be secret (checked after qualifier inference).
+  void CtViolationIfGuarded(SourceLoc loc, const std::string& what) {
+    if (CtMode() && !ct_guards_.empty()) {
+      ct_obligations_.push_back({ct_guards_, loc, what});
+    }
+  }
+
+  void CtRequirePublic(const QualTerm& term, SourceLoc loc,
+                       const std::string& what) {
+    if (CtMode()) {
+      ct_public_reqs_.push_back({term, loc, what});
+    }
+  }
+
+  // Assignments under a (possibly) secret branch: the branch condition flows
+  // into the target, so inferred targets become private and declared-public
+  // targets conflict with a solver diagnostic. This is exactly the implicit
+  // flow the select-based linearization realizes: the merged value depends
+  // on the condition.
+  void CtFlowGuardsInto(const QualTerm& target, SourceLoc loc) {
+    if (!CtMode()) {
+      return;
+    }
+    for (const QualTerm& g : ct_guards_) {
+      solver_.AddFlow(g, target, loc,
+                      "assignment under a secret branch (implicit flow)");
+    }
+  }
+
   void CheckCondExpr(const Expr* e) {
     const ExprInfo& ci = CheckExpr(e);
     if (ci.type.IsValid() && !ci.type.shape->IsNumeric() && !ci.type.shape->IsPointer()) {
@@ -1066,7 +1134,14 @@ class Checker {
         }
         sym->index = static_cast<uint32_t>(current_fn_->locals.size());
         current_fn_->locals.push_back(sym);
+        if (CtMode() && sym->type.IsValid() &&
+            sym->type.shape->kind == TypeKind::kFloat) {
+          CtViolationIfGuarded(s->loc, "floating-point operation");
+        }
         if (s->decl_init != nullptr) {
+          if (sym->type.IsValid()) {
+            CtFlowGuardsInto(sym->type.quals[0], s->loc);
+          }
           CheckAssignTo(sym->type, s->decl_init.get(), s->loc,
                         StrFormat("initialization of '%s'", s->decl_name.c_str()));
         }
@@ -1074,26 +1149,51 @@ class Checker {
         tp_->decl_sym[s] = sym;
         return;
       }
-      case StmtKind::kIf:
+      case StmtKind::kIf: {
         CheckCondExpr(s->cond.get());
+        // ct: the branch may be secret (and get linearized); everything in
+        // the arms is checked under its guard.
+        bool guarded = false;
+        if (CtMode()) {
+          const ExprInfo& ci = CheckExpr(s->cond.get());
+          if (ci.type.IsValid()) {
+            ct_guards_.push_back(ci.type.quals[0]);
+            guarded = true;
+          }
+        }
         CheckStmt(s->then_stmt.get());
         if (s->else_stmt != nullptr) {
           CheckStmt(s->else_stmt.get());
         }
+        if (guarded) {
+          ct_guards_.pop_back();
+        }
         return;
-      case StmtKind::kWhile:
+      }
+      case StmtKind::kWhile: {
         CheckCondExpr(s->cond.get());
+        CtViolationIfGuarded(s->loc, "loop");
+        const ExprInfo& ci = CheckExpr(s->cond.get());
+        if (ci.type.IsValid()) {
+          CtRequirePublic(ci.type.quals[0], s->cond->loc, "loop condition");
+        }
         ++loop_depth_;
         CheckStmt(s->body.get());
         --loop_depth_;
         return;
+      }
       case StmtKind::kFor:
         scopes_.emplace_back();
         if (s->for_init != nullptr) {
           CheckStmt(s->for_init.get());
         }
+        CtViolationIfGuarded(s->loc, "loop");
         if (s->cond != nullptr) {
           CheckCondExpr(s->cond.get());
+          const ExprInfo& ci = CheckExpr(s->cond.get());
+          if (ci.type.IsValid()) {
+            CtRequirePublic(ci.type.quals[0], s->cond->loc, "loop condition");
+          }
         }
         if (s->step != nullptr) {
           CheckExpr(s->step.get());
@@ -1104,6 +1204,7 @@ class Checker {
         scopes_.pop_back();
         return;
       case StmtKind::kReturn: {
+        CtViolationIfGuarded(s->loc, "return");
         const QType& ret = current_fn_->sym->sig->ret;
         if (ret.shape->kind == TypeKind::kVoid) {
           if (s->expr != nullptr) {
@@ -1124,6 +1225,7 @@ class Checker {
         if (loop_depth_ == 0) {
           diags_->Error(s->loc, "break/continue outside a loop");
         }
+        CtViolationIfGuarded(s->loc, "break/continue");
         return;
       case StmtKind::kBlock:
         scopes_.emplace_back();
@@ -1141,6 +1243,9 @@ class Checker {
     if (tp_->options.all_private) {
       return;  // §5.1: implicit flows are vacuous in all-private mode
     }
+    if (tp_->options.ct) {
+      return;  // ct: secret branches are linearized; CheckCt() guards the rest
+    }
     for (const Expr* e : conditions_) {
       auto it = tp_->expr_info.find(e);
       if (it == tp_->expr_info.end() || !it->second.type.IsValid()) {
@@ -1151,6 +1256,29 @@ class Checker {
           diags_->Error(e->loc, "branching on private data (potential implicit flow)");
         } else {
           diags_->Warning(e->loc, "branching on private data (potential implicit flow)");
+        }
+      }
+    }
+  }
+
+  // Post-solve ct diagnostics: everything the linearizer cannot make
+  // oblivious must be provably secret-independent.
+  void CheckCt() {
+    if (!tp_->options.ct) {
+      return;
+    }
+    for (const CtPublicReq& r : ct_public_reqs_) {
+      if (solver_.Resolve(r.term) == Qual::kPrivate) {
+        diags_->Error(r.loc, r.what + " must be public in a constant-time build");
+      }
+    }
+    for (const CtObligation& o : ct_obligations_) {
+      for (const QualTerm& g : o.guards) {
+        if (solver_.Resolve(g) == Qual::kPrivate) {
+          diags_->Error(o.loc, o.what +
+                                   " under a secret branch cannot be made "
+                                   "constant-time");
+          break;
         }
       }
     }
@@ -1188,6 +1316,28 @@ class Checker {
   FunctionSema* current_fn_ = nullptr;
   int loop_depth_ = 0;
   std::vector<const Expr*> conditions_;
+
+  // ---- Constant-time mode bookkeeping (SemaOptions::ct) ----
+  // Qualifier terms of the enclosing secret-linearizable branches (if
+  // conditions, short-circuit left operands) during the walk. Constructs the
+  // linearizer cannot predicate record an obligation against a snapshot of
+  // this stack; after Solve, an obligation whose guards include a private
+  // term is an error.
+  std::vector<QualTerm> ct_guards_;
+  struct CtObligation {
+    std::vector<QualTerm> guards;
+    SourceLoc loc;
+    std::string what;
+  };
+  std::vector<CtObligation> ct_obligations_;
+  // Terms that must resolve public in ct mode regardless of context
+  // (addresses, indexes, loop conditions, divisors).
+  struct CtPublicReq {
+    QualTerm term;
+    SourceLoc loc;
+    std::string what;
+  };
+  std::vector<CtPublicReq> ct_public_reqs_;
 };
 
 }  // namespace

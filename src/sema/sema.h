@@ -73,6 +73,15 @@ struct SemaOptions {
   // §5.1 all-private mode: every unannotated qualifier defaults to private
   // and private branches are permitted (implicit flows are vacuous).
   bool all_private = false;
+  // Constant-time preset: branches on private data are *allowed* (the Opt
+  // pipeline linearizes them into selects), but everything the
+  // linearization cannot make oblivious is rejected here: private loop
+  // conditions, private array indexes / pointer dereferences, private
+  // divisors, and — under a secret branch — calls, returns, loops, float
+  // operations, and divisions. Assignments under a secret branch pick up a
+  // flow from the branch condition, so their targets are forced private
+  // (explicit implicit-flow tracking).
+  bool ct = false;
 };
 
 struct TypedProgram {

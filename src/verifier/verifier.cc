@@ -378,6 +378,25 @@ class VerifierImpl {
     return std::nullopt;
   }
 
+  // ct binaries: a memory access whose effective address involves a private
+  // register leaks the secret through the cache side channel, independently
+  // of what is loaded/stored. (rsp is forced public at every entry, so
+  // stack traffic always passes.)
+  bool CtAddrPublic(const ProcInstr& pi, const MInstr& mi, const RegState& s) {
+    if (!bin_.ct) {
+      return true;
+    }
+    if (mi.mem.base != kNoMReg && !Le(s.r[mi.mem.base], T::kL)) {
+      Err(pi.word, "ct: memory address depends on a private value");
+      return false;
+    }
+    if (mi.mem.index != kNoMReg && !Le(s.r[mi.mem.index], T::kL)) {
+      Err(pi.word, "ct: memory address depends on a private value");
+      return false;
+    }
+    return true;
+  }
+
   static bool WritesReg(const MInstr& mi, uint8_t reg) {
     switch (mi.op) {
       case Op::kStore:
@@ -437,11 +456,19 @@ class VerifierImpl {
       case Op::kNot:
         r[mi.rd] = r[mi.rs1];
         return true;
+      case Op::kDiv:
+      case Op::kRem:
+        // ct: a private divisor leaks through the divide-by-zero fault (and,
+        // on real hardware, through data-dependent latency).
+        if (bin_.ct && !Le(r[mi.rs2], T::kL)) {
+          Err(pi.word, "ct: division by a private divisor");
+          return false;
+        }
+        r[mi.rd] = Join(r[mi.rs1], r[mi.rs2]);
+        return true;
       case Op::kAdd:
       case Op::kSub:
       case Op::kMul:
-      case Op::kDiv:
-      case Op::kRem:
       case Op::kAnd:
       case Op::kOr:
       case Op::kXor:
@@ -449,6 +476,12 @@ class VerifierImpl {
       case Op::kShr:
       case Op::kCmp:
         r[mi.rd] = Join(r[mi.rs1], r[mi.rs2]);
+        return true;
+      case Op::kSelect:
+        // Destructive select reads rd, rs1 (mask), and rs2; the result may
+        // reveal any of them. A private mask is the whole point in ct mode —
+        // the select itself is data flow, not control flow.
+        r[mi.rd] = Join(r[mi.rd], Join(r[mi.rs1], r[mi.rs2]));
         return true;
       case Op::kAddImm:
         r[mi.rd] = r[mi.rs1];
@@ -465,6 +498,9 @@ class VerifierImpl {
         return true;
       }
       case Op::kLoad: {
+        if (!CtAddrPublic(pi, mi, *s)) {
+          return false;
+        }
         auto region = GuardedRegion(p, i, mi);
         if (!region.has_value()) {
           return false;
@@ -473,6 +509,9 @@ class VerifierImpl {
         return true;
       }
       case Op::kStore: {
+        if (!CtAddrPublic(pi, mi, *s)) {
+          return false;
+        }
         auto region = GuardedRegion(p, i, mi);
         if (!region.has_value()) {
           return false;
@@ -484,6 +523,9 @@ class VerifierImpl {
         return true;
       }
       case Op::kFLoad: {
+        if (!CtAddrPublic(pi, mi, *s)) {
+          return false;
+        }
         auto region = GuardedRegion(p, i, mi);
         if (!region.has_value()) {
           return false;
@@ -492,6 +534,9 @@ class VerifierImpl {
         return true;
       }
       case Op::kFStore: {
+        if (!CtAddrPublic(pi, mi, *s)) {
+          return false;
+        }
         auto region = GuardedRegion(p, i, mi);
         if (!region.has_value()) {
           return false;

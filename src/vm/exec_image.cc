@@ -64,6 +64,7 @@ ExecHandler HandlerFor(const MInstr& mi) {
     case Op::kFMov: return kHFMov;
     case Op::kNop: return kHNop;
     case Op::kMovIF: return kHMovIF;
+    case Op::kSelect: return kHSelect;
   }
   return kHInvalid;
 }

@@ -269,6 +269,7 @@ enum ExecHandler : uint16_t {
   kHMovIF,
   kHFMov,
   kHNop,
+  kHSelect,
   kNumBaseHandlers,
 
   // Fused pair handlers (order mirrors vm_fast.cc's label table by sharing

@@ -18,6 +18,7 @@
 #include <cstring>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 namespace confllvm {
 
@@ -247,6 +248,13 @@ class CacheModel {
   static constexpr uint32_t kWays = 4;
   static constexpr uint64_t kMissPenalty = 24;
 
+  // Optional per-access hit/miss stream (1 = hit, 0 = miss), appended to in
+  // access order by every accessor and engine alike. The ct differential
+  // tests compare these streams across secret inputs: equal counters can
+  // mask reordered accesses, the stream cannot. Null (the default) disables
+  // logging; the pointer is borrowed, never owned.
+  void set_stream_log(std::vector<uint8_t>* log) { stream_log_ = log; }
+
   // Returns extra cycles (0 on hit). This is the reference implementation
   // (full associative scan), used by the reference execution engine.
   uint64_t Access(uint64_t addr) {
@@ -258,7 +266,7 @@ class CacheModel {
       if (valid_[set][w] && tags_[set][w] == tag) {
         lru_[set][w] = ++tick_;
         mru_[set] = static_cast<uint8_t>(w);
-        ++hits_;
+        RecordHit();
         return 0;
       }
     }
@@ -277,7 +285,7 @@ class CacheModel {
   uint64_t AccessFast(uint64_t addr) {
     const uint64_t line = addr >> kLineBits;
     if (line == last_line_) {
-      ++hits_;
+      RecordHit();
       return 0;
     }
     last_line_ = line;
@@ -286,14 +294,14 @@ class CacheModel {
     const uint32_t m = mru_[set];
     if (valid_[set][m] && tags_[set][m] == tag) {
       lru_[set][m] = ++tick_;
-      ++hits_;
+      RecordHit();
       return 0;
     }
     for (uint32_t w = 0; w < kWays; ++w) {
       if (valid_[set][w] && tags_[set][w] == tag) {
         lru_[set][w] = ++tick_;
         mru_[set] = static_cast<uint8_t>(w);
-        ++hits_;
+        RecordHit();
         return 0;
       }
     }
@@ -321,7 +329,17 @@ class CacheModel {
     lru_[set][victim] = ++tick_;
     mru_[set] = static_cast<uint8_t>(victim);
     ++misses_;
+    if (stream_log_ != nullptr) {
+      stream_log_->push_back(0);
+    }
     return kMissPenalty;
+  }
+
+  void RecordHit() {
+    ++hits_;
+    if (stream_log_ != nullptr) {
+      stream_log_->push_back(1);
+    }
   }
 
   uint64_t tags_[kSets][kWays] = {};
@@ -332,6 +350,7 @@ class CacheModel {
   uint64_t tick_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  std::vector<uint8_t>* stream_log_ = nullptr;
 };
 
 }  // namespace confllvm

@@ -467,6 +467,16 @@ bool Vm::Step(ThreadCtx* t) {
       r(mi.rd) = v ? 1 : 0;
       break;
     }
+    case Op::kSelect: {
+      // rd = (rs1 != 0) ? rs2 : rd. Read both sources before writing rd:
+      // rs1 or rs2 may alias rd (destructive form).
+      const uint64_t cond = r(mi.rs1);
+      const uint64_t taken = r(mi.rs2);
+      if (cond != 0) {
+        r(mi.rd) = taken;
+      }
+      break;
+    }
     case Op::kLoad: {
       const uint64_t ea = Ea(*t, mi.mem);
       uint64_t v = 0;

@@ -179,6 +179,7 @@ class Vm {
   const TraceTier* trace_tier() const { return trace_.get(); }
   LoadedProgram& program() { return *prog_; }
   CacheModel& cache() { return cache_; }
+  const CacheModel& cache() const { return cache_; }
 
   // ---- services for trusted natives ----
   void ChargeTrusted(ThreadCtx* t, uint64_t cycles) {

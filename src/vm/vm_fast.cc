@@ -502,7 +502,7 @@ void Vm::RunSliceFastImpl(ThreadCtx* t, const uint64_t budget) {
       &&kHFMul_lbl,     &&kHFDiv_lbl,    &&kHFNeg_lbl,   &&kHFCmpEq_lbl,
       &&kHFCmpNe_lbl,   &&kHFCmpLt_lbl,  &&kHFCmpLe_lbl, &&kHFCmpGt_lbl,
       &&kHFCmpGe_lbl,   &&kHCvtIF_lbl,   &&kHCvtFI_lbl,  &&kHMovIF_lbl,
-      &&kHFMov_lbl,     &&kHNop_lbl,
+      &&kHFMov_lbl,     &&kHNop_lbl,    &&kHSelect_lbl,
       &&kHExecData_lbl,  // filler for the kNumBaseHandlers slot (never used)
 #define CONFLLVM_YP(a, b) &&kHP_##a##_##b##_lbl,
 #define CONFLLVM_YJ(a) &&kHP_##a##_Jmp_lbl,
@@ -548,7 +548,7 @@ void Vm::RunSliceFastImpl(ThreadCtx* t, const uint64_t budget) {
       &&kHTraceCount_lbl,
       &&kHTraceRun_lbl,
   };
-  static_assert(kNumExecHandlers == 555,
+  static_assert(kNumExecHandlers == 556,
                 "update kLabels with the new handler");
 
   // Trace-tier inner dispatch: indexed by handler id over the FULL image
@@ -584,7 +584,7 @@ void Vm::RunSliceFastImpl(ThreadCtx* t, const uint64_t budget) {
       &&tFMul,    &&tFDiv,     &&tFNeg,    &&tFCmpEq,
       &&tFCmpNe,  &&tFCmpLt,   &&tFCmpLe,  &&tFCmpGt,
       &&tFCmpGe,  &&tCvtIF,    &&tCvtFI,   &&tMovIF,
-      &&tFMov,    &&tNop,
+      &&tFMov,    &&tNop,      &&tSelect,
       &&tTerm,  // filler for the kNumBaseHandlers slot (never used)
       // Fused ids, in exact enum order (exec_image.h).
       CONFLLVM_PAIRS_SS(CONFLLVM_TSS)
@@ -1054,6 +1054,16 @@ dispatch_sw_as:
     END_OP(1);
   }
   CASE(kHNop) { END_OP(1); }
+  CASE(kHSelect) {
+    // rd = (rs1 != 0) ? rs2 : rd — read both sources before the write
+    // (rs1/rs2 may alias rd).
+    const uint64_t cond = R[rec->rs1];
+    const uint64_t taken = R[rec->rs2];
+    if (cond != 0) {
+      R[rec->rd] = taken;
+    }
+    END_OP(1);
+  }
 
   // ---- trace tier: block profiling + whole-block execution ----
 
@@ -1421,6 +1431,14 @@ dispatch_sw_as:
     TNEXT(1);
   }
   tNop: { TNEXT(1); }
+  tSelect: {
+    const uint64_t cond = R[rec->rs1];
+    const uint64_t taken = R[rec->rs2];
+    if (cond != 0) {
+      R[rec->rd] = taken;
+    }
+    TNEXT(1);
+  }
   tJmpInl: {
     // Static jmp whose target was inlined right behind it in the op stream:
     // charge the jump, no control transfer.

@@ -1,0 +1,504 @@
+// Constant-time preset gate (ct-mpx / ct-seg), in three movements:
+//
+//   1. Secret-swap differential testing: every ct workload — the four
+//      hand-written kernels plus a seeded stream of generated programs over
+//      branchy/memory shapes — runs under both ct presets, on all three
+//      execution engines, with several distinct secret inputs. The cycle
+//      count, instruction count, memory-op counters, and the cache model's
+//      per-access hit/miss STREAM must be bit-identical across secrets
+//      (results may differ — they are functions of the secret; timing may
+//      not). A leaky control compiled under a non-ct preset shows the same
+//      harness detects the timing channel the ct pipeline closes.
+//   2. Every ct binary is independently re-checked by ConfVerify
+//      (verify-don't-trust: the compiler is not in the TCB).
+//   3. A forgery ladder: hand-patched binaries that smuggle a
+//      secret-dependent branch, a secret-addressed load, a secret-addressed
+//      store, and a secret divisor past the compiler are each rejected by
+//      ConfVerify from first principles.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/workloads.h"
+#include "src/driver/artifact_cache.h"
+#include "src/driver/confcc.h"
+#include "src/support/rng.h"
+#include "src/verifier/verifier.h"
+#include "tests/test_util.h"
+
+namespace confllvm {
+namespace {
+
+using testutil::EngineOpts;
+using testutil::Redecode;
+using workloads::kCtKernels;
+using workloads::kNumCtKernels;
+
+// Distinct secrets spanning the interesting shapes: zero, small, mid-sized,
+// and large enough to win/lose every generated comparison.
+const uint64_t kSecrets[] = {0, 1, 42, 1000000007};
+constexpr uint64_t kPublicArg = 7;
+
+constexpr VmEngine kEngines[] = {VmEngine::kRef, VmEngine::kFast,
+                                 VmEngine::kTrace};
+
+// Everything about one run that a secret must not be able to influence —
+// plus the return value, which only cross-ENGINE comparisons may use.
+struct Observation {
+  bool ok = false;
+  uint64_t ret = 0;
+  uint64_t cycles = 0;
+  uint64_t instrs = 0;
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  std::vector<uint8_t> stream;  // per-access cache hit(1)/miss(0) sequence
+};
+
+Observation RunObserved(const std::string& src, BuildPreset preset,
+                        VmEngine engine, uint64_t secret,
+                        ArtifactCache* cache) {
+  Observation o;
+  DiagEngine d;
+  auto s = MakeSessionFor(
+      Compile(src, BuildConfig::For(preset), &d, nullptr, cache),
+      EngineOpts(engine));
+  EXPECT_NE(s, nullptr) << d.ToString();
+  if (s == nullptr) {
+    return o;
+  }
+  s->vm->cache().set_stream_log(&o.stream);
+  const auto r = s->vm->Call("kernel", {secret, kPublicArg});
+  s->vm->cache().set_stream_log(nullptr);
+  EXPECT_TRUE(r.ok) << r.fault_msg;
+  o.ok = r.ok;
+  o.ret = r.ret;
+  o.cycles = r.cycles;
+  o.instrs = r.instrs;
+  const VmStats& st = s->vm->stats();
+  o.loads = st.loads;
+  o.stores = st.stores;
+  o.cache_hits = s->vm->cache().hits();
+  o.cache_misses = s->vm->cache().misses();
+  return o;
+}
+
+// Readable stream diff: vector operator== via EXPECT_EQ would dump hundreds
+// of elements; report length and the first diverging access instead.
+void ExpectSameStream(const std::vector<uint8_t>& a,
+                      const std::vector<uint8_t>& b) {
+  EXPECT_EQ(a.size(), b.size()) << "cache access counts differ";
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    if (a[i] != b[i]) {
+      ADD_FAILURE() << "cache hit/miss streams diverge at access " << i
+                    << ": " << int(a[i]) << " vs " << int(b[i]);
+      return;
+    }
+  }
+}
+
+// The ct guarantee: across secrets, identical timing and cache behaviour.
+void ExpectSecretIndependent(const Observation& base, const Observation& o) {
+  EXPECT_EQ(o.cycles, base.cycles);
+  EXPECT_EQ(o.instrs, base.instrs);
+  EXPECT_EQ(o.loads, base.loads);
+  EXPECT_EQ(o.stores, base.stores);
+  EXPECT_EQ(o.cache_hits, base.cache_hits);
+  EXPECT_EQ(o.cache_misses, base.cache_misses);
+  ExpectSameStream(o.stream, base.stream);
+}
+
+// Cross-engine agreement for one fixed secret: everything must match,
+// including the result and the cache stream.
+void ExpectSameObservation(const Observation& ref, const Observation& o) {
+  EXPECT_EQ(o.ok, ref.ok);
+  EXPECT_EQ(o.ret, ref.ret);
+  ExpectSecretIndependent(ref, o);
+}
+
+// Runs `src` through the full ct gate under one preset: ConfVerify accepts
+// the binary, and the (engine × secret) observation grid is constant along
+// the secret axis and consistent along the engine axis.
+void RunCtGate(const std::string& src, BuildPreset preset) {
+  ArtifactCache cache;  // one pipeline compile per preset, shared by all runs
+
+  DiagEngine d;
+  auto vs = MakeSessionFor(
+      Compile(src, BuildConfig::For(preset), &d, nullptr, &cache),
+      EngineOpts(VmEngine::kRef));
+  ASSERT_NE(vs, nullptr) << d.ToString();
+  testutil::ExpectVerifies(*vs, PresetName(preset));
+
+  constexpr int kNumSecrets = sizeof(kSecrets) / sizeof(kSecrets[0]);
+  Observation grid[3][kNumSecrets];
+  for (int e = 0; e < 3; ++e) {
+    for (int i = 0; i < kNumSecrets; ++i) {
+      SCOPED_TRACE(std::string(EngineName(kEngines[e])) + " secret=" +
+                   std::to_string(kSecrets[i]));
+      grid[e][i] = RunObserved(src, preset, kEngines[e], kSecrets[i], &cache);
+      ASSERT_TRUE(grid[e][i].ok);
+    }
+  }
+  for (int e = 0; e < 3; ++e) {
+    for (int i = 1; i < kNumSecrets; ++i) {
+      SCOPED_TRACE(std::string("secret-swap ") + EngineName(kEngines[e]) +
+                   " secret=" + std::to_string(kSecrets[i]));
+      ExpectSecretIndependent(grid[e][0], grid[e][i]);
+    }
+  }
+  for (int e = 1; e < 3; ++e) {
+    for (int i = 0; i < kNumSecrets; ++i) {
+      SCOPED_TRACE(std::string("engine-diff ") + EngineName(kEngines[e]) +
+                   " secret=" + std::to_string(kSecrets[i]));
+      ExpectSameObservation(grid[0][i], grid[e][i]);
+    }
+  }
+}
+
+// ---- movement 1a: the hand-written ct workloads ----
+
+class CtWorkloads : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(All, CtWorkloads,
+                         ::testing::Range(0, kNumCtKernels),
+                         [](const auto& info) {
+                           return kCtKernels[info.param].name;
+                         });
+
+TEST_P(CtWorkloads, TraceEqualAcrossSecretsOnAllEngines) {
+  const auto& kernel = kCtKernels[GetParam()];
+  for (BuildPreset preset : kCtBuildPresets) {
+    SCOPED_TRACE(PresetName(preset));
+    RunCtGate(kernel.source, preset);
+  }
+}
+
+// ---- movement 1b: seeded random programs over the ct-typeable subset ----
+//
+// The generator composes kernels from secret branches (optionally nested,
+// with and without else-arms), secret-conditional private-table stores at
+// public indexes, public loops with secret-conditional bodies, and
+// public-divisor division — exactly the shapes the linearizer must make
+// oblivious. Deterministic seed: failures reproduce bit-for-bit.
+
+std::string ArmStmt(Rng* rng) {
+  static const char* kOps[] = {"+", "-", "*", "^", "&", "|"};
+  const std::string op = kOps[rng->Below(6)];
+  const std::string idx = std::to_string(rng->Below(8));
+  switch (rng->Below(4)) {
+    case 0:
+      return "a = a " + op + " b; ";
+    case 1:
+      return "b = b " + op + " " + std::to_string(rng->Range(1, 9)) + "; ";
+    case 2:
+      return "m[" + idx + "] = a " + op + " b; ";
+    default:
+      return "a = m[" + idx + "] " + op + " a; ";
+  }
+}
+
+std::string SecretCond(Rng* rng, const std::string& rhs_pool) {
+  static const char* kCmps[] = {"<", ">", "<=", ">=", "==", "!="};
+  static const char* kLhs[] = {"a", "b", "s"};
+  const std::string lhs = kLhs[rng->Below(3)];
+  const std::string cmp = kCmps[rng->Below(6)];
+  const std::string rhs =
+      rng->Chance(0.5) ? rhs_pool : std::to_string(rng->Range(-4, 20));
+  return lhs + " " + cmp + " " + rhs;
+}
+
+std::string SecretIf(Rng* rng, int depth) {
+  std::string s = "if (" + SecretCond(rng, rng->Chance(0.5) ? "b" : "s") +
+                  ") { ";
+  const int n = 1 + static_cast<int>(rng->Below(3));
+  for (int i = 0; i < n; ++i) {
+    s += ArmStmt(rng);
+  }
+  if (depth > 0 && rng->Chance(0.4)) {
+    s += SecretIf(rng, depth - 1);
+  }
+  s += "} ";
+  if (rng->Chance(0.6)) {
+    s += "else { ";
+    const int ne = 1 + static_cast<int>(rng->Below(2));
+    for (int i = 0; i < ne; ++i) {
+      s += ArmStmt(rng);
+    }
+    s += "} ";
+  }
+  return s;
+}
+
+std::string PublicLoop(Rng* rng) {
+  const int bound = 4 << rng->Below(3);  // 4, 8, 16
+  std::string s = "for (int i = 0; i < " + std::to_string(bound) +
+                  "; i = i + 1) { ";
+  s += "if (" + SecretCond(rng, "i") + ") { ";
+  s += "a = m[i & 7] " + std::string(rng->Chance(0.5) ? "+" : "^") + " a; ";
+  if (rng->Chance(0.5)) {
+    s += "m[i & 7] = b + i; ";
+  }
+  s += "} else { b = b ^ i; } } ";
+  return s;
+}
+
+std::string GenKernel(Rng* rng) {
+  std::string src =
+      "private int kernel(private int s, int p) {\n"
+      "  private int a = s ^ " + std::to_string(rng->Range(1, 99)) + ";\n"
+      "  private int b = s + p + " + std::to_string(rng->Range(1, 99)) + ";\n"
+      "  private int m[8];\n"
+      "  for (int i = 0; i < 8; i = i + 1) { m[i] = s + i * " +
+      std::to_string(rng->Range(1, 9)) + "; }\n";
+  const int stmts = 3 + static_cast<int>(rng->Below(4));
+  for (int i = 0; i < stmts; ++i) {
+    src += "  ";
+    switch (rng->Below(5)) {
+      case 0:
+      case 1:
+        src += SecretIf(rng, /*depth=*/1);
+        break;
+      case 2:
+        src += PublicLoop(rng);
+        break;
+      case 3:
+        src += ArmStmt(rng);
+        break;
+      default: {
+        static const int kDivisors[] = {3, 5, 7, 9};
+        src += "a = a / " + std::to_string(kDivisors[rng->Below(4)]) + "; ";
+        break;
+      }
+    }
+    src += "\n";
+  }
+  src +=
+      "  private int acc = a ^ b;\n"
+      "  for (int i = 0; i < 8; i = i + 1) { acc = acc + m[i]; }\n"
+      "  return acc;\n"
+      "}\n";
+  return src;
+}
+
+TEST(CtSecretSwapFuzz, GeneratedKernelsTraceEqualAcrossSecrets) {
+  Rng rng(0xc0117e57);
+  constexpr int kNumPrograms = 10;
+  for (int i = 0; i < kNumPrograms; ++i) {
+    const std::string src = GenKernel(&rng);
+    SCOPED_TRACE("program " + std::to_string(i) + ":\n" + src);
+    for (BuildPreset preset : kCtBuildPresets) {
+      SCOPED_TRACE(PresetName(preset));
+      RunCtGate(src, preset);
+    }
+  }
+}
+
+// ---- movement 1c: the harness has teeth ----
+//
+// The same branchy shape compiled WITHOUT the ct pipeline takes genuinely
+// different paths per input: the cycle count must differ between an input
+// that never takes the expensive arm and one that always does. (The input
+// is public here — every instrumented preset rejects branching on private
+// data outright; ct is the only preset family that accepts AND closes the
+// channel.) If this test ever fails, the differential gate above has lost
+// its power to detect anything.
+TEST(CtSecretSwap, NonCtPresetLeaksTimingOnTheSameShape) {
+  const char* leaky = R"(
+    int kernel(int s, int p) {
+      int acc = p;
+      for (int i = 0; i < 64; i = i + 1) {
+        if (s > i) { acc = acc + i * 3 + (acc ^ i); }
+        else { acc = acc ^ i; }
+      }
+      return acc;
+    })";
+  ArtifactCache cache;
+  const Observation lo = RunObserved(leaky, BuildPreset::kOurMpx,
+                                     VmEngine::kRef, 0, &cache);
+  const Observation hi = RunObserved(leaky, BuildPreset::kOurMpx,
+                                     VmEngine::kRef, 64, &cache);
+  ASSERT_TRUE(lo.ok);
+  ASSERT_TRUE(hi.ok);
+  EXPECT_NE(lo.cycles, hi.cycles)
+      << "the non-ct build was expected to leak timing here";
+}
+
+// The ct sema rejects what the linearizer cannot make oblivious.
+TEST(CtSema, RejectsSecretIndexLoopBoundAndDivisor) {
+  struct Case {
+    const char* name;
+    const char* src;
+    const char* want;
+  };
+  const Case cases[] = {
+      {"secret array index",
+       "private int kernel(private int s, int p) {"
+       "  private int m[8];"
+       "  for (int i = 0; i < 8; i = i + 1) { m[i] = i; }"
+       "  return m[s & 7]; }",
+       "array index must be public"},
+      {"secret loop bound",
+       "private int kernel(private int s, int p) {"
+       "  private int acc = 0;"
+       "  for (int i = 0; i < s; i = i + 1) { acc = acc + i; }"
+       "  return acc; }",
+       "loop condition must be public"},
+      {"secret divisor",
+       "private int kernel(private int s, int p) {"
+       "  return p / (s | 1); }",
+       "divisor must be public"},
+      {"call under a secret branch",
+       "private int helper(private int x) { return x + 1; }"
+       "private int kernel(private int s, int p) {"
+       "  private int a = p;"
+       "  if (s > 0) { a = helper(a); }"
+       "  return a; }",
+       "under a secret branch cannot be made constant-time"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    for (BuildPreset preset : kCtBuildPresets) {
+      DiagEngine d;
+      auto s = MakeSession(c.src, preset, &d);
+      EXPECT_EQ(s, nullptr) << PresetName(preset)
+                            << " accepted a non-ct-typeable program";
+      EXPECT_NE(d.ToString().find(c.want), std::string::npos) << d.ToString();
+    }
+  }
+}
+
+// ---- movements 2+3: the forgery ladder ----
+//
+// Each forgery patches a compiler-produced, verifier-clean ct binary so it
+// smuggles exactly one secret-dependent effect past the compiler, then
+// demands ConfVerify reject it from the binary alone. The patch site is the
+// linearizer's own select: its condition register provably carries secret
+// taint at that program point under the verifier's dataflow, so rewriting
+// the select into a branch/load/store/div on that register forges the
+// precise violation each ct rule exists to stop.
+
+const char* kForgeBase = R"(
+    private int kernel(private int s, int p) {
+      private int a = s ^ 5;
+      if (a > p) { a = a + p; } else { a = a - p; }
+      int d = p / 3;
+      private int buf[4];
+      for (int i = 0; i < 4; i = i + 1) { buf[i] = a + i; }
+      return a + buf[d & 3] + d;
+    })";
+
+std::unique_ptr<Session> BuildCleanCt(const char* src) {
+  DiagEngine d;
+  auto s = MakeSession(src, BuildPreset::kCtMpx, &d);
+  EXPECT_NE(s, nullptr) << d.ToString();
+  if (s != nullptr) {
+    const VerifyResult r = Verify(*s->compiled->prog);
+    EXPECT_TRUE(r.ok) << r.ErrorText();
+  }
+  return s;
+}
+
+// Replaces every kSelect with `forge(select, word)` (re-encoded in place;
+// all the forged ops are one-word, like kSelect) and re-decodes. Returns
+// the count.
+template <typename Fn>
+int PatchSelects(Session* s, Fn forge) {
+  Binary& bin = s->compiled->prog->binary;
+  int patched = 0;
+  for (size_t w = 0; w < bin.code.size(); ++w) {
+    uint32_t consumed = 1;
+    auto mi = Decode(bin.code, w, &consumed);
+    if (mi.has_value() && mi->op == Op::kSelect) {
+      std::vector<uint64_t> words;
+      Encode(forge(*mi, static_cast<uint32_t>(w)), &words);
+      EXPECT_EQ(words.size(), 1u);
+      bin.code[w] = words[0];
+      ++patched;
+    }
+    if (mi.has_value()) {
+      w += consumed - 1;
+    }
+  }
+  Redecode(s->compiled->prog.get());
+  return patched;
+}
+
+void ExpectForgeryRejected(Session* s, const char* want) {
+  const VerifyResult r = Verify(*s->compiled->prog);
+  EXPECT_FALSE(r.ok) << "forged binary must not verify";
+  EXPECT_NE(r.ErrorText().find(want), std::string::npos) << r.ErrorText();
+}
+
+TEST(CtForgery, SmuggledSecretBranchRejected) {
+  auto s = BuildCleanCt(kForgeBase);
+  ASSERT_NE(s, nullptr);
+  const int n = PatchSelects(s.get(), [](const MInstr& sel, uint32_t w) {
+    MInstr j{};
+    j.op = Op::kJnz;
+    j.rd = sel.rs1;                   // branch on the (secret) select mask
+    j.imm = static_cast<int32_t>(w);  // self-target: valid, in-procedure
+    return j;
+  });
+  ASSERT_GT(n, 0);
+  ExpectForgeryRejected(s.get(), "branch on a private value");
+}
+
+TEST(CtForgery, SecretAddressedLoadRejected) {
+  auto s = BuildCleanCt(kForgeBase);
+  ASSERT_NE(s, nullptr);
+  const int n = PatchSelects(s.get(), [](const MInstr& sel, uint32_t) {
+    MInstr ld{};
+    ld.op = Op::kLoad;
+    ld.rd = sel.rd;
+    ld.mem.base = sel.rs1;  // address = the secret mask
+    return ld;
+  });
+  ASSERT_GT(n, 0);
+  ExpectForgeryRejected(s.get(), "ct: memory address depends on a private value");
+}
+
+TEST(CtForgery, SecretAddressedStoreRejected) {
+  auto s = BuildCleanCt(kForgeBase);
+  ASSERT_NE(s, nullptr);
+  const int n = PatchSelects(s.get(), [](const MInstr& sel, uint32_t) {
+    MInstr st{};
+    st.op = Op::kStore;
+    st.rd = sel.rd;         // store source
+    st.mem.base = sel.rs1;  // address = the secret mask
+    return st;
+  });
+  ASSERT_GT(n, 0);
+  ExpectForgeryRejected(s.get(), "ct: memory address depends on a private value");
+}
+
+TEST(CtForgery, SecretDivisorRejected) {
+  auto s = BuildCleanCt(kForgeBase);
+  ASSERT_NE(s, nullptr);
+  const int n = PatchSelects(s.get(), [](const MInstr& sel, uint32_t) {
+    MInstr dv{};
+    dv.op = Op::kDiv;
+    dv.rd = sel.rd;
+    dv.rs1 = sel.rd;
+    dv.rs2 = sel.rs1;  // divisor = the secret mask
+    return dv;
+  });
+  ASSERT_GT(n, 0);
+  ExpectForgeryRejected(s.get(), "ct: division by a private divisor");
+}
+
+// The forged binaries above still carry the ct flag the compiler stamped.
+// Linker-level agreement: a ct object must refuse to link against a non-ct
+// object, so a victim cannot be handed a half-hardened program.
+TEST(CtForgery, CtFlagSurvivesSerializationRoundTrip) {
+  auto s = BuildCleanCt(kForgeBase);
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(s->compiled->prog->binary.ct);
+  const std::vector<uint8_t> bytes = SerializeBinary(s->compiled->prog->binary);
+  Binary back;
+  ASSERT_TRUE(DeserializeBinary(bytes, &back));
+  EXPECT_TRUE(back.ct);
+}
+
+}  // namespace
+}  // namespace confllvm

@@ -31,6 +31,7 @@
 #include "src/driver/pipeline.h"
 #include "src/isa/binary.h"
 #include "src/support/rng.h"
+#include "tests/test_util.h"
 
 namespace fs = std::filesystem;
 
@@ -104,36 +105,7 @@ void WriteAll(const std::string& path, const std::vector<uint8_t>& bytes) {
             static_cast<std::streamsize>(bytes.size()));
 }
 
-VmOptions EngineOpts(VmEngine e) {
-  VmOptions o;
-  o.engine = e;
-  return o;
-}
-
-void ExpectSameRun(const Vm::CallResult& a, const Vm::CallResult& b) {
-  EXPECT_EQ(a.ok, b.ok);
-  EXPECT_EQ(a.fault, b.fault);
-  EXPECT_EQ(a.fault_msg, b.fault_msg);
-  EXPECT_EQ(a.fault_pc, b.fault_pc);
-  EXPECT_EQ(a.ret, b.ret);
-  EXPECT_EQ(a.cycles, b.cycles);
-  EXPECT_EQ(a.instrs, b.instrs);
-}
-
-void ExpectSameVmStats(const Vm& a, const Vm& b) {
-  const VmStats& x = a.stats();
-  const VmStats& y = b.stats();
-  EXPECT_EQ(x.instrs, y.instrs);
-  EXPECT_EQ(x.cycles, y.cycles);
-  EXPECT_EQ(x.check_instrs, y.check_instrs);
-  EXPECT_EQ(x.check_cycles, y.check_cycles);
-  EXPECT_EQ(x.cfi_instrs, y.cfi_instrs);
-  EXPECT_EQ(x.trusted_cycles, y.trusted_cycles);
-  EXPECT_EQ(x.trusted_calls, y.trusted_calls);
-  EXPECT_EQ(x.loads, y.loads);
-  EXPECT_EQ(x.stores, y.stores);
-  EXPECT_EQ(x.cache_miss_cycles, y.cache_miss_cycles);
-}
+using testutil::EngineOpts;
 
 // A small program exercising enough of the Binary surface (globals with
 // initializers and relocations, imports, private data, calls) to make
@@ -270,8 +242,8 @@ TEST(DiskCache, ColdThenWarmSweepSkipsBackendAndIsByteIdentical) {
       ASSERT_NE(warm_s, nullptr);
       const auto r_cold = cold_s->vm->Call("main", {});
       const auto r_warm = warm_s->vm->Call("main", {});
-      ExpectSameRun(r_cold, r_warm);
-      ExpectSameVmStats(*cold_s->vm, *warm_s->vm);
+      testutil::ExpectSameResult(r_cold, r_warm);
+      testutil::ExpectSameStats(*cold_s->vm, *warm_s->vm);
       EXPECT_TRUE(r_cold.ok) << r_cold.fault_msg;
     }
   }
@@ -279,7 +251,10 @@ TEST(DiskCache, ColdThenWarmSweepSkipsBackendAndIsByteIdentical) {
 
 TEST(DiskCache, WarmSingleInvocationRestoresCodegenAndStillVerifies) {
   TempCacheDir dir;
-  const BuildConfig config = BuildConfig::For(BuildPreset::kOurMpx);
+  BuildConfig config = BuildConfig::For(BuildPreset::kOurMpx);
+  // Compile() marks its builds whole-program; the raw invocation below must
+  // agree or its Opt key (and everything downstream) misses the warm cache.
+  config.whole_program = true;
   auto cold_cache = MakeDiskCache(dir.path);
   CompileVia(kSmallSource, config, cold_cache.get());
 

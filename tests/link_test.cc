@@ -29,9 +29,13 @@
 #include "src/runtime/loader.h"
 #include "src/sema/module_interface.h"
 #include "src/verifier/verifier.h"
+#include "tests/test_util.h"
 
 namespace confllvm {
 namespace {
+
+using testutil::ExpectSameResult;
+using testutil::ExpectSameStats;
 
 // ---- the 3-module workload ----
 //
@@ -146,19 +150,8 @@ TEST(LinkedProgram, RunsIdenticallyOnBothEnginesUnderAllPresets) {
     const auto r = ref->vm->Call("main", {});
     const auto f = fast->vm->Call("main", {});
     ASSERT_TRUE(r.ok) << r.fault_msg;
-    EXPECT_EQ(r.ok, f.ok);
-    EXPECT_EQ(r.ret, f.ret);
-    EXPECT_EQ(r.instrs, f.instrs);
-    EXPECT_EQ(r.cycles, f.cycles);
-    const VmStats& a = ref->vm->stats();
-    const VmStats& b = fast->vm->stats();
-    EXPECT_EQ(a.instrs, b.instrs);
-    EXPECT_EQ(a.cycles, b.cycles);
-    EXPECT_EQ(a.check_instrs, b.check_instrs);
-    EXPECT_EQ(a.cfi_instrs, b.cfi_instrs);
-    EXPECT_EQ(a.loads, b.loads);
-    EXPECT_EQ(a.stores, b.stores);
-    EXPECT_EQ(a.cache_miss_cycles, b.cache_miss_cycles);
+    ExpectSameResult(r, f);
+    ExpectSameStats(*ref->vm, *fast->vm);
 
     // And the linked result equals the monolithic compile of the same
     // program (modules concatenated, imports dropped) — separate

@@ -283,8 +283,20 @@ TEST(PassRegistry, SelectionByLevel) {
   for (size_t i = 0; i < reduced.size(); ++i) {
     EXPECT_STREQ(full[i].name, reduced[i].name);
   }
-  // The registry is the superset, in schedule order.
-  EXPECT_EQ(AllFunctionPasses().size(), full.size());
+  EXPECT_STREQ(full.back().name, "jump-table");
+
+  // ct selection: linearize-secrets joins the schedule before simplify-cfg
+  // (the pass leaves kJmp-only diamonds for cleanup) and only under ct.
+  PassPipelineOptions ct;
+  ct.level = OptLevel::kReduced;
+  ct.ct = true;
+  const auto ct_passes = PassesForLevel(ct);
+  ASSERT_EQ(ct_passes.size(), reduced.size() + 1);
+  EXPECT_STREQ(ct_passes[3].name, "linearize-secrets");
+  EXPECT_STREQ(ct_passes[4].name, "simplify-cfg");
+
+  // The registry is the superset of every selection, in schedule order.
+  EXPECT_EQ(AllFunctionPasses().size(), full.size() + 1);
 }
 
 TEST(PassRegistry, OptLevelNoneLeavesIrUntouched) {

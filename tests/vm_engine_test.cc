@@ -20,100 +20,20 @@
 #include "src/runtime/loader.h"
 #include "src/vm/exec_image.h"
 #include "src/vm/trace_tier.h"
+#include "tests/test_util.h"
 
 namespace confllvm {
 namespace {
 
+using testutil::DiffCall;
+using testutil::EngineOpts;
+using testutil::EnginePair;
+using testutil::ExpectSameResult;
+using testutil::ExpectSameStats;
+using testutil::kTestTraceThreshold;
+using testutil::MakePair;
 using workloads::kNumSpecKernels;
 using workloads::kSpecKernels;
-
-// Promotion threshold used by the differential trace sessions: low enough
-// that any loop body promotes within the first iterations, so the tests
-// exercise the counting path, the promotion swap, AND the whole-block path.
-constexpr uint64_t kTestTraceThreshold = 2;
-
-VmOptions EngineOpts(VmEngine e) {
-  VmOptions o;
-  o.engine = e;
-  if (e == VmEngine::kTrace) {
-    o.trace_threshold = kTestTraceThreshold;
-  }
-  return o;
-}
-
-void ExpectSameResult(const Vm::CallResult& ref, const Vm::CallResult& fast) {
-  EXPECT_EQ(ref.ok, fast.ok);
-  EXPECT_EQ(ref.fault, fast.fault)
-      << FaultName(ref.fault) << " vs " << FaultName(fast.fault);
-  EXPECT_EQ(ref.fault_msg, fast.fault_msg);
-  EXPECT_EQ(ref.fault_pc, fast.fault_pc);
-  EXPECT_EQ(ref.ret, fast.ret);
-  EXPECT_EQ(ref.cycles, fast.cycles);
-  EXPECT_EQ(ref.instrs, fast.instrs);
-}
-
-void ExpectSameStats(Vm& ref, Vm& fast) {
-  const VmStats& a = ref.stats();
-  const VmStats& b = fast.stats();
-  EXPECT_EQ(a.instrs, b.instrs);
-  EXPECT_EQ(a.cycles, b.cycles);
-  EXPECT_EQ(a.check_instrs, b.check_instrs);
-  EXPECT_EQ(a.check_cycles, b.check_cycles);
-  EXPECT_EQ(a.cfi_instrs, b.cfi_instrs);
-  EXPECT_EQ(a.trusted_cycles, b.trusted_cycles);
-  EXPECT_EQ(a.trusted_calls, b.trusted_calls);
-  EXPECT_EQ(a.loads, b.loads);
-  EXPECT_EQ(a.stores, b.stores);
-  EXPECT_EQ(a.cache_miss_cycles, b.cache_miss_cycles);
-  EXPECT_EQ(ref.cache().hits(), fast.cache().hits());
-  EXPECT_EQ(ref.cache().misses(), fast.cache().misses());
-}
-
-// Compiles `src` once per engine (through a shared cache so the binaries are
-// byte-identical) and returns the three sessions.
-struct EnginePair {
-  std::unique_ptr<Session> ref;
-  std::unique_ptr<Session> fast;
-  std::unique_ptr<Session> trace;
-};
-
-EnginePair MakePair(const std::string& src, BuildPreset preset,
-                    ArtifactCache* cache = nullptr) {
-  EnginePair p;
-  DiagEngine d1;
-  DiagEngine d2;
-  DiagEngine d3;
-  const BuildConfig config = BuildConfig::For(preset);
-  p.ref = MakeSessionFor(Compile(src, config, &d1, nullptr, cache),
-                         EngineOpts(VmEngine::kRef));
-  p.fast = MakeSessionFor(Compile(src, config, &d2, nullptr, cache),
-                          EngineOpts(VmEngine::kFast));
-  p.trace = MakeSessionFor(Compile(src, config, &d3, nullptr, cache),
-                           EngineOpts(VmEngine::kTrace));
-  EXPECT_NE(p.ref, nullptr) << d1.ToString();
-  EXPECT_NE(p.fast, nullptr) << d2.ToString();
-  EXPECT_NE(p.trace, nullptr) << d3.ToString();
-  return p;
-}
-
-// Runs the same call on all three engines and checks full observational
-// equality of fast AND trace against the reference.
-void DiffCall(EnginePair* p, const std::string& fn,
-              const std::vector<uint64_t>& args) {
-  const auto ref = p->ref->vm->Call(fn, args);
-  {
-    SCOPED_TRACE("engine=fast");
-    const auto fast = p->fast->vm->Call(fn, args);
-    ExpectSameResult(ref, fast);
-    ExpectSameStats(*p->ref->vm, *p->fast->vm);
-  }
-  {
-    SCOPED_TRACE("engine=trace");
-    const auto trace = p->trace->vm->Call(fn, args);
-    ExpectSameResult(ref, trace);
-    ExpectSameStats(*p->ref->vm, *p->trace->vm);
-  }
-}
 
 // ---- the tentpole guarantee: every workload × every preset ----
 
@@ -151,10 +71,7 @@ INSTANTIATE_TEST_SUITE_P(All, AppDiff,
 
 TEST_P(AppDiff, IdenticalUnderAllPresets) {
   const std::string name = GetParam().name;
-  const char* src = name == "nginx"     ? workloads::kNginx
-                    : name == "ldap"    ? workloads::kLdap
-                    : name == "privado" ? workloads::kPrivado
-                                        : workloads::kMerkle;
+  const char* src = testutil::AppSource(name);
   ArtifactCache cache;
   for (BuildPreset preset : kAllBuildPresets) {
     SCOPED_TRACE(PresetName(preset));

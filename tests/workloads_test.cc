@@ -9,10 +9,12 @@
 #include "src/driver/confcc.h"
 #include "src/driver/pipeline.h"
 #include "src/verifier/verifier.h"
+#include "tests/test_util.h"
 
 namespace confllvm {
 namespace {
 
+using testutil::AppSource;
 using workloads::kNumSpecKernels;
 using workloads::kSpecKernels;
 
@@ -55,9 +57,8 @@ TEST_P(SpecKernels, InstrumentedBinariesVerify) {
     DiagEngine diags;
     auto s = MakeSession(kernel.source, preset, &diags);
     ASSERT_NE(s, nullptr) << diags.ToString();
-    VerifyResult r = Verify(*s->compiled->prog);
-    EXPECT_TRUE(r.ok) << kernel.name << " under " << PresetName(preset) << "\n"
-                      << r.ErrorText();
+    testutil::ExpectVerifies(
+        *s, std::string(kernel.name) + " under " + PresetName(preset));
   }
 }
 
@@ -89,13 +90,6 @@ INSTANTIATE_TEST_SUITE_P(All, Apps,
                                            AppCase{"privado", nullptr},
                                            AppCase{"merkle", nullptr}),
                          [](const auto& info) { return std::string(info.param.name); });
-
-const char* AppSource(const std::string& name) {
-  if (name == "nginx") return workloads::kNginx;
-  if (name == "ldap") return workloads::kLdap;
-  if (name == "privado") return workloads::kPrivado;
-  return workloads::kMerkle;
-}
 
 // The CI preset sweep with ConfVerify wired in (ROADMAP "ConfVerify in the
 // sweep"): every example workload batch-compiles under all eight presets

@@ -69,6 +69,12 @@ bool ParsePreset(const std::string& name, BuildPreset* out) {
       return true;
     }
   }
+  for (BuildPreset p : kCtBuildPresets) {
+    if (name == PresetName(p)) {
+      *out = p;
+      return true;
+    }
+  }
   return false;
 }
 
@@ -84,6 +90,8 @@ int Usage() {
           "              [--inject-report=F] [--deadline-ms=N] file.mc\n"
           "       confcc --link [options] [--graph-stats-json=F] a.mc b.mc ...\n"
           "presets: Base BaseOA Our1Mem OurBare OurCFI OurMPX OurMPX-Sep OurSeg\n"
+          "         ct-mpx ct-seg (constant-time: secret branches linearized,\n"
+          "         verifier enforces secret-independent control flow/addresses)\n"
           "--link builds each file as a module (name = basename), resolves\n"
           "`import \"name\"` declarations through the build graph, compiles in\n"
           "dependency-parallel waves, links with cross-module contract checks,\n"
@@ -183,6 +191,9 @@ BuildConfig ConfigFor(BuildPreset preset, const Options& opt) {
   if (opt.all_private) {
     config.sema.implicit_flows = ImplicitFlowMode::kWarn;
   }
+  // Sweep and single-file compiles are whole-program; --link rebuilds its
+  // own per-module configs (BuildScheduler) which never set this.
+  config.whole_program = true;
   return config;
 }
 

@@ -356,6 +356,36 @@ int RunPairHistogram() {
       ++rows;
     }
   }
+  // The serve-bench request bodies (confccd's per-request guest work): short,
+  // branchy, table-driven loops whose mix skews toward loads and compares —
+  // the daemon's request loop is now part of the stream the fusion set is
+  // tuned against.
+  for (int k = 0; k < workloads::kNumServeKernels; ++k) {
+    const auto& kernel = workloads::kServeKernels[k];
+    ArtifactCache cache;
+    for (const BuildPreset preset : kPresets) {
+      DiagEngine diags;
+      auto compiled = Compile(kernel.source, BuildConfig::For(preset), &diags,
+                              nullptr, &cache);
+      if (compiled == nullptr) {
+        fprintf(stderr, "compile failed under %s:\n%s", PresetName(preset),
+                diags.ToString().c_str());
+        return 1;
+      }
+      VmOptions opts;
+      opts.engine = VmEngine::kRef;
+      opts.pair_histogram = &hist;
+      auto s = MakeSessionFor(std::move(compiled), opts);
+      const auto r = s->vm->Call("main", {});
+      if (!r.ok) {
+        fprintf(stderr, "%s/%s: main fault: %s\n", kernel.name,
+                PresetName(preset), r.fault_msg.c_str());
+        return 1;
+      }
+      total_instrs += r.instrs;
+      ++rows;
+    }
+  }
 
   struct Pair {
     uint16_t key;

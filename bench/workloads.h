@@ -59,6 +59,20 @@ struct CtKernel {
 extern const CtKernel kCtKernels[];
 extern const int kNumCtKernels;
 
+// Request bodies for the confccd serve bench (bench/serve_throughput.cc)
+// and the service tests. Each defines `int main()` returning a checksum and
+// embeds the literal 990001 exactly once — the load generator's EDIT SLOT:
+// rewriting it derives "edited" source variants for the edit-recompile-run
+// cycle without any kernel-specific knowledge. Compile-dominated on purpose
+// (the serve gate measures the cache tiers, not guest runtime).
+struct ServeKernel {
+  const char* name;
+  const char* source;
+};
+
+extern const ServeKernel kServeKernels[];
+extern const int kNumServeKernels;
+
 }  // namespace confllvm::workloads
 
 #endif  // CONFLLVM_BENCH_WORKLOADS_H_

@@ -1,0 +1,388 @@
+// Serve-bench request kernels (see workloads.h): the request bodies for the
+// confccd mixed edit-recompile-run workload. Deliberately *compile-
+// dominated* — each kernel links against a sizeable utility "library"
+// prelude (every function genuinely called, so no tier may strip it) while
+// its dynamic execution stays a few thousand cycles — because the daemon's
+// value is amortizing compiles across tenants: the warm/cold throughput
+// ratio the serve gate asserts is a property of the cache tiers, not of
+// guest runtime.
+//
+// Every kernel embeds the literal 990001 exactly once as its EDIT SLOT.
+// The load generator rewrites that constant to derive "edited" variants:
+// one byte of source churn re-keys the whole stage chain (the content hash
+// feeds every key), which is precisely an edit-recompile-run cycle.
+#include "bench/workloads.h"
+
+#include <string>
+
+namespace confllvm::workloads {
+
+namespace {
+
+// The shared utility library every serve kernel compiles against — integer
+// mixing, checksums, clamping, fixed-point helpers. lib_selftest() touches
+// every function so the whole library survives into codegen; kernels call
+// it once, so the *static* cost (parse/sema/irgen/opt/codegen per request)
+// dwarfs the dynamic cost. The EDIT SLOT literal never appears here.
+const char* kServeLib = R"(
+int lib_rotl(int x, int r) { return (x << r) | (x >> (32 - r)); }
+int lib_mix(int a, int b) {
+  int h = a * 2654435761 + b;
+  h = h ^ (h >> 15);
+  h = h * 2246822519;
+  return h ^ (h >> 13);
+}
+int lib_clampi(int v, int lo, int hi) {
+  if (v < lo) { return lo; }
+  if (v > hi) { return hi; }
+  return v;
+}
+int lib_absi(int v) { if (v < 0) { return 0 - v; } return v; }
+int lib_mini(int a, int b) { if (a < b) { return a; } return b; }
+int lib_maxi(int a, int b) { if (a > b) { return a; } return b; }
+int lib_lerp(int a, int b, int t) { return a + ((b - a) * t) / 256; }
+int lib_gcd(int a, int b) {
+  while (b != 0) { int t = a % b; a = b; b = t; }
+  return a;
+}
+int lib_ilog2(int v) {
+  int n = 0;
+  while (v > 1) { v = v / 2; n = n + 1; }
+  return n;
+}
+int lib_isqrt(int v) {
+  int x = v;
+  int y = (x + 1) / 2;
+  while (y < x) { x = y; y = (x + v / x) / 2; }
+  return x;
+}
+int lib_popcount(int v) {
+  int n = 0;
+  for (int i = 0; i < 32; i = i + 1) { n = n + (v & 1); v = v >> 1; }
+  return n;
+}
+int lib_crc_round(int crc, int byte) {
+  crc = crc ^ byte;
+  for (int k = 0; k < 8; k = k + 1) {
+    if ((crc & 1) == 1) { crc = (crc >> 1) ^ 79764919; }
+    else { crc = crc >> 1; }
+  }
+  return crc;
+}
+int lib_adler(int a, int b, int byte) {
+  a = (a + byte) % 65521;
+  b = (b + a) % 65521;
+  return a * 65536 + b;
+}
+int lib_fx_mul(int a, int b) { return (a * b) / 256; }
+int lib_fx_div(int a, int b) { if (b == 0) { return 0; } return (a * 256) / b; }
+int lib_fx_exp(int x) {
+  int acc = 256;
+  int term = 256;
+  for (int n = 1; n <= 6; n = n + 1) {
+    term = lib_fx_mul(term, x) / n;
+    acc = acc + term;
+  }
+  return acc;
+}
+int lib_hex_digit(int v) {
+  v = v & 15;
+  if (v < 10) { return v + 48; }
+  return v + 87;
+}
+int lib_to_upper(int c) {
+  if (c >= 97 && c <= 122) { return c - 32; }
+  return c;
+}
+int lib_is_space(int c) {
+  if (c == 32 || c == 9 || c == 10 || c == 13) { return 1; }
+  return 0;
+}
+int lib_digit_val(int c) {
+  if (c >= 48 && c <= 57) { return c - 48; }
+  return 0 - 1;
+}
+int lib_wrap_add(int a, int b, int m) {
+  int s = a + b;
+  while (s >= m) { s = s - m; }
+  return s;
+}
+int lib_bit_reverse8(int v) {
+  int r = 0;
+  for (int i = 0; i < 8; i = i + 1) {
+    r = (r << 1) | (v & 1);
+    v = v >> 1;
+  }
+  return r;
+}
+int lib_tri_wave(int t, int period) {
+  int p = t % period;
+  int half = period / 2;
+  if (p < half) { return p; }
+  return period - p;
+}
+int lib_mean2(int a, int b) { return (a + b) / 2; }
+int lib_sgn(int v) {
+  if (v > 0) { return 1; }
+  if (v < 0) { return 0 - 1; }
+  return 0;
+}
+int lib_hash_block(int h, int w0, int w1, int w2) {
+  h = lib_mix(h, w0);
+  h = lib_rotl(h, 7) + w1;
+  h = lib_mix(h, w2);
+  h = lib_rotl(h, 11);
+  h = h ^ (h >> 16);
+  h = h * 2246822519;
+  h = h ^ (h >> 13);
+  h = h * 3266489917;
+  return h ^ (h >> 16);
+}
+int lib_sort4(int a, int b, int c, int d) {
+  int t;
+  if (a > b) { t = a; a = b; b = t; }
+  if (c > d) { t = c; c = d; d = t; }
+  if (a > c) { t = a; a = c; c = t; }
+  if (b > d) { t = b; b = d; d = t; }
+  if (b > c) { t = b; b = c; c = t; }
+  return a * 8 + b * 4 + c * 2 + d;
+}
+int g_mat[9];
+int lib_mat_fill(int seed) {
+  for (int i = 0; i < 9; i = i + 1) {
+    g_mat[i] = (seed * (i + 3) + i * i) % 17 - 8;
+  }
+  return g_mat[0];
+}
+int lib_det3() {
+  int a = g_mat[0]; int b = g_mat[1]; int c = g_mat[2];
+  int d = g_mat[3]; int e = g_mat[4]; int f = g_mat[5];
+  int g = g_mat[6]; int h = g_mat[7]; int i = g_mat[8];
+  return a * (e * i - f * h) - b * (d * i - f * g) + c * (d * h - e * g);
+}
+int lib_poly_eval(int x, int c0, int c1, int c2) {
+  int acc = c2;
+  acc = acc * x + c1;
+  return acc * x + c0;
+}
+int lib_clmul8(int a, int b) {
+  int acc = 0;
+  for (int i = 0; i < 8; i = i + 1) {
+    if (((b >> i) & 1) == 1) { acc = acc ^ (a << i); }
+  }
+  return acc;
+}
+int lib_div_round(int a, int b) {
+  if (b == 0) { return 0; }
+  int q = a / b;
+  int r = a % b;
+  if (r * 2 >= b) { return q + 1; }
+  return q;
+}
+int lib_pack4(int a, int b, int c, int d) {
+  return ((a & 255) << 24) | ((b & 255) << 16) | ((c & 255) << 8) | (d & 255);
+}
+int lib_unpack_sum(int w) {
+  return ((w >> 24) & 255) + ((w >> 16) & 255) + ((w >> 8) & 255) + (w & 255);
+}
+int lib_median3(int a, int b, int c) {
+  if (a > b) { int t = a; a = b; b = t; }
+  if (b > c) { int t = b; b = c; c = t; }
+  if (a > b) { int t = a; a = b; b = t; }
+  return b;
+}
+int lib_checksum_pass(int seed, int salt) {
+  int h = seed;
+  h = lib_hash_block(h, salt, salt * 3 + 1, salt * 5 + 2);
+  h = h + lib_sort4(seed & 15, (seed >> 4) & 15, (seed >> 8) & 15, salt & 15);
+  h = h + lib_mat_fill(seed + salt);
+  h = h + lib_det3();
+  h = h + lib_poly_eval(seed % 16, 3, 1, 4);
+  h = h ^ lib_clmul8(seed & 255, salt & 255);
+  h = h + lib_div_round(seed * 7 + salt, 9);
+  h = h + lib_unpack_sum(lib_pack4(seed, salt, seed + salt, seed - salt));
+  h = h + lib_median3(seed, salt, seed ^ salt);
+  return h;
+}
+int lib_selftest(int seed) {
+  int acc = lib_rotl(seed | 1, seed % 7 + 1);
+  acc = lib_mix(acc, seed);
+  acc = acc + lib_clampi(seed, 0 - 8, 8);
+  acc = acc + lib_absi(0 - seed);
+  acc = acc + lib_mini(seed, 3) + lib_maxi(seed, 5);
+  acc = acc + lib_lerp(0, 256, seed % 256);
+  acc = acc + lib_gcd(seed + 12, 18);
+  acc = acc + lib_ilog2(seed + 2);
+  acc = acc + lib_isqrt(seed * seed + 1);
+  acc = acc + lib_popcount(seed);
+  acc = lib_crc_round(acc, seed & 255);
+  acc = acc + lib_adler(1, 0, seed & 255);
+  acc = acc + lib_fx_exp(seed % 128);
+  acc = acc + lib_fx_div(seed + 256, 3);
+  acc = acc + lib_hex_digit(seed) + lib_to_upper(seed % 26 + 97);
+  acc = acc + lib_is_space(seed % 40) + lib_digit_val(seed % 60 + 40);
+  acc = acc + lib_wrap_add(seed, 17, 97);
+  acc = acc + lib_bit_reverse8(seed & 255);
+  acc = acc + lib_tri_wave(seed, 13);
+  acc = acc + lib_mean2(seed, acc) + lib_sgn(seed - 4);
+  acc = acc + lib_checksum_pass(seed, 29);
+  return acc;
+}
+)";
+
+// A request-router: parse a synthetic request buffer, dispatch on method,
+// accumulate per-route counters. The daemon serving compilers, serving a
+// compiled server — the paper's nginx story at request scale.
+const char* kServeRouterBody = R"(
+char g_req[256];
+int g_routes[8];
+int parse(int off, int seed) {
+  int m = seed % 3;
+  for (int i = 0; i < 32; i = i + 1) {
+    g_req[off + i] = (char)((seed + i * 7) % 96 + 32);
+  }
+  return m;
+}
+int route(int m, int seed) {
+  int h = 0;
+  for (int i = 0; i < 32; i = i + 1) {
+    h = (h * 31 + g_req[i]) % 990001;
+  }
+  int r = (h + m) % 8;
+  g_routes[r] = g_routes[r] + 1;
+  return r;
+}
+int main() {
+  int acc = lib_selftest(11);
+  for (int q = 0; q < 8; q = q + 1) {
+    int m = parse(0, q * 37 + 11);
+    acc = acc + route(m, q);
+  }
+  for (int r = 0; r < 8; r = r + 1) { acc = acc + g_routes[r] * r; }
+  return lib_absi(acc) % 65536;
+})";
+
+// A session-table workload: open/lookup/expire over a hashed slot array —
+// the LDAP-style directory lookup mix.
+const char* kServeSessionBody = R"(
+struct session { int key; int hits; int live; };
+struct session g_tab[64];
+int probe(int key) {
+  int i = key % 64;
+  for (int step = 0; step < 64; step = step + 1) {
+    int j = (i + step) % 64;
+    if (g_tab[j].live == 0 || g_tab[j].key == key) { return j; }
+  }
+  return i;
+}
+int touch(int key) {
+  int j = probe(key);
+  if (g_tab[j].live == 0) {
+    g_tab[j].key = key;
+    g_tab[j].live = 1;
+    g_tab[j].hits = 0;
+  }
+  g_tab[j].hits = g_tab[j].hits + 1;
+  return g_tab[j].hits;
+}
+int main() {
+  int acc = lib_selftest(23);
+  for (int q = 0; q < 32; q = q + 1) {
+    int key = (q * 990001 + 17) % 97;
+    acc = acc + touch(key);
+  }
+  for (int j = 0; j < 64; j = j + 1) {
+    if (g_tab[j].live == 1) { acc = acc + g_tab[j].hits; }
+  }
+  return lib_absi(acc) % 65536;
+})";
+
+// A template renderer: expand a byte template with substitutions and
+// checksum the output — string-heavy inner loops, branchy dispatch.
+const char* kServeRenderBody = R"(
+char g_tpl[128];
+char g_out[512];
+int expand(int n, int seed) {
+  int o = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    char c = g_tpl[i];
+    if (c == 36) {
+      for (int k = 0; k < 4; k = k + 1) {
+        g_out[o] = (char)((seed + k * 13) % 26 + 97);
+        o = o + 1;
+      }
+    } else {
+      g_out[o] = c;
+      o = o + 1;
+    }
+  }
+  return o;
+}
+int main() {
+  int acc = lib_selftest(37);
+  for (int i = 0; i < 128; i = i + 1) {
+    int v = (i * 2654435761) % 990001;
+    if (v % 9 == 0) { g_tpl[i] = (char)36; } else { g_tpl[i] = (char)(v % 64 + 32); }
+  }
+  for (int q = 0; q < 4; q = q + 1) {
+    int o = expand(128, q * 101 + 3);
+    int h = 0;
+    for (int i = 0; i < o; i = i + 1) { h = (h * 33 + g_out[i]) % 1000003; }
+    acc = acc + h;
+  }
+  return lib_absi(acc) % 65536;
+})";
+
+// A rate-limiter: token buckets with integer refill arithmetic — small,
+// arithmetic-dense, branchy admission control.
+const char* kServeRatelimitBody = R"(
+int g_tokens[16];
+int g_stamp[16];
+int refill(int b, int now, int rate) {
+  int dt = now - g_stamp[b];
+  if (dt > 0) {
+    g_tokens[b] = g_tokens[b] + dt * rate;
+    if (g_tokens[b] > 100) { g_tokens[b] = 100; }
+    g_stamp[b] = now;
+  }
+  return g_tokens[b];
+}
+int admit(int b, int now, int cost) {
+  int have = refill(b, now, 3);
+  if (have >= cost) {
+    g_tokens[b] = have - cost;
+    return 1;
+  }
+  return 0;
+}
+int main() {
+  int acc = lib_selftest(53);
+  for (int b = 0; b < 16; b = b + 1) { g_tokens[b] = 50; g_stamp[b] = 0; }
+  int ok = 0;
+  int denied = 0;
+  for (int q = 0; q < 64; q = q + 1) {
+    int b = (q * 990001 + 7) % 16;
+    int cost = q % 19 + 1;
+    if (admit(b, q / 4, cost) == 1) { ok = ok + 1; } else { denied = denied + 1; }
+  }
+  return lib_absi(acc + ok * 256 + denied) % 65536;
+})";
+
+// Composed sources, built once at static-init (single TU, top-to-bottom
+// order, so the std::strings outlive every use of their c_str()).
+const std::string s_router = std::string(kServeLib) + kServeRouterBody;
+const std::string s_session = std::string(kServeLib) + kServeSessionBody;
+const std::string s_render = std::string(kServeLib) + kServeRenderBody;
+const std::string s_ratelimit = std::string(kServeLib) + kServeRatelimitBody;
+
+}  // namespace
+
+const ServeKernel kServeKernels[] = {
+    {"serve_router", s_router.c_str()},
+    {"serve_session", s_session.c_str()},
+    {"serve_render", s_render.c_str()},
+    {"serve_ratelimit", s_ratelimit.c_str()},
+};
+const int kNumServeKernels = sizeof(kServeKernels) / sizeof(kServeKernels[0]);
+
+}  // namespace confllvm::workloads

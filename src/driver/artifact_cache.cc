@@ -168,6 +168,15 @@ std::string CacheStats::ToRow() const {
       static_cast<unsigned long long>(misses), bytes_retained,
       static_cast<unsigned long long>(PrefixShares()),
       static_cast<unsigned long long>(evictions));
+  // Link-stage counters appear only when the build graph consulted the
+  // linked-image cache, so single-module runs keep the legacy output.
+  const size_t link_idx = static_cast<size_t>(StageId::kLink);
+  if (hits_by_stage[link_idx] != 0 || misses_by_stage[link_idx] != 0) {
+    row += StrFormat(
+        "  link:  hits=%llu misses=%llu\n",
+        static_cast<unsigned long long>(hits_by_stage[link_idx]),
+        static_cast<unsigned long long>(misses_by_stage[link_idx]));
+  }
   // Nonzero disk counters mean a disk tier was consulted; memory-only runs
   // keep the legacy single-row output.
   if (disk_hits != 0 || disk_misses != 0 || disk_stores != 0 ||
@@ -217,6 +226,7 @@ std::string CacheStats::ToJson() const {
       "{\"hits\":%llu,\"misses\":%llu,\"shared_waits\":%llu,"
       "\"insertions\":%llu,\"evictions\":%llu,\"bytes_retained\":%zu,"
       "\"prefix_shares\":%llu,"
+      "\"link_hits\":%llu,\"link_misses\":%llu,"
       "\"disk_hits\":%llu,\"disk_misses\":%llu,\"disk_stores\":%llu,"
       "\"disk_evictions\":%llu,\"disk_invalid\":%llu,"
       "\"disk_retries\":%llu,\"disk_io_failures\":%llu,"
@@ -230,6 +240,10 @@ std::string CacheStats::ToJson() const {
       static_cast<unsigned long long>(insertions),
       static_cast<unsigned long long>(evictions), bytes_retained,
       static_cast<unsigned long long>(PrefixShares()),
+      static_cast<unsigned long long>(
+          hits_by_stage[static_cast<size_t>(StageId::kLink)]),
+      static_cast<unsigned long long>(
+          misses_by_stage[static_cast<size_t>(StageId::kLink)]),
       static_cast<unsigned long long>(disk_hits),
       static_cast<unsigned long long>(disk_misses),
       static_cast<unsigned long long>(disk_stores),

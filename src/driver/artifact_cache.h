@@ -47,6 +47,7 @@
 #include <unordered_map>
 
 #include "src/driver/pipeline.h"
+#include "src/isa/link.h"
 
 namespace confllvm {
 
@@ -72,7 +73,7 @@ struct DiskCacheOptions {
 // counters more than once (`confcc --cache-stats` + --cache-stats-json) must
 // take one snapshot and reuse it rather than re-reading live state.
 struct CacheStats {
-  static constexpr size_t kNumStages = 7;
+  static constexpr size_t kNumStages = 8;  // incl. the build graph's kLink
 
   uint64_t hits = 0;    // lookups served from a stored artifact (any tier)
   uint64_t misses = 0;  // lookups that made the caller the producer
@@ -128,10 +129,11 @@ struct StageArtifact {
   std::shared_ptr<const Program> ast;            // kParse
   std::shared_ptr<const TypedProgram> typed;     // kSema
   std::shared_ptr<const IrModule> ir;            // kIrGen / kOpt
-  std::shared_ptr<const Binary> binary;          // kCodegen
+  std::shared_ptr<const Binary> binary;          // kCodegen / kLink
   std::shared_ptr<const LoadedProgram> prog;     // kLoad
   QualSolverStats solver;   // valid from kSema onward
   CodegenStats codegen;     // valid from kCodegen onward
+  LinkStats link;           // kLink only
   // Every diagnostic the producing pipeline emitted from its start through
   // this stage (warnings/notes only — errors abandon instead of publishing).
   // Compilation is deterministic, so this list is a function of the key and

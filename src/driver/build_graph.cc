@@ -4,6 +4,7 @@
 #include <atomic>
 #include <thread>
 
+#include "src/driver/artifact_cache.h"
 #include "src/runtime/loader.h"
 #include "src/support/bytes.h"
 #include "src/support/strings.h"
@@ -205,11 +206,13 @@ bool BuildGraph::Finalize(const BuildConfig& config, DiagEngine* diags,
 std::string BuildGraphStats::ToJson() const {
   std::string s = StrFormat(
       "{\"modules\": %zu, \"waves\": %zu, \"codegen_ran\": %zu, "
+      "\"link_cached\": %s, "
       "\"link\": {\"code_words\": %zu, \"functions\": %zu, "
       "\"resolved_call_sites\": %zu, \"contract_checks\": %zu}, "
       "\"module_detail\": [",
-      modules, waves, codegen_ran, link.code_words, link.functions,
-      link.resolved_call_sites, link.contract_checks);
+      modules, waves, codegen_ran, link_cached ? "true" : "false",
+      link.code_words, link.functions, link.resolved_call_sites,
+      link.contract_checks);
   for (size_t i = 0; i < per_module.size(); ++i) {
     const PerModule& m = per_module[i];
     s += StrFormat(
@@ -331,13 +334,65 @@ LinkedBuild BuildScheduler::Run(ArtifactCache* cache) {
     return out;
   }
 
-  // 2. Link the per-module binaries in graph order.
+  // 2. Link the per-module binaries in graph order — through the cache when
+  // one is attached. The link key chains over every module's Codegen key in
+  // graph order, so a warm build (or daemon) relinks only when some module's
+  // object genuinely changed. The concatenated key manifest travels as the
+  // artifact's source text, extending the 64-bit key chain's collision
+  // guard: a colliding key can waste a lookup, never substitute another
+  // module set's image.
   std::vector<const Binary*> bins;
   bins.reserve(out.modules.size());
   for (const ModuleOutcome& mo : out.modules) {
     bins.push_back(mo.invocation->binary.get());
   }
-  std::unique_ptr<Binary> linked = LinkBinaries(bins, &out.diags, &out.stats.link);
+  std::unique_ptr<Binary> linked;
+  if (cache != nullptr) {
+    std::vector<std::string> codegen_keys;
+    codegen_keys.reserve(out.modules.size());
+    for (const ModuleOutcome& mo : out.modules) {
+      codegen_keys.push_back(CodegenCacheKey(*mo.invocation));
+    }
+    const std::string key = LinkCacheKey(codegen_keys);
+    const std::string manifest = Join(codegen_keys, "\n");
+    std::shared_ptr<const StageArtifact> hit =
+        cache->Acquire(key, StageId::kLink);
+    if (hit != nullptr && hit->binary != nullptr && hit->source != nullptr &&
+        *hit->source == manifest) {
+      linked = std::make_unique<Binary>(*hit->binary);
+      out.stats.link = hit->link;
+      out.stats.link_cached = true;
+    } else if (hit != nullptr) {
+      // Key collision (artifact present, manifest differs): link cold. No
+      // producer registration is held, so nothing to publish or abandon.
+      linked = LinkBinaries(bins, &out.diags, &out.stats.link);
+    } else {
+      // Producer for this key: must Put or Abandon, even on unwind.
+      bool settled = false;
+      try {
+        linked = LinkBinaries(bins, &out.diags, &out.stats.link);
+        if (linked != nullptr) {
+          StageArtifact a;
+          a.stage = StageId::kLink;
+          a.binary = std::make_shared<const Binary>(*linked);
+          a.link = out.stats.link;
+          a.source = std::make_shared<const std::string>(manifest);
+          a.bytes = ApproxBytes(*a.binary) + manifest.size();
+          cache->Put(key, std::move(a));
+        } else {
+          cache->Abandon(key);
+        }
+        settled = true;
+      } catch (...) {
+        if (!settled) {
+          cache->Abandon(key);
+        }
+        throw;
+      }
+    }
+  } else {
+    linked = LinkBinaries(bins, &out.diags, &out.stats.link);
+  }
   if (linked == nullptr) {
     return out;
   }

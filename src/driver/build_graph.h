@@ -104,6 +104,10 @@ struct BuildGraphStats {
   size_t modules = 0;
   size_t waves = 0;
   size_t codegen_ran = 0;  // modules whose backend actually executed
+  // Linked image restored from the cache (the link key over all module
+  // Codegen keys hit) — LinkBinaries never ran; `link` is the producer's
+  // snapshot.
+  bool link_cached = false;
   std::vector<PerModule> per_module;
   LinkStats link;
 

@@ -306,7 +306,8 @@ StageArtifact Snapshot(const CompilerInvocation& inv, StageId id,
       a.bytes = ApproxBytes(*a.prog);
       break;
     case StageId::kVerify:
-      break;  // uncacheable
+    case StageId::kLink:  // snapshotted by the build scheduler, not here
+      break;
   }
   a.bytes += a.source->size() + a.diags.size() * sizeof(Diagnostic);
   return a;
@@ -343,6 +344,7 @@ void Restore(CompilerInvocation* inv, const StageArtifact& a, size_t diag_base) 
       inv->stats().codegen = a.codegen;
       break;
     case StageId::kVerify:
+    case StageId::kLink:  // restored by the build scheduler, not here
       break;
   }
 }
@@ -358,8 +360,22 @@ const char* StageName(StageId id) {
     case StageId::kCodegen: return "codegen";
     case StageId::kLoad: return "load";
     case StageId::kVerify: return "verify";
+    case StageId::kLink: return "link";
   }
   return "?";
+}
+
+std::string CodegenCacheKey(const CompilerInvocation& inv) {
+  return CodegenKey(inv);
+}
+
+std::string LinkCacheKey(const std::vector<std::string>& module_codegen_keys) {
+  KeyHasher h;
+  h.Add(static_cast<uint64_t>(module_codegen_keys.size()));
+  for (const std::string& k : module_codegen_keys) {
+    h.Add(k);
+  }
+  return h.Finish("link");
 }
 
 const StageStats* PipelineStats::Find(StageId id) const {
@@ -562,13 +578,20 @@ bool PassManager::Run(CompilerInvocation* inv) const {
     // diagnostic instead of propagating out of the batch worker and
     // terminating the process. The ProducerGuard below abandons any cache
     // registration during the unwind, so waiters on the key are released.
+    // Test hook: pipeline.stall.<stage> simulates slow stage *compute* — it
+    // fires only on the paths that actually run the stage, never on a cache
+    // restore, so a stalled producer keeps its single-flight registration
+    // in flight long enough for concurrent duplicates to observably wait.
+    auto run_stage = [&]() {
+      if (FaultInjector::Instance().enabled() &&
+          InjectFault(std::string("pipeline.stall.") + stage.name())) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      return stage.Run(inv);
+    };
     try {
       if (FaultInjector::Instance().enabled()) {
-        // Test hooks: pipeline.stall.<stage> simulates a slow stage (drives
-        // the deadline path); pipeline.<stage> simulates a stage crash.
-        if (InjectFault(std::string("pipeline.stall.") + stage.name())) {
-          std::this_thread::sleep_for(std::chrono::milliseconds(20));
-        }
+        // Test hook: pipeline.<stage> simulates a stage crash.
         if (InjectFault(std::string("pipeline.") + stage.name())) {
           throw std::runtime_error("injected fault");
         }
@@ -585,7 +608,7 @@ bool PassManager::Run(CompilerInvocation* inv) const {
             *artifact->source != inv->source()) {
           // Key collision with a different source: the slot belongs to the
           // other program, so run uncached rather than restore or republish.
-          stage_ok = stage.Run(inv);
+          stage_ok = run_stage();
         } else if (artifact != nullptr) {
           Restore(inv, *artifact, diag_base);
           s.cached = true;
@@ -604,14 +627,14 @@ bool PassManager::Run(CompilerInvocation* inv) const {
               }
             }
           } guard{cache, key};
-          stage_ok = stage.Run(inv);
+          stage_ok = run_stage();
           if (stage_ok && !inv->diags().HasErrors()) {
             cache->Put(key, Snapshot(*inv, stage.id(), diag_base));
             guard.resolved = true;
           }
         }
       } else {
-        stage_ok = stage.Run(inv);
+        stage_ok = run_stage();
       }
     } catch (const std::exception& e) {
       inv->diags().Error({}, Fmt("internal error in stage %s: %s",

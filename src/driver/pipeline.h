@@ -51,6 +51,12 @@ enum class StageId : uint8_t {
   kCodegen,  // taint-aware regalloc + instrumenting emission (§3-§5)
   kLoad,     // link + magic patching (§6)
   kVerify,   // ConfVerify over the loaded binary (§5.2); optional
+  // Whole-image link over N module binaries. Not a PassManager stage: the
+  // build scheduler drives it directly against the cache (the key chains
+  // over the per-module Codegen keys). Appended after kVerify so the
+  // numeric values of the single-module stages — which the disk tier
+  // serializes — stay stable.
+  kLink,
 };
 
 const char* StageName(StageId id);
@@ -227,6 +233,16 @@ class PassManager {
 
 // Convenience: run PassManager::Standard over `inv`.
 bool RunStandardPipeline(CompilerInvocation* inv, bool verify = false);
+
+// The Codegen stage's content-addressed key for `inv` — the identity of the
+// module's object binary. Exported for the build scheduler, which chains the
+// link-stage key over every module's Codegen key.
+std::string CodegenCacheKey(const CompilerInvocation& inv);
+
+// Key for the linked image of a module set: chained over the per-module
+// Codegen keys in graph order. Equal keys mean the same module binaries in
+// the same order, hence a byte-identical linked image.
+std::string LinkCacheKey(const std::vector<std::string>& module_codegen_keys);
 
 // ---- Batch compilation ----
 

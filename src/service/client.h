@@ -1,0 +1,57 @@
+// Client side of the confccd protocol: used by `confcc --connect=SOCK`, the
+// serve-throughput load generator, and the service tests.
+//
+// Call() is synchronous — one request frame out, one response frame in —
+// and matches the daemon's `id` echo, so a client may also be driven with
+// explicit ids if it ever pipelines. CallWithRetry() adds the protocol's
+// backoff contract: a `retry` status (backpressure, injected dispatch
+// faults) and transport failures (daemon dropped the connection) are
+// retried with reconnect + linear backoff up to a bounded attempt count —
+// which is exactly what makes chaos-mode clients converge on a healthy
+// result.
+#ifndef CONFLLVM_SRC_SERVICE_CLIENT_H_
+#define CONFLLVM_SRC_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/service/protocol.h"
+
+namespace confllvm {
+
+class ConfccdClient {
+ public:
+  ConfccdClient() = default;
+  ~ConfccdClient();
+
+  ConfccdClient(const ConfccdClient&) = delete;
+  ConfccdClient& operator=(const ConfccdClient&) = delete;
+
+  // Connects to the daemon's Unix socket. False with a reason in `err`.
+  bool Connect(const std::string& socket_path, std::string* err);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // One round trip. Stamps a fresh `id` into `req`, sends it, and reads
+  // frames until the matching response arrives. False on any transport
+  // failure (daemon gone, torn frame, unparsable response) with the reason
+  // in `err` — the connection is closed and must be re-Connect()ed.
+  bool Call(Json req, Json* resp, std::string* err);
+
+  // Call() plus the retry contract: reconnects and retries on transport
+  // failure, backs off and retries while the daemon answers `retry`. False
+  // after `max_attempts` exhausted. `retries_out` (optional) reports how
+  // many retries were spent — the load generator graphs this.
+  bool CallWithRetry(const Json& req, Json* resp, std::string* err,
+                     int max_attempts = 10, int* retries_out = nullptr);
+
+ private:
+  int fd_ = -1;
+  std::string socket_path_;
+  uint64_t next_id_ = 1;
+  size_t max_frame_bytes_ = 64u << 20;
+};
+
+}  // namespace confllvm
+
+#endif  // CONFLLVM_SRC_SERVICE_CLIENT_H_

@@ -1,0 +1,670 @@
+#include "src/service/server.h"
+
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "src/driver/build_graph.h"
+#include "src/driver/confcc.h"
+#include "src/driver/pipeline.h"
+#include "src/isa/binary.h"
+#include "src/support/fault_injection.h"
+#include "src/support/strings.h"
+#include "src/vm/vm.h"
+
+namespace confllvm {
+
+namespace {
+
+bool ParsePresetName(const std::string& name, BuildPreset* out) {
+  for (const BuildPreset p : kAllBuildPresets) {
+    if (name == PresetName(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  for (const BuildPreset p : kCtBuildPresets) {
+    if (name == PresetName(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Mirrors confcc's ConfigFor so a request through the daemon compiles under
+// exactly the config the solo CLI would use (the byte-identity contract).
+BuildConfig ConfigForRequest(BuildPreset preset, bool all_private) {
+  BuildConfig config = BuildConfig::For(preset);
+  config.sema.all_private = all_private;
+  if (all_private) {
+    config.sema.implicit_flows = ImplicitFlowMode::kWarn;
+  }
+  config.whole_program = true;
+  return config;
+}
+
+bool ParseEngineName(const std::string& name, VmEngine* out) {
+  if (name == "ref") {
+    *out = VmEngine::kRef;
+  } else if (name == "fast") {
+    *out = VmEngine::kFast;
+  } else if (name == "trace") {
+    *out = VmEngine::kTrace;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Json StageRows(const PipelineStats& ps) {
+  Json rows = Json::Array();
+  for (const StageStats& s : ps.stages) {
+    Json row = Json::Object();
+    row.Set("name", Json::Str(s.name));
+    row.Set("ms", Json::Double(s.ms));
+    row.Set("cached", Json::Bool(s.cached));
+    row.Set("ok", Json::Bool(s.ok));
+    rows.Append(std::move(row));
+  }
+  return rows;
+}
+
+Json ErrorResponse(const std::string& msg) {
+  Json resp = Json::Object();
+  resp.Set("status", Json::Str("error"));
+  resp.Set("error", Json::Str(msg));
+  return resp;
+}
+
+Json RetryResponse(const std::string& msg) {
+  Json resp = Json::Object();
+  resp.Set("status", Json::Str("retry"));
+  resp.Set("error", Json::Str(msg));
+  return resp;
+}
+
+// Echoes the request's correlation id (any JSON kind) into the response.
+void EchoId(const Json& req, Json* resp) {
+  const Json* id = req.is_object() ? req.Find("id") : nullptr;
+  if (id != nullptr) {
+    resp->Set("id", *id);
+  }
+}
+
+}  // namespace
+
+std::string ConfccdServer::ServerStats::ToJson() const {
+  return StrFormat(
+      "{\"connections_accepted\":%llu,\"connections_dropped_inject\":%llu,"
+      "\"connections_closed\":%llu,\"bad_frames\":%llu,\"bad_requests\":%llu,"
+      "\"requests\":%llu,\"responses_dropped\":%llu,"
+      "\"injected_read_faults\":%llu,\"injected_dispatch_faults\":%llu}",
+      static_cast<unsigned long long>(connections_accepted),
+      static_cast<unsigned long long>(connections_dropped_inject),
+      static_cast<unsigned long long>(connections_closed),
+      static_cast<unsigned long long>(bad_frames),
+      static_cast<unsigned long long>(bad_requests),
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(responses_dropped),
+      static_cast<unsigned long long>(injected_read_faults),
+      static_cast<unsigned long long>(injected_dispatch_faults));
+}
+
+ConfccdServer::ConfccdServer(Options opts)
+    : opts_(std::move(opts)), cache_(opts_.cache_bytes), sched_(opts_.sched) {}
+
+ConfccdServer::~ConfccdServer() { Stop(); }
+
+bool ConfccdServer::Start(std::string* err) {
+  if (!opts_.cache_dir.empty() &&
+      !cache_.AttachDiskTier({opts_.cache_dir, opts_.cache_disk_bytes})) {
+    *err = "cannot create cache dir " + opts_.cache_dir;
+    return false;
+  }
+
+  sockaddr_un addr;
+  memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  if (opts_.socket_path.empty() ||
+      opts_.socket_path.size() >= sizeof addr.sun_path) {
+    *err = "socket path empty or too long: '" + opts_.socket_path + "'";
+    return false;
+  }
+  memcpy(addr.sun_path, opts_.socket_path.c_str(), opts_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *err = StrFormat("socket: %s", strerror(errno));
+    return false;
+  }
+  // A stale socket file from a dead daemon would fail the bind; remove it.
+  ::unlink(opts_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd_, 128) < 0) {
+    *err = StrFormat("bind/listen %s: %s", opts_.socket_path.c_str(),
+                     strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  sched_.Start();
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void ConfccdServer::RequestShutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  shutdown_requested_ = true;
+  shutdown_cv_.notify_all();
+}
+
+void ConfccdServer::WaitForShutdown() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void ConfccdServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (stopped_) {
+      return;
+    }
+    stopped_ = true;
+  }
+  running_.store(false);
+
+  // 1. Stop accepting: shutting the listener down unblocks accept().
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // 2. Drain the worker pool while connections are still writable, so
+  // accepted requests get their responses before the teardown severs peers.
+  sched_.Stop();
+
+  // 3. Sever every connection (unblocks readers) and join the readers. The
+  // fds themselves close when the last shared_ptr drops.
+  std::vector<std::shared_ptr<Connection>> conns;
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns = conns_;
+    readers.swap(readers_);
+  }
+  for (const auto& conn : conns) {
+    conn->open.store(false);
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (std::thread& t : readers) {
+    t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  }
+  conns.clear();
+
+  ::unlink(opts_.socket_path.c_str());
+  RequestShutdown();  // release any WaitForShutdown caller
+}
+
+ConfccdServer::ServerStats ConfccdServer::server_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void ConfccdServer::AcceptLoop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // listener shut down
+    }
+    if (!running_.load()) {
+      ::close(fd);
+      return;
+    }
+    if (InjectFault("service.accept")) {
+      // Chaos: the connection is dropped on the floor right after accept —
+      // the client sees ECONNRESET/EOF and retries against a healthy daemon.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_dropped_inject;
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->default_client =
+        StrFormat("conn-%llu", static_cast<unsigned long long>(
+                                   next_conn_id_.fetch_add(1)));
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_accepted;
+    }
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(conn);
+    readers_.emplace_back([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void ConfccdServer::SendResponse(const std::shared_ptr<Connection>& conn,
+                                 const Json& resp) {
+  const std::string payload = resp.Dump();
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (!conn->open.load() || !WriteFrame(conn->fd, payload)) {
+    // Peer vanished (killed client): the response is dropped, nothing else
+    // in the daemon is affected.
+    conn->open.store(false);
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.responses_dropped;
+  }
+}
+
+void ConfccdServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  while (running_.load() && conn->open.load()) {
+    std::string payload;
+    if (!ReadFrame(conn->fd, &payload, opts_.max_frame_bytes)) {
+      if (conn->open.load() && running_.load()) {
+        // EOF is the normal goodbye; an oversized frame also lands here —
+        // either way this connection is done.
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.bad_frames;
+      }
+      break;
+    }
+    if (InjectFault("service.read")) {
+      // Chaos: sever the connection mid-stream, as if the kernel returned
+      // ECONNRESET. Any in-flight work for this peer completes and its
+      // response is dropped at send time.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.injected_read_faults;
+      }
+      break;
+    }
+
+    Json req;
+    std::string perr;
+    if (!Json::Parse(payload, &req, &perr) || !req.is_object()) {
+      // A well-framed but malformed request fails that request only; the
+      // connection (and any pipelined frames behind it) lives on.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.bad_requests;
+      }
+      Json resp = ErrorResponse(perr.empty() ? "request is not a JSON object"
+                                             : "bad JSON: " + perr);
+      SendResponse(conn, resp);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests;
+    }
+
+    const std::string verb = req.GetString("verb");
+    if (verb == "compile" || verb == "link" || verb == "execute") {
+      const std::string client = req.GetString("client", conn->default_client);
+      auto task = [this, conn, req]() {
+        Json resp;
+        if (InjectFault("service.dispatch")) {
+          // Chaos: a dispatched request fails transiently. Retryable by
+          // contract — the work was never attempted, the cache untouched.
+          {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            ++stats_.injected_dispatch_faults;
+          }
+          resp = RetryResponse("injected dispatch fault");
+        } else {
+          try {
+            resp = Handle(req);
+          } catch (const std::exception& e) {
+            resp = ErrorResponse(StrFormat("internal error: %s", e.what()));
+          } catch (...) {
+            resp = ErrorResponse("internal error");
+          }
+        }
+        EchoId(req, &resp);
+        SendResponse(conn, resp);
+      };
+      const ServeScheduler::Admit admit = sched_.Submit(client, std::move(task));
+      if (admit != ServeScheduler::Admit::kAccepted) {
+        Json resp;
+        switch (admit) {
+          case ServeScheduler::Admit::kQueueFull:
+            resp = RetryResponse("server queue full");
+            break;
+          case ServeScheduler::Admit::kClientSaturated:
+            resp = RetryResponse("client in-flight cap reached");
+            break;
+          default:
+            resp = ErrorResponse("server shutting down");
+            break;
+        }
+        EchoId(req, &resp);
+        SendResponse(conn, resp);
+      }
+      continue;
+    }
+
+    // Control verbs answer inline on the reader thread — they never compete
+    // with compile work for pool slots.
+    Json resp = Handle(req);
+    EchoId(req, &resp);
+    SendResponse(conn, resp);
+    if (verb == "shutdown") {
+      RequestShutdown();
+      break;
+    }
+  }
+  conn->open.store(false);
+  ::shutdown(conn->fd, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connections_closed;
+  }
+  // Drop this reader's registration so the fd can close as soon as any
+  // in-flight worker task releases its reference.
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (size_t i = 0; i < conns_.size(); ++i) {
+    if (conns_[i] == conn) {
+      conns_.erase(conns_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+}
+
+Json ConfccdServer::Handle(const Json& req) {
+  const std::string verb = req.GetString("verb");
+  if (verb == "ping") {
+    Json resp = Json::Object();
+    resp.Set("status", Json::Str("ok"));
+    resp.Set("pong", Json::Bool(true));
+    return resp;
+  }
+  if (verb == "stats") {
+    return HandleStats();
+  }
+  if (verb == "shutdown") {
+    Json resp = Json::Object();
+    resp.Set("status", Json::Str("ok"));
+    resp.Set("stopping", Json::Bool(true));
+    return resp;
+  }
+  if (verb == "compile") {
+    return HandleCompile(req);
+  }
+  if (verb == "link") {
+    return HandleLink(req);
+  }
+  if (verb == "execute") {
+    return HandleExecute(req);
+  }
+  return ErrorResponse(verb.empty() ? "missing verb"
+                                    : "unknown verb '" + verb + "'");
+}
+
+Json ConfccdServer::HandleStats() {
+  Json resp = Json::Object();
+  resp.Set("status", Json::Str("ok"));
+  // One coherent snapshot per tier, same discipline as confcc
+  // --cache-stats: row and JSON render the same numbers.
+  const CacheStats cs = cache_.stats();
+  resp.Set("cache_row", Json::Str(cs.ToRow()));
+  resp.Set("cache_json", Json::Str(cs.ToJson()));
+  resp.Set("sched_json", Json::Str(sched_.stats().ToJson()));
+  resp.Set("server_json", Json::Str(server_stats().ToJson()));
+  return resp;
+}
+
+Json ConfccdServer::HandleCompile(const Json& req) {
+  const std::string source = req.GetString("source");
+  if (source.empty()) {
+    return ErrorResponse("compile: missing source");
+  }
+  BuildPreset preset = BuildPreset::kOurMpx;
+  const std::string preset_name = req.GetString("preset");
+  if (!preset_name.empty() && !ParsePresetName(preset_name, &preset)) {
+    return ErrorResponse("unknown preset '" + preset_name + "'");
+  }
+  const BuildConfig config =
+      ConfigForRequest(preset, req.GetBool("all_private"));
+  const bool verify = req.GetBool("verify") && WantsVerify(config);
+
+  CompilerInvocation inv(source, config);
+  inv.set_cache(&cache_);
+  if (opts_.compile_deadline_ms != 0) {
+    inv.set_deadline_ms(opts_.compile_deadline_ms);
+  }
+  const bool ok = RunStandardPipeline(&inv, verify);
+
+  Json resp = Json::Object();
+  resp.Set("status", Json::Str(ok ? "ok" : "error"));
+  if (!ok) {
+    resp.Set("error", Json::Str("compilation failed"));
+  }
+  resp.Set("diagnostics", Json::Str(inv.diags().ToString()));
+  resp.Set("stages", StageRows(inv.stats()));
+  resp.Set("total_ms", Json::Double(inv.stats().total_ms));
+  if (ok) {
+    auto compiled = inv.TakeProgram();
+    resp.Set("code_words",
+             Json::UInt(compiled->prog->binary.code.size()));
+    resp.Set("functions",
+             Json::UInt(compiled->prog->binary.functions.size()));
+    if (req.GetBool("want_bin")) {
+      resp.Set("bin_hex",
+               Json::Str(HexEncode(SerializeBinary(compiled->prog->binary))));
+    }
+  }
+  return resp;
+}
+
+Json ConfccdServer::HandleLink(const Json& req) {
+  const Json* modules = req.Find("modules");
+  if (modules == nullptr || !modules->is_array() || modules->items().empty()) {
+    return ErrorResponse("link: missing modules");
+  }
+  BuildPreset preset = BuildPreset::kOurMpx;
+  const std::string preset_name = req.GetString("preset");
+  if (!preset_name.empty() && !ParsePresetName(preset_name, &preset)) {
+    return ErrorResponse("unknown preset '" + preset_name + "'");
+  }
+  const BuildConfig config =
+      ConfigForRequest(preset, req.GetBool("all_private"));
+
+  DiagEngine gdiags;
+  BuildGraph graph;
+  for (const Json& m : modules->items()) {
+    const std::string name = m.GetString("name");
+    const std::string source = m.GetString("source");
+    if (name.empty() || source.empty()) {
+      return ErrorResponse("link: every module needs name and source");
+    }
+    if (!graph.AddModule(name, source, &gdiags)) {
+      return ErrorResponse("link: " + gdiags.ToString());
+    }
+  }
+  if (!graph.Finalize(config, &gdiags, &cache_, opts_.build_jobs)) {
+    Json resp = ErrorResponse("link: graph finalize failed");
+    resp.Set("diagnostics", Json::Str(gdiags.ToString()));
+    return resp;
+  }
+
+  BuildScheduler::Options sopts;
+  sopts.num_workers = opts_.build_jobs;
+  sopts.verify = req.GetBool("verify") && WantsVerify(config);
+  sopts.deadline_ms = opts_.compile_deadline_ms;
+  BuildScheduler sched(&graph, config, sopts);
+  LinkedBuild build = sched.Run(&cache_);
+
+  std::string diags;
+  for (const ModuleOutcome& mo : build.modules) {
+    if (mo.invocation != nullptr &&
+        !mo.invocation->diags().diagnostics().empty()) {
+      diags += "-- module " + mo.name + " --\n";
+      diags += mo.invocation->diags().ToString();
+    }
+  }
+  diags += build.diags.ToString();
+
+  Json resp = Json::Object();
+  resp.Set("status", Json::Str(build.ok ? "ok" : "error"));
+  if (!build.ok) {
+    resp.Set("error", Json::Str("link failed"));
+  }
+  resp.Set("diagnostics", Json::Str(diags));
+  resp.Set("graph_json", Json::Str(build.stats.ToJson()));
+  resp.Set("link_cached", Json::Bool(build.stats.link_cached));
+  if (build.ok && req.GetBool("want_bin")) {
+    resp.Set("bin_hex",
+             Json::Str(HexEncode(SerializeBinary(build.prog->binary))));
+  }
+  return resp;
+}
+
+Json ConfccdServer::HandleExecute(const Json& req) {
+  // Build the program: multi-module when `modules` is present, else single
+  // source — both through the shared cache.
+  std::unique_ptr<CompiledProgram> compiled;
+  Json resp = Json::Object();
+
+  if (const Json* modules = req.Find("modules"); modules != nullptr) {
+    if (!modules->is_array() || modules->items().empty()) {
+      return ErrorResponse("link: missing modules");
+    }
+    BuildPreset preset = BuildPreset::kOurMpx;
+    const std::string preset_name = req.GetString("preset");
+    if (!preset_name.empty() && !ParsePresetName(preset_name, &preset)) {
+      return ErrorResponse("unknown preset '" + preset_name + "'");
+    }
+    const BuildConfig config =
+        ConfigForRequest(preset, req.GetBool("all_private"));
+    DiagEngine gdiags;
+    BuildGraph graph;
+    for (const Json& m : modules->items()) {
+      const std::string name = m.GetString("name");
+      const std::string msource = m.GetString("source");
+      if (name.empty() || msource.empty()) {
+        return ErrorResponse("link: every module needs name and source");
+      }
+      if (!graph.AddModule(name, msource, &gdiags)) {
+        return ErrorResponse("link: " + gdiags.ToString());
+      }
+    }
+    if (!graph.Finalize(config, &gdiags, &cache_, opts_.build_jobs)) {
+      Json err = ErrorResponse("link: graph finalize failed");
+      err.Set("diagnostics", Json::Str(gdiags.ToString()));
+      return err;
+    }
+    BuildScheduler::Options sopts;
+    sopts.num_workers = opts_.build_jobs;
+    sopts.verify = req.GetBool("verify") && WantsVerify(config);
+    sopts.deadline_ms = opts_.compile_deadline_ms;
+    BuildScheduler bsched(&graph, config, sopts);
+    LinkedBuild build = bsched.Run(&cache_);
+    if (!build.ok) {
+      Json err = ErrorResponse("link failed");
+      err.Set("diagnostics", Json::Str(build.diags.ToString()));
+      return err;
+    }
+    resp.Set("link_cached", Json::Bool(build.stats.link_cached));
+    compiled = std::make_unique<CompiledProgram>();
+    compiled->config = config;
+    compiled->prog = std::move(build.prog);
+    if (req.GetBool("want_bin")) {
+      resp.Set("bin_hex",
+               Json::Str(HexEncode(SerializeBinary(compiled->prog->binary))));
+    }
+  } else {
+    const std::string source = req.GetString("source");
+    if (source.empty()) {
+      return ErrorResponse("execute: missing source or modules");
+    }
+    BuildPreset preset = BuildPreset::kOurMpx;
+    const std::string preset_name = req.GetString("preset");
+    if (!preset_name.empty() && !ParsePresetName(preset_name, &preset)) {
+      return ErrorResponse("unknown preset '" + preset_name + "'");
+    }
+    const BuildConfig config =
+        ConfigForRequest(preset, req.GetBool("all_private"));
+    const bool verify = req.GetBool("verify") && WantsVerify(config);
+    CompilerInvocation inv(source, config);
+    inv.set_cache(&cache_);
+    if (opts_.compile_deadline_ms != 0) {
+      inv.set_deadline_ms(opts_.compile_deadline_ms);
+    }
+    if (!RunStandardPipeline(&inv, verify)) {
+      Json err = ErrorResponse("compilation failed");
+      err.Set("diagnostics", Json::Str(inv.diags().ToString()));
+      return err;
+    }
+    resp.Set("diagnostics", Json::Str(inv.diags().ToString()));
+    resp.Set("stages", StageRows(inv.stats()));
+    resp.Set("total_ms", Json::Double(inv.stats().total_ms));
+    compiled = inv.TakeProgram();
+    if (req.GetBool("want_bin")) {
+      resp.Set("bin_hex",
+               Json::Str(HexEncode(SerializeBinary(compiled->prog->binary))));
+    }
+  }
+
+  VmOptions vm_opts;
+  const std::string engine = req.GetString("engine");
+  if (!engine.empty() && !ParseEngineName(engine, &vm_opts.engine)) {
+    return ErrorResponse("unknown engine '" + engine + "'");
+  }
+  const uint64_t tt = req.GetUInt("trace_threshold");
+  if (tt != 0) {
+    vm_opts.trace_threshold = tt;
+  }
+  // The watchdog always arms: a request may tighten the deadline but never
+  // exceed the server's ceiling — one tenant's loop cannot wedge a worker.
+  uint64_t deadline = req.GetUInt("deadline_ms", opts_.default_deadline_ms);
+  if (deadline == 0 || deadline > opts_.max_deadline_ms) {
+    deadline = opts_.max_deadline_ms;
+  }
+  vm_opts.deadline_ms = deadline;
+
+  const std::string entry = req.GetString("entry", "main");
+  std::vector<uint64_t> args;
+  if (const Json* ja = req.Find("args"); ja != nullptr && ja->is_array()) {
+    for (const Json& a : ja->items()) {
+      args.push_back(a.AsUInt());
+    }
+  }
+
+  auto session = MakeSessionFor(std::move(compiled), vm_opts);
+  const Vm::CallResult r = session->vm->Call(entry, args);
+
+  resp.Set("status", Json::Str("ok"));
+  resp.Set("ran_ok", Json::Bool(r.ok));
+  resp.Set("ret", Json::UInt(r.ret));
+  resp.Set("cycles", Json::UInt(r.cycles));
+  resp.Set("instrs", Json::UInt(r.instrs));
+  if (!r.ok) {
+    resp.Set("fault", Json::Str(FaultName(r.fault)));
+    resp.Set("fault_msg", Json::Str(r.fault_msg));
+  }
+  resp.Set("guest_stdout", Json::Str(session->tlib->stdout_text()));
+  return resp;
+}
+
+}  // namespace confllvm

@@ -8,6 +8,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -215,6 +216,43 @@ TEST(ConfccCli, InjectedDiskChaosKeepsSweepOutputsIdenticalAndWritesReport) {
   EXPECT_NE(json.find("\"seed\":11"), std::string::npos) << json;
   EXPECT_NE(json.find("\"sites\""), std::string::npos) << json;
   EXPECT_NE(json.find("disk."), std::string::npos) << json;
+}
+
+// --connect hands the cache tiers to the daemon; naming a client-local
+// cache location alongside it is a contradiction confcc must refuse in one
+// line, before doing any work.
+TEST(ConfccCli, ConnectConflictsWithLocalCacheFlags) {
+  TempDir dir;
+  const std::string src = dir.File("p.mc");
+  WriteFile(src, kSource);
+
+  for (const std::string flag :
+       {"--cache-dir=" + dir.File("cache"), std::string("--cache-bytes=4096"),
+        std::string("--incremental")}) {
+    SCOPED_TRACE(flag);
+    const auto r =
+        RunConfcc("--connect=" + dir.File("no.sock") + " " + flag + " " + src);
+    EXPECT_EQ(r.exit_code, 2) << r.output;
+    EXPECT_NE(r.output.find("conflicts with --connect"), std::string::npos)
+        << r.output;
+    // One line, and it names the flag to drop.
+    EXPECT_EQ(std::count(r.output.begin(), r.output.end(), '\n'), 1)
+        << r.output;
+  }
+}
+
+// No daemon at the socket: a one-line diagnostic and exit 1, not a hang or
+// a silent local fallback (falling back would silently compile cold).
+TEST(ConfccCli, ConnectToMissingDaemonFailsWithOneLine) {
+  TempDir dir;
+  const std::string src = dir.File("p.mc");
+  WriteFile(src, kSource);
+
+  const auto r = RunConfcc("--connect=" + dir.File("no.sock") + " " + src);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("cannot connect to daemon"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(std::count(r.output.begin(), r.output.end(), '\n'), 1) << r.output;
 }
 
 }  // namespace

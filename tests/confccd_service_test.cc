@@ -1,0 +1,539 @@
+// In-process end-to-end tests for the confccd service tier
+// (src/service/): a real ConfccdServer on a real Unix socket, driven by
+// real ConfccdClient connections — the same stack `confccd` + `confcc
+// --connect` ship, minus process boundaries.
+//
+// The contracts under test:
+//   - concurrent multi-tenant requests return byte-identical artifacts and
+//     results to a solo (in-process pipeline) build of the same source;
+//   - cross-request single-flight is observable in the shared cache's
+//     stats (one producer, N-1 shared restores);
+//   - linked images are cached across requests (satellite: link-stage
+//     CacheKey chained over per-module codegen keys);
+//   - backpressure rejections are retryable `retry` responses, per-client
+//     cap before global queue cap, round-robin fairness across tenants;
+//   - a client killed mid-request costs the daemon nothing but a dropped
+//     response — the pool keeps serving;
+//   - under injected service.accept / service.read / service.dispatch
+//     chaos, clients that retry still converge to correct results.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/workloads.h"
+#include "src/driver/confcc.h"
+#include "src/driver/pipeline.h"
+#include "src/isa/binary.h"
+#include "src/service/client.h"
+#include "src/service/protocol.h"
+#include "src/service/scheduler.h"
+#include "src/service/server.h"
+#include "src/support/fault_injection.h"
+#include "src/vm/vm.h"
+
+namespace confllvm {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string UniqueSocketPath() {
+  static std::atomic<int> counter{0};
+  // Keep it short: sun_path caps at ~108 bytes.
+  return (fs::temp_directory_path() /
+          ("confccd_t" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1)) + ".sock"))
+      .string();
+}
+
+// What the byte-identity contract compares: everything a tenant can
+// observe about an execute response.
+struct SoloResult {
+  std::string bin_hex;
+  bool ran_ok = false;
+  uint64_t ret = 0;
+  uint64_t cycles = 0;
+  uint64_t instrs = 0;
+  std::string guest_stdout;
+};
+
+// The solo-confcc reference: the exact compile+run path RunConnect would
+// have taken without --connect (mirrors the server's ConfigForRequest).
+SoloResult SoloExecute(const std::string& source, uint64_t deadline_ms) {
+  BuildConfig config = BuildConfig::For(BuildPreset::kOurMpx);
+  config.whole_program = true;
+  CompilerInvocation inv(source, config);
+  const bool verify = WantsVerify(config);
+  EXPECT_TRUE(RunStandardPipeline(&inv, verify)) << inv.diags().ToString();
+  auto compiled = inv.TakeProgram();
+  SoloResult r;
+  r.bin_hex = HexEncode(SerializeBinary(compiled->prog->binary));
+  VmOptions vm_opts;
+  vm_opts.deadline_ms = deadline_ms;
+  auto session = MakeSessionFor(std::move(compiled), vm_opts);
+  const Vm::CallResult cr = session->vm->Call("main", {});
+  r.ran_ok = cr.ok;
+  r.ret = cr.ret;
+  r.cycles = cr.cycles;
+  r.instrs = cr.instrs;
+  r.guest_stdout = session->tlib->stdout_text();
+  return r;
+}
+
+Json ExecuteRequest(const std::string& client_name, const std::string& source) {
+  Json req = Json::Object();
+  req.Set("verb", Json::Str("execute"));
+  req.Set("client", Json::Str(client_name));
+  req.Set("source", Json::Str(source));
+  req.Set("verify", Json::Bool(true));
+  req.Set("want_bin", Json::Bool(true));
+  return req;
+}
+
+std::string ResponseSignature(const Json& resp) {
+  return std::string(resp.GetBool("ran_ok") ? "1" : "0") + "/" +
+         std::to_string(resp.GetUInt("ret")) + "/" +
+         std::to_string(resp.GetUInt("cycles")) + "/" +
+         std::to_string(resp.GetUInt("instrs")) + "/" +
+         resp.GetString("bin_hex") + "/" + resp.GetString("guest_stdout");
+}
+
+std::string SoloSignature(const SoloResult& s) {
+  return std::string(s.ran_ok ? "1" : "0") + "/" + std::to_string(s.ret) +
+         "/" + std::to_string(s.cycles) + "/" + std::to_string(s.instrs) +
+         "/" + s.bin_hex + "/" + s.guest_stdout;
+}
+
+// A guest that spins until the VM deadline watchdog halts it.
+constexpr char kSpinSrc[] =
+    "int main() { int i = 1; while (i > 0) { i = 1; } return i; }";
+
+constexpr char kQuickSrc[] = "int main() { return 7; }";
+
+// ---- ServeScheduler unit coverage (no sockets) ----
+
+TEST(ServeSchedulerTest, RoundRobinIsFairAcrossClients) {
+  ServeScheduler::Options opts;
+  opts.num_workers = 1;
+  opts.max_queue_depth = 64;
+  opts.max_inflight_per_client = 8;
+  ServeScheduler sched(opts);
+
+  std::mutex mu;
+  std::vector<std::string> order;
+  // Submit-before-Start keeps the interleaving deterministic: the full
+  // backlog is queued before the single worker exists.
+  for (int i = 0; i < 3; ++i) {
+    for (const char* client : {"a", "b", "c"}) {
+      EXPECT_EQ(sched.Submit(client,
+                             [&, client] {
+                               std::lock_guard<std::mutex> lock(mu);
+                               order.push_back(client);
+                             }),
+                ServeScheduler::Admit::kAccepted);
+    }
+  }
+  sched.Start();
+  sched.Stop();  // drains the queue before workers exit
+
+  ASSERT_EQ(order.size(), 9u);
+  // Strict rotation: one task per client per turn, regardless of backlog
+  // shape at submit time.
+  const std::vector<std::string> want = {"a", "b", "c", "a", "b",
+                                         "c", "a", "b", "c"};
+  EXPECT_EQ(order, want);
+  EXPECT_EQ(sched.stats().completed, 9u);
+  EXPECT_EQ(sched.stats().clients_seen, 3u);
+}
+
+TEST(ServeSchedulerTest, PerClientCapThenGlobalQueueCap) {
+  ServeScheduler::Options opts;
+  opts.num_workers = 1;
+  opts.max_queue_depth = 4;
+  opts.max_inflight_per_client = 2;
+  ServeScheduler sched(opts);
+  const auto noop = [] {};
+
+  EXPECT_EQ(sched.Submit("a", noop), ServeScheduler::Admit::kAccepted);
+  EXPECT_EQ(sched.Submit("a", noop), ServeScheduler::Admit::kAccepted);
+  // A tenant at its own cap is told so even though the queue has room.
+  EXPECT_EQ(sched.Submit("a", noop), ServeScheduler::Admit::kClientSaturated);
+  EXPECT_EQ(sched.Submit("b", noop), ServeScheduler::Admit::kAccepted);
+  EXPECT_EQ(sched.Submit("b", noop), ServeScheduler::Admit::kAccepted);
+  // Queue full: a fresh tenant is rejected globally.
+  EXPECT_EQ(sched.Submit("c", noop), ServeScheduler::Admit::kQueueFull);
+
+  const ServeScheduler::Stats stats = sched.stats();
+  EXPECT_EQ(stats.rejected_client_cap, 1u);
+  EXPECT_EQ(stats.rejected_queue_full, 1u);
+  EXPECT_EQ(stats.peak_queue_depth, 4u);
+
+  sched.Start();
+  sched.Stop();
+  EXPECT_EQ(sched.stats().completed, 4u);
+}
+
+// ---- End-to-end over the socket ----
+
+class ConfccdServiceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+
+  // Builds and starts a server; returns false on Start failure.
+  std::unique_ptr<ConfccdServer> StartServer(ConfccdServer::Options opts) {
+    if (opts.socket_path.empty()) {
+      opts.socket_path = UniqueSocketPath();
+    }
+    auto server = std::make_unique<ConfccdServer>(std::move(opts));
+    std::string err;
+    EXPECT_TRUE(server->Start(&err)) << err;
+    return server;
+  }
+};
+
+TEST_F(ConfccdServiceTest, EightConcurrentClientsMatchSoloByteForByte) {
+  // Mixed workload: two serve-bench kernels (large, library-backed) plus a
+  // small one-liner, all through one daemon at once.
+  const std::vector<std::string> sources = {
+      workloads::kServeKernels[0].source,
+      workloads::kServeKernels[1].source,
+      kQuickSrc,
+  };
+  std::vector<SoloResult> solo;
+  for (const std::string& src : sources) {
+    solo.push_back(SoloExecute(src, 5000));
+  }
+
+  ConfccdServer::Options opts;
+  opts.sched.num_workers = 4;
+  auto server = StartServer(std::move(opts));
+
+  constexpr int kClients = 8;
+  std::vector<std::vector<std::string>> got(
+      kClients, std::vector<std::string>(sources.size()));
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ConfccdClient cli;
+      std::string err;
+      ASSERT_TRUE(cli.Connect(server->options().socket_path, &err)) << err;
+      for (size_t s = 0; s < sources.size(); ++s) {
+        // Interleave tenants across sources.
+        const size_t slot = (s + static_cast<size_t>(c)) % sources.size();
+        Json resp;
+        ASSERT_TRUE(cli.CallWithRetry(
+            ExecuteRequest("tenant-" + std::to_string(c), sources[slot]),
+            &resp, &err))
+            << err;
+        ASSERT_EQ(resp.GetString("status"), "ok")
+            << resp.GetString("error") << "\n"
+            << resp.GetString("diagnostics");
+        got[c][slot] = ResponseSignature(resp);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  server->Stop();
+
+  for (int c = 0; c < kClients; ++c) {
+    for (size_t s = 0; s < sources.size(); ++s) {
+      EXPECT_EQ(got[c][s], SoloSignature(solo[s]))
+          << "client " << c << " source " << s;
+    }
+  }
+}
+
+TEST_F(ConfccdServiceTest, CrossRequestSingleFlightIsObservableInCacheStats) {
+  // Stall the (single-flight) parse stage so every concurrent duplicate
+  // provably arrives while the producer is still inside the pipeline.
+  std::string ferr;
+  ASSERT_TRUE(FaultInjector::Instance().Configure("pipeline.stall.parse=p1.0",
+                                                  &ferr))
+      << ferr;
+
+  ConfccdServer::Options opts;
+  opts.sched.num_workers = 4;
+  auto server = StartServer(std::move(opts));
+
+  // A source unique to this test so the cache story is exactly: 8 identical
+  // requests, zero prior state.
+  const std::string source =
+      "int main() { int s = 0; for (int i = 0; i < 9; i = i + 1) "
+      "{ s = s + i * 3; } return s; }";
+
+  constexpr int kClients = 8;
+  std::vector<std::string> bins(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ConfccdClient cli;
+      std::string err;
+      ASSERT_TRUE(cli.Connect(server->options().socket_path, &err)) << err;
+      Json resp;
+      ASSERT_TRUE(cli.CallWithRetry(
+          ExecuteRequest("tenant-" + std::to_string(c), source), &resp, &err))
+          << err;
+      ASSERT_EQ(resp.GetString("status"), "ok") << resp.GetString("error");
+      bins[c] = resp.GetString("bin_hex");
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+
+  const CacheStats stats = server->cache().stats();
+  server->Stop();
+
+  // One producer compiled; the other seven restored the finished Load
+  // artifact — whole-pipeline dedup across requests from distinct
+  // connections.
+  const size_t load = static_cast<size_t>(StageId::kLoad);
+  const size_t parse = static_cast<size_t>(StageId::kParse);
+  EXPECT_EQ(stats.misses_by_stage[load], 1u);
+  EXPECT_EQ(stats.misses_by_stage[parse], 1u);
+  EXPECT_EQ(stats.hits_by_stage[load], 7u);
+  // At least one duplicate arrived mid-compute and waited on the in-flight
+  // producer instead of recomputing (the 20 ms parse stall guarantees the
+  // window).
+  EXPECT_GE(stats.shared_waits, 1u);
+
+  for (int c = 1; c < kClients; ++c) {
+    EXPECT_EQ(bins[c], bins[0]) << "client " << c;
+  }
+  EXPECT_FALSE(bins[0].empty());
+}
+
+TEST_F(ConfccdServiceTest, LinkedImageIsCachedAcrossRequests) {
+  ConfccdServer::Options opts;
+  opts.sched.num_workers = 2;
+  auto server = StartServer(std::move(opts));
+
+  Json req = Json::Object();
+  req.Set("verb", Json::Str("link"));
+  req.Set("client", Json::Str("linker"));
+  Json modules = Json::Array();
+  Json leaf = Json::Object();
+  leaf.Set("name", Json::Str("leaf"));
+  leaf.Set("source", Json::Str("int square(int x) { return x * x; }"));
+  modules.Append(std::move(leaf));
+  Json app = Json::Object();
+  app.Set("name", Json::Str("app"));
+  app.Set("source",
+          Json::Str("import \"leaf\";\nint main() { return square(6); }"));
+  modules.Append(std::move(app));
+  req.Set("modules", std::move(modules));
+  req.Set("verify", Json::Bool(true));
+  req.Set("want_bin", Json::Bool(true));
+
+  ConfccdClient cli;
+  std::string err;
+  ASSERT_TRUE(cli.Connect(server->options().socket_path, &err)) << err;
+
+  Json first;
+  ASSERT_TRUE(cli.CallWithRetry(req, &first, &err)) << err;
+  ASSERT_EQ(first.GetString("status"), "ok") << first.GetString("error");
+  EXPECT_FALSE(first.GetBool("link_cached"));
+
+  Json second;
+  ASSERT_TRUE(cli.CallWithRetry(req, &second, &err)) << err;
+  ASSERT_EQ(second.GetString("status"), "ok") << second.GetString("error");
+  EXPECT_TRUE(second.GetBool("link_cached"));
+  EXPECT_EQ(second.GetString("bin_hex"), first.GetString("bin_hex"));
+  EXPECT_FALSE(first.GetString("bin_hex").empty());
+
+  const CacheStats stats = server->cache().stats();
+  const size_t link = static_cast<size_t>(StageId::kLink);
+  EXPECT_EQ(stats.misses_by_stage[link], 1u);
+  EXPECT_EQ(stats.hits_by_stage[link], 1u);
+  server->Stop();
+}
+
+TEST_F(ConfccdServiceTest, BackpressureRejectsAreRetryable) {
+  ConfccdServer::Options opts;
+  opts.sched.num_workers = 1;
+  opts.sched.max_queue_depth = 1;
+  opts.sched.max_inflight_per_client = 1;
+  opts.default_deadline_ms = 400;  // the spin guest occupies the worker
+  auto server = StartServer(std::move(opts));
+  const std::string sock = server->options().socket_path;
+
+  // Tenant A wedges the single worker for ~400 ms (deadline-bounded spin).
+  std::thread spinner([&] {
+    ConfccdClient cli;
+    std::string err;
+    ASSERT_TRUE(cli.Connect(sock, &err)) << err;
+    Json resp;
+    Json req = Json::Object();
+    req.Set("verb", Json::Str("execute"));
+    req.Set("client", Json::Str("tenant-a"));
+    req.Set("source", Json::Str(kSpinSrc));
+    req.Set("deadline_ms", Json::UInt(400));
+    ASSERT_TRUE(cli.Call(std::move(req), &resp, &err)) << err;
+    EXPECT_EQ(resp.GetString("status"), "ok");
+    EXPECT_FALSE(resp.GetBool("ran_ok"));  // the watchdog halted it
+  });
+  // Let the worker dequeue tenant-a's request.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Same tenant again: per-client in-flight cap, retryable.
+  {
+    ConfccdClient cli;
+    std::string err;
+    ASSERT_TRUE(cli.Connect(sock, &err)) << err;
+    Json resp;
+    ASSERT_TRUE(cli.Call(ExecuteRequest("tenant-a", kQuickSrc), &resp, &err))
+        << err;
+    EXPECT_EQ(resp.GetString("status"), "retry") << resp.Dump();
+    EXPECT_NE(resp.GetString("error").find("in-flight"), std::string::npos)
+        << resp.Dump();
+  }
+
+  // Tenant B fills the depth-1 queue...
+  std::thread queued([&] {
+    ConfccdClient cli;
+    std::string err;
+    ASSERT_TRUE(cli.Connect(sock, &err)) << err;
+    Json resp;
+    ASSERT_TRUE(cli.Call(ExecuteRequest("tenant-b", kQuickSrc), &resp, &err))
+        << err;
+    EXPECT_EQ(resp.GetString("status"), "ok") << resp.Dump();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // ...so tenant C bounces off the global cap — but CallWithRetry rides the
+  // retryable reject to an eventual success once the backlog drains.
+  {
+    ConfccdClient cli;
+    std::string err;
+    ASSERT_TRUE(cli.Connect(sock, &err)) << err;
+    Json resp;
+    ASSERT_TRUE(cli.Call(ExecuteRequest("tenant-c", kQuickSrc), &resp, &err))
+        << err;
+    EXPECT_EQ(resp.GetString("status"), "retry") << resp.Dump();
+    EXPECT_NE(resp.GetString("error").find("queue full"), std::string::npos)
+        << resp.Dump();
+
+    int retries = 0;
+    ASSERT_TRUE(cli.CallWithRetry(ExecuteRequest("tenant-c", kQuickSrc),
+                                  &resp, &err, /*max_attempts=*/50, &retries))
+        << err;
+    EXPECT_EQ(resp.GetString("status"), "ok");
+    EXPECT_EQ(resp.GetUInt("ret"), 7u);
+  }
+
+  spinner.join();
+  queued.join();
+
+  const ServeScheduler::Stats stats = server->scheduler().stats();
+  EXPECT_GE(stats.rejected_client_cap, 1u);
+  EXPECT_GE(stats.rejected_queue_full, 1u);
+  server->Stop();
+}
+
+TEST_F(ConfccdServiceTest, KilledClientMidRequestDoesNotPoisonThePool) {
+  ConfccdServer::Options opts;
+  opts.sched.num_workers = 1;
+  opts.default_deadline_ms = 300;
+  auto server = StartServer(std::move(opts));
+  const std::string sock = server->options().socket_path;
+
+  // A raw connection: send an execute whose guest runs ~300 ms, then
+  // vanish before the response.
+  {
+    sockaddr_un addr;
+    memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    ASSERT_LT(sock.size(), sizeof addr.sun_path);
+    memcpy(addr.sun_path, sock.c_str(), sock.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+    Json req = Json::Object();
+    req.Set("verb", Json::Str("execute"));
+    req.Set("client", Json::Str("ghost"));
+    req.Set("source", Json::Str(kSpinSrc));
+    req.Set("id", Json::UInt(1));
+    ASSERT_TRUE(WriteFrame(fd, req.Dump()));
+    ::close(fd);  // the tenant dies mid-request
+  }
+
+  // The worker finishes the orphaned request and discovers the peer is
+  // gone at response time; nothing leaks into the pool.
+  bool dropped = false;
+  for (int i = 0; i < 200; ++i) {
+    if (server->server_stats().responses_dropped >= 1) {
+      dropped = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(dropped);
+
+  // The pool still serves the next tenant.
+  ConfccdClient cli;
+  std::string err;
+  ASSERT_TRUE(cli.Connect(sock, &err)) << err;
+  Json resp;
+  ASSERT_TRUE(cli.CallWithRetry(ExecuteRequest("alive", kQuickSrc), &resp,
+                                &err))
+      << err;
+  EXPECT_EQ(resp.GetString("status"), "ok");
+  EXPECT_EQ(resp.GetUInt("ret"), 7u);
+  server->Stop();
+}
+
+TEST_F(ConfccdServiceTest, ChaosServiceFaultsAreSurvivable) {
+  const SoloResult solo = SoloExecute(kQuickSrc, 5000);
+
+  // Deterministic nth-hit triggers on every service-tier site: the 2nd
+  // accepted connection is dropped, the 5th frame read severs its
+  // connection, the 3rd dispatched request fails retryably.
+  std::string ferr;
+  ASSERT_TRUE(FaultInjector::Instance().Configure(
+      "service.accept=n2,service.read=n5,service.dispatch=n3", &ferr))
+      << ferr;
+
+  ConfccdServer::Options opts;
+  opts.sched.num_workers = 2;
+  auto server = StartServer(std::move(opts));
+
+  // Fresh connection per request so the accept site gets traffic too.
+  for (int i = 0; i < 12; ++i) {
+    ConfccdClient cli;
+    std::string err;
+    Json resp;
+    // Connect failures surface on the first Call (the daemon may drop us
+    // right after accept); CallWithRetry reconnects through all of it.
+    if (!cli.Connect(server->options().socket_path, &err)) {
+      ADD_FAILURE() << err;
+      continue;
+    }
+    ASSERT_TRUE(cli.CallWithRetry(
+        ExecuteRequest("chaos-" + std::to_string(i % 3), kQuickSrc), &resp,
+        &err, /*max_attempts=*/30))
+        << "request " << i << ": " << err;
+    ASSERT_EQ(resp.GetString("status"), "ok") << resp.GetString("error");
+    EXPECT_EQ(ResponseSignature(resp), SoloSignature(solo)) << "request " << i;
+  }
+
+  const ConfccdServer::ServerStats stats = server->server_stats();
+  EXPECT_EQ(stats.connections_dropped_inject, 1u);
+  EXPECT_EQ(stats.injected_read_faults, 1u);
+  EXPECT_EQ(stats.injected_dispatch_faults, 1u);
+  server->Stop();
+}
+
+}  // namespace
+}  // namespace confllvm

@@ -360,7 +360,7 @@ TEST(PipelineIsolation, InjectedStageCrashFailsExactlyItsOwnJob) {
 }
 
 TEST(PipelineDeadline, StalledStageTripsThePerJobDeadline) {
-  InjectorScope inject("pipeline.stall.*=p1.0");  // 20 ms stall before each stage
+  InjectorScope inject("pipeline.stall.*=p1.0");  // 20 ms stall before each stage's compute
   BatchJob job;
   job.label = "deadline";
   job.source = kSource;

@@ -54,6 +54,8 @@
 #include "src/driver/disk_cache.h"
 #include "src/driver/pipeline.h"
 #include "src/isa/binary.h"
+#include "src/service/client.h"
+#include "src/service/protocol.h"
 #include "src/support/fault_injection.h"
 #include "src/vm/trace_tier.h"
 #include "src/verifier/verifier.h"
@@ -89,6 +91,7 @@ int Usage() {
           "              [--trace-stats-json=F] [--inject-faults=SPEC]\n"
           "              [--inject-report=F] [--deadline-ms=N] file.mc\n"
           "       confcc --link [options] [--graph-stats-json=F] a.mc b.mc ...\n"
+          "       confcc --connect=SOCK [options] [file.mc | --link a.mc ...]\n"
           "presets: Base BaseOA Our1Mem OurBare OurCFI OurMPX OurMPX-Sep OurSeg\n"
           "         ct-mpx ct-seg (constant-time: secret branches linearized,\n"
           "         verifier enforces secret-independent control flow/addresses)\n"
@@ -123,6 +126,7 @@ struct Options {
   std::string trace_stats_json;  // write TraceTierStats JSON here
   bool link = false;          // multi-module build-graph mode
   std::string graph_stats_json;  // write BuildGraphStats JSON here (--link)
+  std::string connect;        // --connect=SOCK: forward verbs to a confccd
   std::string file;
   std::vector<std::string> files;  // all positional args (--link modules)
 
@@ -504,6 +508,227 @@ int RunLink(const Options& opt) {
   return rc;
 }
 
+// ---- Daemon client mode (--connect) ----
+//
+// Forwards the CLI verbs to a running confccd (tools/confccd_main.cc) over
+// its Unix socket, so this invocation compiles against the daemon's warm
+// shared cache instead of a cold private one. The daemon owns the cache
+// tiers: client-local cache configuration under --connect is a
+// contradiction, not a preference — rather than silently compiling against
+// a client-local tier (cold every run, invisible to the daemon's stats),
+// the conflict is a one-line nonzero-exit diagnostic.
+
+int FetchDaemonStats(ConfccdClient& client, const Options& opt) {
+  Json req = Json::Object();
+  req.Set("verb", Json::Str("stats"));
+  Json resp;
+  std::string err;
+  if (!client.Call(std::move(req), &resp, &err) ||
+      resp.GetString("status") != "ok") {
+    fprintf(stderr, "confcc: daemon stats request failed: %s\n", err.c_str());
+    return 1;
+  }
+  if (opt.cache_stats) {
+    fputs(resp.GetString("cache_row").c_str(), stderr);
+  }
+  if (!opt.cache_stats_json.empty()) {
+    std::ofstream out(opt.cache_stats_json, std::ios::trunc);
+    if (!out) {
+      fprintf(stderr, "confcc: cannot write %s\n", opt.cache_stats_json.c_str());
+      return 1;
+    }
+    out << resp.GetString("cache_json");
+  }
+  return 0;
+}
+
+int RunConnect(const Options& opt) {
+  // The satellite contract: --cache-dir (and friends) name a *client-local*
+  // cache location while --connect hands compilation to a daemon with its
+  // own tiers. Disagreeing silently would compile cold and lie about it.
+  if (!opt.cache_dir.empty() || opt.cache_bytes != 0 ||
+      opt.cache_disk_bytes != 0 || opt.incremental) {
+    const char* flag = !opt.cache_dir.empty()           ? "--cache-dir"
+                       : opt.cache_bytes != 0           ? "--cache-bytes"
+                       : opt.cache_disk_bytes != 0      ? "--cache-disk-bytes"
+                                                        : "--incremental";
+    fprintf(stderr,
+            "confcc: %s conflicts with --connect=%s: the daemon owns the "
+            "cache tiers; drop %s or run without --connect\n",
+            flag, opt.connect.c_str(), flag);
+    return 2;
+  }
+
+  // Read the inputs before dialing out — a missing file should not cost a
+  // round trip (and keeps the error messages identical to solo mode).
+  std::vector<std::pair<std::string, std::string>> modules;  // name, source
+  std::string source;
+  if (!opt.files.empty()) {
+    if (!opt.link && opt.files.size() > 1) {
+      fprintf(stderr,
+              "confcc: %zu input files given without --link; pass --link to "
+              "build them as modules\n",
+              opt.files.size());
+      return Usage();
+    }
+    for (const std::string& f : opt.files) {
+      std::ifstream in(f);
+      if (!in) {
+        fprintf(stderr, "confcc: cannot open %s\n", f.c_str());
+        return 1;
+      }
+      std::stringstream buf;
+      buf << in.rdbuf();
+      if (in.bad()) {
+        fprintf(stderr, "confcc: error reading %s\n", f.c_str());
+        return 1;
+      }
+      if (opt.link) {
+        modules.emplace_back(ModuleNameOf(f), buf.str());
+      } else {
+        source = buf.str();
+      }
+    }
+  }
+
+  ConfccdClient client;
+  std::string err;
+  if (!client.Connect(opt.connect, &err)) {
+    fprintf(stderr, "confcc: cannot connect to daemon: %s\n", err.c_str());
+    return 1;
+  }
+
+  // Stats-only invocation: no inputs, just render the daemon's counters.
+  if (opt.files.empty()) {
+    if (!opt.cache_stats && opt.cache_stats_json.empty()) {
+      return Usage();
+    }
+    return FetchDaemonStats(client, opt);
+  }
+
+  auto make_req = [&](const char* preset_name) {
+    Json req = Json::Object();
+    req.Set("verb", Json::Str("execute"));
+    req.Set("preset", Json::Str(preset_name));
+    if (!modules.empty()) {
+      Json mods = Json::Array();
+      for (const auto& m : modules) {
+        Json jm = Json::Object();
+        jm.Set("name", Json::Str(m.first));
+        jm.Set("source", Json::Str(m.second));
+        mods.Append(std::move(jm));
+      }
+      req.Set("modules", std::move(mods));
+    } else {
+      req.Set("source", Json::Str(source));
+    }
+    req.Set("entry", Json::Str(opt.entry));
+    Json args = Json::Array();
+    for (const uint64_t a : opt.args) {
+      args.Append(Json::UInt(a));
+    }
+    req.Set("args", std::move(args));
+    if (opt.verify) {
+      req.Set("verify", Json::Bool(true));
+    }
+    if (opt.all_private) {
+      req.Set("all_private", Json::Bool(true));
+    }
+    req.Set("engine", Json::Str(EngineName(opt.engine)));
+    req.Set("trace_threshold", Json::UInt(opt.trace_threshold));
+    if (opt.deadline_ms != 0) {
+      req.Set("deadline_ms", Json::UInt(opt.deadline_ms));
+    }
+    if (!opt.emit_bin.empty()) {
+      req.Set("want_bin", Json::Bool(true));
+    }
+    return req;
+  };
+
+  // Runs one preset through the daemon. Returns the process exit code for
+  // single mode; sweep mode treats nonzero as a failure and keeps going.
+  auto run_one = [&](const char* preset_name, bool quiet,
+                     uint64_t* cycles_out) -> int {
+    Json resp;
+    int retries = 0;
+    if (!client.CallWithRetry(make_req(preset_name), &resp, &err,
+                              /*max_attempts=*/10, &retries)) {
+      // Retryable exhaustion (sustained backpressure): EX_TEMPFAIL so
+      // callers/scripts can distinguish "try later" from a hard failure.
+      fprintf(stderr, "confcc: daemon busy, retries exhausted: %s\n",
+              err.c_str());
+      return 75;
+    }
+    fputs(resp.GetString("diagnostics").c_str(), stderr);
+    if (resp.GetString("status") != "ok") {
+      fprintf(stderr, "confcc: daemon: %s\n",
+              resp.GetString("error", "request failed").c_str());
+      return 1;
+    }
+    if (!opt.emit_bin.empty()) {
+      std::vector<uint8_t> blob;
+      if (!HexDecode(resp.GetString("bin_hex"), &blob)) {
+        fprintf(stderr, "confcc: daemon returned a malformed binary\n");
+        return 1;
+      }
+      const std::string path =
+          quiet ? SweepEmitPath(opt.emit_bin, preset_name) : opt.emit_bin;
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      if (!out ||
+          !out.write(reinterpret_cast<const char*>(blob.data()),
+                     static_cast<std::streamsize>(blob.size()))) {
+        fprintf(stderr, "confcc: cannot write %s\n", path.c_str());
+        return 1;
+      }
+    }
+    if (!resp.GetBool("ran_ok")) {
+      fprintf(stderr, "confcc: %s faulted: %s (%s)\n", opt.entry.c_str(),
+              resp.GetString("fault").c_str(),
+              resp.GetString("fault_msg").c_str());
+      return 1;
+    }
+    fputs(resp.GetString("guest_stdout").c_str(), stdout);
+    if (cycles_out != nullptr) {
+      *cycles_out = resp.GetUInt("cycles");
+    }
+    if (quiet) {
+      return 0;
+    }
+    fprintf(stderr, "confcc: %s() = %lld  (%llu instructions, %llu cycles)\n",
+            opt.entry.c_str(), static_cast<long long>(resp.GetUInt("ret")),
+            static_cast<unsigned long long>(resp.GetUInt("instrs")),
+            static_cast<unsigned long long>(resp.GetUInt("cycles")));
+    return static_cast<int>(resp.GetUInt("ret") & 0xff);
+  };
+
+  int rc;
+  if (opt.sweep) {
+    int failures = 0;
+    fprintf(stderr, "%-12s%8s%14s\n", "preset", "ok", "cycles");
+    for (const BuildPreset p : kAllBuildPresets) {
+      uint64_t cycles = 0;
+      if (run_one(PresetName(p), /*quiet=*/true, &cycles) != 0) {
+        ++failures;
+        fprintf(stderr, "%-12s%8s\n", PresetName(p), "FAIL");
+        continue;
+      }
+      fprintf(stderr, "%-12s%8s%14llu\n", PresetName(p), "ok",
+              static_cast<unsigned long long>(cycles));
+    }
+    rc = failures == 0 ? 0 : 1;
+  } else {
+    rc = run_one(PresetName(opt.preset), /*quiet=*/false, nullptr);
+  }
+
+  if (opt.cache_stats || !opt.cache_stats_json.empty()) {
+    const int stats_rc = FetchDaemonStats(client, opt);
+    if (rc == 0) {
+      rc = stats_rc;
+    }
+  }
+  return rc;
+}
+
 // Written at exit by main() when --inject-report=F was given: the fault
 // injector's per-site counters survive even a fatal error, so a chaos run
 // that dies still reports what fired.
@@ -552,6 +777,8 @@ int Main(int argc, char** argv) {
       opt.graph_stats_json = a.substr(19);
     } else if (a == "--link") {
       opt.link = true;
+    } else if (a.rfind("--connect=", 0) == 0) {
+      opt.connect = a.substr(10);
     } else if (a.rfind("--engine=", 0) == 0) {
       const std::string name = a.substr(9);
       if (name == "ref") {
@@ -599,6 +826,11 @@ int Main(int argc, char** argv) {
       opt.file = a;
       opt.files.push_back(a);
     }
+  }
+  if (!opt.connect.empty()) {
+    // Daemon client mode: inputs optional (stats-only queries have none);
+    // RunConnect validates its own argument combinations.
+    return RunConnect(opt);
   }
   if (opt.file.empty()) {
     return Usage();
